@@ -1,0 +1,73 @@
+"""Ablation: epsilon arcs vs an epsilon-free graph.
+
+The paper keeps epsilon arcs (11.5% of Kaldi's graph) because removal
+blows the graph up; each epsilon arc costs the accelerator a second
+intra-frame pipeline pass (Section III-B).  This ablation folds the
+output-free epsilon arcs of a composed task graph and measures both sides
+of the trade: graph size against epsilon-pass work and cycles.
+"""
+
+import pytest
+
+from benchmarks.common import base_config, format_table, report
+from repro.accel import AcceleratorSimulator
+from repro.datasets import TaskConfig, generate_task
+from repro.wfst import CompiledWfst, remove_epsilons
+from tests.test_epsilon_removal import _to_mutable
+
+
+@pytest.fixture(scope="module")
+def task():
+    return generate_task(
+        TaskConfig(vocab_size=150, corpus_sentences=700, num_utterances=3,
+                   seed=41)
+    )
+
+
+def run(task):
+    original = task.graph
+    epsfree = CompiledWfst.from_fst(remove_epsilons(_to_mutable(original)))
+
+    rows = []
+    likelihoods = {}
+    for name, graph in [("with epsilons", original),
+                        ("epsilon-free", epsfree)]:
+        sim = AcceleratorSimulator(graph, base_config(), beam=16.0)
+        cycles = 0
+        eps_arcs = 0
+        arcs = 0
+        lls = []
+        for utt in task.utterances:
+            result = sim.decode(utt.scores)
+            cycles += result.stats.cycles
+            eps_arcs += result.stats.epsilon_arcs_processed
+            arcs += result.stats.arcs_processed
+            lls.append(result.log_likelihood)
+        likelihoods[name] = lls
+        rows.append(
+            [name, graph.num_states, graph.num_arcs,
+             f"{100 * graph.epsilon_fraction():.1f}%", arcs, eps_arcs, cycles]
+        )
+    return rows, likelihoods
+
+
+def test_ablation_epsilon_removal(benchmark, task):
+    rows, likelihoods = benchmark.pedantic(
+        run, args=(task,), rounds=1, iterations=1
+    )
+    text = format_table(
+        "Ablation -- epsilon arcs vs epsilon-free graph "
+        "(paper keeps 11.5% epsilon arcs)",
+        ["graph", "states", "arcs", "eps", "emit arcs", "eps arcs", "cycles"],
+        rows,
+    )
+    report("ablation_epsilon_removal", text)
+
+    by_name = {r[0]: r for r in rows}
+    # Removal eliminates the epsilon-pass work entirely...
+    assert by_name["epsilon-free"][5] == 0
+    # ...at the price of a larger arc array (folding duplicates arcs).
+    assert by_name["epsilon-free"][2] >= by_name["with epsilons"][2]
+    # Decoding results are unchanged.
+    for a, b in zip(likelihoods["with epsilons"], likelihoods["epsilon-free"]):
+        assert b == pytest.approx(a, abs=1e-6)

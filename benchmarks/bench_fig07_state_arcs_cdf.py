@@ -1,0 +1,44 @@
+"""Figure 7: cumulative share of dynamically accessed states vs out-degree.
+
+Paper: although the maximum out-degree is 770, 97% of the states fetched
+from memory during decoding have 15 or fewer arcs -- the observation the
+Section IV-B bandwidth optimisation is built on.
+"""
+
+import numpy as np
+
+from benchmarks.common import format_table, report
+
+DEGREES = (1, 2, 4, 8, 15, 16, 32, 64, 770)
+PAPER_AT_15 = 97.0
+
+
+def compute(comparison):
+    degrees = np.array(
+        comparison.runs["CPU"].search.visited_state_degrees, dtype=np.int64
+    )
+    rows = []
+    for d in DEGREES:
+        pct = 100.0 * (degrees <= d).mean()
+        rows.append([d, pct])
+    return rows, int(degrees.max())
+
+
+def test_fig07_state_arcs_cdf(benchmark, std_comparison):
+    rows, max_degree = benchmark.pedantic(
+        compute, args=(std_comparison,), rounds=1, iterations=1
+    )
+    text = format_table(
+        f"Figure 7 -- cumulative %% of dynamically fetched states vs arcs "
+        f"(paper: 97% <= 15 arcs; max degree here {max_degree})",
+        ["<= arcs", "measured cumulative %"],
+        rows,
+    )
+    report("fig07_state_arcs_cdf", text)
+
+    cdf = dict((r[0], r[1]) for r in rows)
+    # Shape: the overwhelming majority of visited states are small.
+    assert cdf[15] > 85.0
+    # The tail exists but is tiny.
+    assert cdf[770] == 100.0
+    assert cdf[1] < cdf[15]

@@ -1,0 +1,57 @@
+"""In-text result (Section VI): the full ASR pipeline.
+
+Paper: combining the GPU (DNN) with the accelerator (Viterbi), running
+pipelined over batches, is 1.87x faster than running both stages on the
+GPU -- 1.7x from the search speedup and the rest from overlapping the two
+stages.
+"""
+
+from benchmarks.common import PAPER_DNN, format_table, report
+from repro.gpu import GpuDnnModel
+from repro.gpu.model import dnn_flops_per_frame
+from repro.system import AsrSystemModel
+
+PAPER_SPEEDUP = 1.87
+
+
+def compute(comparison):
+    frames = comparison.speech_seconds * 100.0
+    flops = dnn_flops_per_frame(**PAPER_DNN)
+    dnn_per_frame = GpuDnnModel().seconds(flops)
+    gpu_search_per_frame = comparison.runs["GPU"].decode_seconds / frames
+    accel_search_per_frame = (
+        comparison.runs["ASIC+State&Arc"].decode_seconds / frames
+    )
+
+    model = AsrSystemModel(batch_frames=5)
+    speedup = model.hybrid_speedup(
+        total_frames=int(frames),
+        dnn_seconds_per_frame=dnn_per_frame,
+        gpu_search_seconds_per_frame=gpu_search_per_frame,
+        accel_search_seconds_per_frame=accel_search_per_frame,
+        score_bytes_per_frame=4 * PAPER_DNN["num_classes"],
+    )
+    search_only = gpu_search_per_frame / accel_search_per_frame
+    return speedup, search_only
+
+
+def test_intext_full_pipeline(benchmark, std_comparison):
+    speedup, search_only = benchmark.pedantic(
+        compute, args=(std_comparison,), rounds=1, iterations=1
+    )
+    text = format_table(
+        "In-text (Sec. VI) -- hybrid GPU+accelerator system vs GPU-only",
+        ["metric", "paper (x)", "measured (x)"],
+        [
+            ["full pipeline speedup", PAPER_SPEEDUP, speedup],
+            ["search-stage speedup", 1.70, search_only],
+        ],
+    )
+    report("intext_full_pipeline", text)
+
+    # Shape: the hybrid system clearly beats GPU-only.  The gain is capped
+    # by the DNN stage once the accelerator outruns it (two-stage pipeline:
+    # throughput = slower stage), so the full-pipeline speedup can sit
+    # below the raw search speedup.
+    assert speedup > 1.2
+    assert speedup <= search_only * 1.5

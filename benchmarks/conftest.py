@@ -1,0 +1,27 @@
+"""Session-scoped fixtures shared by the figure benchmarks.
+
+The six-platform comparison on the standard workload is the most expensive
+computation and feeds Figures 9, 10, 11, 12, 13 and 14 -- it runs once per
+session.
+"""
+
+import pytest
+
+from benchmarks.common import base_config, standard_workload, sweep_workload
+from repro.system import run_platform_comparison
+
+
+@pytest.fixture(scope="session")
+def std_workload():
+    return standard_workload()
+
+
+@pytest.fixture(scope="session")
+def std_comparison(std_workload):
+    """All six platforms on the standard workload (consistency-checked)."""
+    return run_platform_comparison(std_workload, base_config=base_config())
+
+
+@pytest.fixture(scope="session")
+def swp_workload():
+    return sweep_workload()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Run every figure/table benchmark without pytest and print the reports.
+
+Equivalent to ``pytest benchmarks/ --benchmark-only`` but with the
+paper-vs-measured tables on stdout, for quick inspection:
+
+    python benchmarks/run_all.py [--fast]
+
+``--fast`` skips the expensive sweeps (Figures 4/5, ablations) and runs
+only the benches that share the cached standard comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+sys.path.insert(0, __file__.rsplit("/", 2)[0])
+
+from benchmarks import common
+from repro.system import run_platform_comparison
+
+
+class _NullBenchmark:
+    """Stand-in for pytest-benchmark's fixture."""
+
+    def pedantic(self, func, args=(), kwargs=None, rounds=1, iterations=1):
+        return func(*args, **(kwargs or {}))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--fast", action="store_true",
+                        help="skip the slow parameter sweeps")
+    options = parser.parse_args()
+
+    t0 = time.time()
+    print("Building the standard workload and running all six platforms ...")
+    std_workload = common.standard_workload()
+    std_comparison = run_platform_comparison(
+        std_workload, base_config=common.base_config()
+    )
+    swp_workload = None if options.fast else common.sweep_workload()
+    print(f"  done in {time.time() - t0:.1f}s")
+
+    from benchmarks import (
+        bench_fig01_pipeline_breakdown as fig01,
+        bench_fig04_cache_miss_ratio as fig04,
+        bench_fig05_hash_entries as fig05,
+        bench_fig07_state_arcs_cdf as fig07,
+        bench_fig09_decode_time as fig09,
+        bench_fig10_speedup as fig10,
+        bench_fig11_energy_reduction as fig11,
+        bench_fig12_power as fig12,
+        bench_fig13_mem_traffic as fig13,
+        bench_fig14_energy_vs_time as fig14,
+        bench_intext_area as area,
+        bench_intext_full_pipeline as pipeline,
+        bench_intext_ideal_components as ideal,
+        bench_intext_prefetch as prefetch,
+        bench_tables_config as tables,
+        bench_ablation_beam as abl_beam,
+        bench_ablation_epsilon_removal as abl_eps,
+        bench_ablation_memory_latency as abl_latency,
+        bench_ablation_prefetch_depth as abl_depth,
+        bench_ablation_state_direct_n as abl_n,
+    )
+
+    bench = _NullBenchmark()
+    tables.test_tables_1_2_3(bench)
+    fig01.test_fig01_pipeline_breakdown(bench, std_comparison)
+    fig07.test_fig07_state_arcs_cdf(bench, std_comparison)
+    fig09.test_fig09_decode_time(bench, std_comparison)
+    fig10.test_fig10_speedup_vs_gpu(bench, std_comparison)
+    fig11.test_fig11_energy_reduction(bench, std_comparison)
+    fig12.test_fig12_power(bench, std_comparison)
+    fig13.test_fig13_mem_traffic(bench, std_comparison)
+    fig14.test_fig14_energy_vs_time(bench, std_comparison)
+    area.test_intext_area_and_overheads(bench)
+    pipeline.test_intext_full_pipeline(bench, std_comparison)
+
+    if not options.fast:
+        fig04.test_fig04_cache_miss_ratio(bench, std_workload)
+        fig05.test_fig05_hash_entries(bench, swp_workload)
+        ideal.test_intext_ideal_components(bench, swp_workload)
+        prefetch.test_intext_prefetch(bench, swp_workload)
+        abl_depth.test_ablation_prefetch_depth(bench, swp_workload)
+        abl_latency.test_ablation_memory_latency(bench, swp_workload)
+        abl_n.test_ablation_state_direct_n(bench, swp_workload)
+        from repro.datasets import TaskConfig, generate_task
+        eps_task = generate_task(
+            TaskConfig(vocab_size=150, corpus_sentences=700,
+                       num_utterances=3, seed=41)
+        )
+        abl_eps.test_ablation_epsilon_removal(bench, eps_task)
+        beam_task = generate_task(
+            TaskConfig(vocab_size=200, corpus_sentences=900,
+                       num_utterances=4, score_separation=3.0,
+                       score_noise=1.6, seed=51)
+        )
+        abl_beam.test_ablation_beam(bench, beam_task)
+
+    print(f"\nAll benchmarks done in {time.time() - t0:.1f}s; reports in "
+          f"{common.RESULTS_DIR}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

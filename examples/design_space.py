@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Architecture design-space exploration with the accelerator simulator.
+
+Sweeps the knobs an architect would turn -- Arc-cache capacity, prefetch
+FIFO depth, and hash-table size -- on a large-vocabulary workload, and
+reports cycles per arc, miss ratios, power and energy for each point.
+This reproduces the style of analysis behind the paper's Figures 4 and 5
+and shows how the two Section IV techniques move the design across the
+performance/power space.
+
+Run:  python examples/design_space.py
+"""
+
+from dataclasses import replace
+
+from repro.accel import AcceleratorConfig, AcceleratorSimulator
+from repro.datasets import SyntheticGraphConfig
+from repro.energy import AcceleratorEnergyModel
+from repro.system import make_memory_workload
+
+
+def evaluate(workload, config, label, energy_model):
+    sim = AcceleratorSimulator(
+        workload.graph,
+        config,
+        beam=workload.beam,
+        sorted_graph=(
+            workload.sorted_graph if config.state_direct_enabled else None
+        ),
+        max_active=workload.max_active,
+    )
+    stats = sim.decode(workload.scores[0]).stats
+    arcs = stats.arcs_processed + stats.epsilon_arcs_processed
+    power = energy_model.avg_power_w(config, stats)
+    energy = energy_model.energy(config, stats).total_j
+    print(
+        f"  {label:34s} {stats.cycles / arcs:6.2f} cyc/arc  "
+        f"arc-miss {100 * stats.arc_cache.miss_ratio:5.1f}%  "
+        f"hash {stats.hash.avg_cycles_per_request:5.2f} cyc/req  "
+        f"{power * 1e3:6.0f} mW  {energy * 1e3:7.3f} mJ"
+    )
+
+
+def main() -> None:
+    print("Generating a 40k-state large-vocabulary workload ...")
+    workload = make_memory_workload(
+        num_utterances=1,
+        frames_per_utterance=15,
+        beam=8.0,
+        max_active=1500,
+        seed=11,
+        graph_config=SyntheticGraphConfig(
+            num_states=40_000, num_phones=50, seed=11
+        ),
+    )
+    energy_model = AcceleratorEnergyModel()
+    base = AcceleratorConfig()
+
+    print("\nArc cache capacity (base design):")
+    for kb in (256, 512, 1024, 2048):
+        cfg = replace(
+            base, arc_cache=replace(base.arc_cache, size_bytes=kb * 1024)
+        )
+        evaluate(workload, cfg, f"arc cache {kb} KB", energy_model)
+
+    print("\nPrefetch FIFO depth (ASIC+Arc):")
+    for depth in (8, 16, 32, 64, 128):
+        cfg = replace(base, prefetch_enabled=True, prefetch_fifo_entries=depth)
+        evaluate(workload, cfg, f"Arc FIFO {depth} entries", energy_model)
+
+    print("\nHash table entries (base design):")
+    for entries in (4096, 8192, 16384, 32768):
+        cfg = replace(
+            base, hash_table=replace(base.hash_table, num_entries=entries)
+        )
+        evaluate(workload, cfg, f"hash {entries // 1024}K entries", energy_model)
+
+    print("\nThe paper's four configurations:")
+    for label, cfg in [
+        ("ASIC (base)", base),
+        ("ASIC+State", base.with_state_direct()),
+        ("ASIC+Arc", base.with_prefetch()),
+        ("ASIC+State&Arc", base.with_both()),
+    ]:
+        evaluate(workload, cfg, label, energy_model)
+
+
+if __name__ == "__main__":
+    main()

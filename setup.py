@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by pyproject.toml; this file exists so that
+editable installs work in environments whose setuptools predates PEP 660
+support or lacks the `wheel` package (legacy `setup.py develop` path).
+"""
+
+from setuptools import setup
+
+setup()

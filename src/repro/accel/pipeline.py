@@ -1,0 +1,72 @@
+"""Pipeline timing primitives.
+
+The simulator uses *timestamp algebra*: every transaction carries the cycle
+at which it completes, and structural hazards are expressed as gates on
+when the next transaction may start.  Two primitives cover all the
+structures in the accelerator:
+
+* :class:`RollingWindow` -- bounded in-flight parallelism.  An issuer with
+  K in-flight slots can start its i-th operation no earlier than the
+  completion of its (i-K)-th operation.  This models the State Issuer
+  (8 states), the Arc Issuer / Arc FIFO (8 or 64 arcs), the Token Issuer
+  (32 tokens) and the memory controller (32 requests).
+* :class:`ThroughputGate` -- a unit that accepts at most one operation per
+  ``interval`` cycles (address generation, hash port).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.common.errors import ConfigError
+
+
+class RollingWindow:
+    """Bounded in-flight parallelism gate."""
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ConfigError("window depth must be >= 1")
+        self.depth = depth
+        self._completions: Deque[int] = deque()
+
+    def gate(self) -> int:
+        """Earliest cycle a new operation may start."""
+        if len(self._completions) < self.depth:
+            return 0
+        return self._completions[0]
+
+    def push(self, completion_time: int) -> None:
+        """Record a started operation's completion time."""
+        self._completions.append(completion_time)
+        if len(self._completions) > self.depth:
+            self._completions.popleft()
+
+    def drain(self) -> int:
+        """Cycle by which every tracked operation has completed."""
+        if not self._completions:
+            return 0
+        return max(self._completions)
+
+    def reset(self) -> None:
+        self._completions.clear()
+
+
+class ThroughputGate:
+    """One operation per ``interval`` cycles."""
+
+    def __init__(self, interval: int = 1) -> None:
+        if interval < 1:
+            raise ConfigError("interval must be >= 1")
+        self.interval = interval
+        self._last = -interval
+
+    def next_slot(self, time: int) -> int:
+        """Earliest issue cycle at or after ``time``; reserves the slot."""
+        slot = max(int(time), self._last + self.interval)
+        self._last = slot
+        return slot
+
+    def reset(self) -> None:
+        self._last = -self.interval

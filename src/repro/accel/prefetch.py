@@ -1,0 +1,65 @@
+"""The decoupled access/execute prefetching architecture (Section IV-A).
+
+After pruning, every arc address for the frame is *computed*, not
+predicted, so the Arc Issuer can push cache lookups far ahead of the
+pipeline stages that consume the arcs.  Three structures realise this
+(paper, Figure 6):
+
+* **Request FIFO** -- holds missing line addresses on their way to the
+  memory controller (one request issued per cycle);
+* **Arc FIFO** -- holds each in-flight arc together with the data needed to
+  process it later (source token likelihood, cache way);
+* **Reorder Buffer** -- receives returning memory blocks and commits them to
+  the data array only when their arc reaches the FIFO head, preventing a
+  younger fill from evicting an older, still-unread line.
+
+In the timing model the architecture appears as the *decoupling window*:
+arc fetches may run ahead of arc consumption by ``fifo_entries`` arcs
+(:attr:`repro.accel.config.AcceleratorConfig.arc_issue_window`), instead of
+the baseline's 8 in-flight arcs.  Because addresses are computed, no
+useless prefetches are ever generated -- DRAM traffic is identical to the
+baseline, matching the paper's Figure 13 discussion.
+
+:class:`PrefetchHardware` sizes the added storage for the area/power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PrefetchConfig:
+    """Sizing of the three prefetch structures (64 entries each, Sec. V)."""
+
+    fifo_entries: int = 64
+    request_entry_bytes: int = 4   # one 32-bit line address
+    arc_entry_bytes: int = 16      # arc payload + source token likelihood
+    reorder_entry_bytes: int = 64  # one cache line
+
+
+@dataclass(frozen=True)
+class PrefetchHardware:
+    """Storage added by the prefetching architecture (for CACTI-style area)."""
+
+    config: PrefetchConfig = PrefetchConfig()
+
+    @property
+    def request_fifo_bytes(self) -> int:
+        return self.config.fifo_entries * self.config.request_entry_bytes
+
+    @property
+    def arc_fifo_bytes(self) -> int:
+        return self.config.fifo_entries * self.config.arc_entry_bytes
+
+    @property
+    def reorder_buffer_bytes(self) -> int:
+        return self.config.fifo_entries * self.config.reorder_entry_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.request_fifo_bytes
+            + self.arc_fifo_bytes
+            + self.reorder_buffer_bytes
+        )

@@ -1,0 +1,133 @@
+"""Simulation statistics: cycle counts, cache behaviour, memory traffic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache."""
+
+    accesses: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+@dataclass
+class HashStats:
+    """Access counters for the token hash tables."""
+
+    requests: int = 0
+    total_cycles: int = 0
+    collisions: int = 0
+    overflows: int = 0
+
+    @property
+    def avg_cycles_per_request(self) -> float:
+        if self.requests == 0:
+            return 1.0
+        return self.total_cycles / self.requests
+
+
+@dataclass
+class MemoryTraffic:
+    """Off-chip DRAM traffic in bytes, split by data type (Figure 13)."""
+
+    read_bytes: Dict[str, int] = field(default_factory=dict)
+    write_bytes: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, region: str, nbytes: int, write: bool) -> None:
+        book = self.write_bytes if write else self.read_bytes
+        book[region] = book.get(region, 0) + nbytes
+
+    def total_bytes(self) -> int:
+        return sum(self.read_bytes.values()) + sum(self.write_bytes.values())
+
+    def region_bytes(self, region: str) -> int:
+        return self.read_bytes.get(region, 0) + self.write_bytes.get(region, 0)
+
+    def breakdown(self) -> Dict[str, int]:
+        regions = set(self.read_bytes) | set(self.write_bytes)
+        return {r: self.region_bytes(r) for r in sorted(regions)}
+
+
+@dataclass
+class SimStats:
+    """All counters produced by one accelerator decode."""
+
+    cycles: int = 0
+    frames: int = 0
+    arcs_processed: int = 0
+    epsilon_arcs_processed: int = 0
+    tokens_read: int = 0
+    tokens_written: int = 0
+    states_fetched: int = 0
+    states_direct: int = 0
+    fp_adds: int = 0
+    fp_compares: int = 0
+    acoustic_lookups: int = 0
+
+    state_cache: CacheStats = field(default_factory=CacheStats)
+    arc_cache: CacheStats = field(default_factory=CacheStats)
+    token_cache: CacheStats = field(default_factory=CacheStats)
+    hash: HashStats = field(default_factory=HashStats)
+    traffic: MemoryTraffic = field(default_factory=MemoryTraffic)
+
+    frame_cycles: List[int] = field(default_factory=list)
+
+    def seconds(self, frequency_hz: float) -> float:
+        """Wall-clock decode time at the given clock."""
+        return self.cycles / frequency_hz
+
+    def decode_time_per_speech_second(self, frequency_hz: float) -> float:
+        """The paper's headline metric: decode seconds per second of speech
+        (frames are 10 ms each)."""
+        speech_seconds = self.frames * 0.01
+        if speech_seconds == 0:
+            return 0.0
+        return self.seconds(frequency_hz) / speech_seconds
+
+    @classmethod
+    def merge(cls, stats_list) -> "SimStats":
+        """Aggregate the counters of several decodes (e.g. a test set)."""
+        merged = cls()
+        for s in stats_list:
+            merged.cycles += s.cycles
+            merged.frames += s.frames
+            merged.arcs_processed += s.arcs_processed
+            merged.epsilon_arcs_processed += s.epsilon_arcs_processed
+            merged.tokens_read += s.tokens_read
+            merged.tokens_written += s.tokens_written
+            merged.states_fetched += s.states_fetched
+            merged.states_direct += s.states_direct
+            merged.fp_adds += s.fp_adds
+            merged.fp_compares += s.fp_compares
+            merged.acoustic_lookups += s.acoustic_lookups
+            for cache_name in ("state_cache", "arc_cache", "token_cache"):
+                dst = getattr(merged, cache_name)
+                src = getattr(s, cache_name)
+                dst.accesses += src.accesses
+                dst.misses += src.misses
+                dst.writebacks += src.writebacks
+            merged.hash.requests += s.hash.requests
+            merged.hash.total_cycles += s.hash.total_cycles
+            merged.hash.collisions += s.hash.collisions
+            merged.hash.overflows += s.hash.overflows
+            for region, nbytes in s.traffic.read_bytes.items():
+                merged.traffic.add(region, nbytes, write=False)
+            for region, nbytes in s.traffic.write_bytes.items():
+                merged.traffic.add(region, nbytes, write=True)
+            merged.frame_cycles.extend(s.frame_cycles)
+        return merged

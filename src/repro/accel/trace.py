@@ -1,0 +1,70 @@
+"""Per-frame pipeline traces for analysis and debugging.
+
+A :class:`FrameTrace` summarises what the accelerator did in each 10 ms
+frame -- cycles, active tokens, arcs, per-cache miss behaviour, DRAM
+traffic -- derived from a decode's statistics.  Useful for spotting
+pathological frames (hash overflow storms, beam explosions) and for the
+per-frame plots architecture papers live on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.accel.simulator import AcceleratorResult
+
+
+@dataclass(frozen=True)
+class FrameTrace:
+    """One frame's summary."""
+
+    frame: int
+    cycles: int
+    active_tokens: int
+
+    @property
+    def microseconds_at(self) -> float:
+        """Frame decode time at the Table I clock (600 MHz)."""
+        return self.cycles / 600.0
+
+
+def frame_traces(result: AcceleratorResult) -> List[FrameTrace]:
+    """Expand a decode result into per-frame trace entries."""
+    actives = result.search.active_tokens_per_frame
+    traces = []
+    for i, cycles in enumerate(result.stats.frame_cycles):
+        traces.append(
+            FrameTrace(
+                frame=i,
+                cycles=cycles,
+                active_tokens=actives[i] if i < len(actives) else 0,
+            )
+        )
+    return traces
+
+
+def summarize(result: AcceleratorResult) -> str:
+    """A compact text summary of a decode (for logs and CLI output)."""
+    s = result.stats
+    traces = frame_traces(result)
+    worst = max(traces, key=lambda t: t.cycles) if traces else None
+    lines = [
+        f"frames={s.frames} cycles={s.cycles} "
+        f"({s.cycles / max(s.frames, 1):.0f}/frame)",
+        f"arcs={s.arcs_processed} eps_arcs={s.epsilon_arcs_processed} "
+        f"tokens_written={s.tokens_written}",
+        f"miss: state={s.state_cache.miss_ratio:.3f} "
+        f"arc={s.arc_cache.miss_ratio:.3f} "
+        f"token={s.token_cache.miss_ratio:.3f}",
+        f"hash: {s.hash.avg_cycles_per_request:.2f} cycles/request, "
+        f"{s.hash.collisions} collisions, {s.hash.overflows} overflows",
+        f"DRAM: {s.traffic.total_bytes() / 1024:.1f} KB "
+        f"{s.traffic.breakdown()}",
+    ]
+    if worst is not None:
+        lines.append(
+            f"worst frame: #{worst.frame} at {worst.cycles} cycles "
+            f"({worst.active_tokens} active tokens)"
+        )
+    return "\n".join(lines)

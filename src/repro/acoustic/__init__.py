@@ -1,0 +1,26 @@
+"""Acoustic model substrate: a numpy DNN and frame scorers.
+
+The DNN stage of the pipeline (paper, Section II) maps MFCC frames to
+phoneme posteriors.  Two scorers are provided:
+
+* :class:`DnnScorer` -- runs the trained MLP and converts posteriors to
+  scaled log-likelihoods (posterior / prior, the hybrid-DNN convention).
+* :class:`SyntheticScorer` -- generates likelihood matrices directly from a
+  ground-truth alignment with controllable confusability; used by large
+  benchmark sweeps where DNN inference time would dominate for no fidelity
+  gain (the Viterbi search only sees a score matrix either way).
+"""
+
+from repro.acoustic.dnn import Dnn, DnnConfig
+from repro.acoustic.trainer import TrainConfig, train_dnn
+from repro.acoustic.scorer import AcousticScores, DnnScorer, SyntheticScorer
+
+__all__ = [
+    "Dnn",
+    "DnnConfig",
+    "TrainConfig",
+    "train_dnn",
+    "AcousticScores",
+    "DnnScorer",
+    "SyntheticScorer",
+]

@@ -1,0 +1,96 @@
+"""Feed-forward DNN in numpy.
+
+A plain MLP with ReLU hidden layers and a softmax output over phone ids --
+the acoustic model of the hybrid ASR system.  Only forward and backward
+passes needed by the trainer are implemented; no autograd framework is used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+
+
+@dataclass(frozen=True)
+class DnnConfig:
+    """MLP shape: input dim, hidden widths, output classes."""
+
+    input_dim: int
+    hidden_dims: Tuple[int, ...]
+    num_classes: int
+
+    def __post_init__(self) -> None:
+        if self.input_dim < 1 or self.num_classes < 2:
+            raise ConfigError("invalid DNN dimensions")
+        if any(h < 1 for h in self.hidden_dims):
+            raise ConfigError("hidden dims must be positive")
+
+
+class Dnn:
+    """A ReLU MLP with softmax output."""
+
+    def __init__(self, config: DnnConfig, seed: int = 0) -> None:
+        self.config = config
+        rng = make_rng(seed, "dnn-init")
+        dims = [config.input_dim, *config.hidden_dims, config.num_classes]
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        for fan_in, fan_out in zip(dims[:-1], dims[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        # Input normalisation fitted by the trainer.
+        self.input_mean = np.zeros(config.input_dim)
+        self.input_std = np.ones(config.input_dim)
+
+    @property
+    def num_params(self) -> int:
+        return sum(w.size + b.size for w, b in zip(self.weights, self.biases))
+
+    def set_normalization(self, mean: np.ndarray, std: np.ndarray) -> None:
+        """Set per-dimension input standardisation (fitted on train data)."""
+        self.input_mean = np.asarray(mean, dtype=np.float64)
+        self.input_std = np.maximum(np.asarray(std, dtype=np.float64), 1e-6)
+
+    # ------------------------------------------------------------------
+    def forward(
+        self, x: np.ndarray, keep_activations: bool = False
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Forward pass.
+
+        Args:
+            x: ``(batch, input_dim)`` features.
+            keep_activations: retain post-ReLU activations for backprop.
+
+        Returns:
+            ``(log_posteriors, activations)`` -- log-softmax outputs of
+            shape ``(batch, num_classes)``.
+        """
+        h = (np.asarray(x, dtype=np.float64) - self.input_mean) / self.input_std
+        activations: List[np.ndarray] = [h]
+        for w, b in zip(self.weights[:-1], self.biases[:-1]):
+            h = np.maximum(h @ w + b, 0.0)
+            if keep_activations:
+                activations.append(h)
+        logits = h @ self.weights[-1] + self.biases[-1]
+        log_post = logits - _logsumexp(logits)
+        return log_post, activations
+
+    def log_posteriors(self, x: np.ndarray) -> np.ndarray:
+        """Log P(class | frame) for a batch of frames."""
+        log_post, _ = self.forward(x)
+        return log_post
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Most likely class id (0-based) per frame."""
+        return np.argmax(self.log_posteriors(x), axis=1)
+
+
+def _logsumexp(logits: np.ndarray) -> np.ndarray:
+    hi = logits.max(axis=1, keepdims=True)
+    return hi + np.log(np.exp(logits - hi).sum(axis=1, keepdims=True))

@@ -1,0 +1,108 @@
+"""Minibatch SGD trainer for the acoustic DNN.
+
+Cross-entropy training of the MLP on (MFCC frame, phone id) pairs produced
+by the synthetic audio pipeline.  Deliberately simple -- constant learning
+rate with momentum -- because the synthetic task is easy; the point is to
+produce *realistically confusable* posteriors, not state-of-the-art WER.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.acoustic.dnn import Dnn
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """SGD hyper-parameters."""
+
+    epochs: int = 10
+    batch_size: int = 256
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ConfigError("epochs and batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ConfigError("learning_rate must be positive")
+
+
+def train_dnn(
+    dnn: Dnn,
+    features: np.ndarray,
+    labels: np.ndarray,
+    config: TrainConfig = TrainConfig(),
+) -> List[float]:
+    """Train ``dnn`` in place; returns the per-epoch mean cross-entropy.
+
+    Args:
+        features: ``(num_frames, input_dim)``.
+        labels: ``(num_frames,)`` 0-based class ids.
+    """
+    x = np.asarray(features, dtype=np.float64)
+    y = np.asarray(labels, dtype=np.int64)
+    if x.ndim != 2 or len(x) != len(y):
+        raise ConfigError("features/labels shape mismatch")
+    if y.min() < 0 or y.max() >= dnn.config.num_classes:
+        raise ConfigError("label out of range")
+
+    dnn.set_normalization(x.mean(axis=0), x.std(axis=0))
+
+    rng = make_rng(config.seed, "dnn-train")
+    velocity_w = [np.zeros_like(w) for w in dnn.weights]
+    velocity_b = [np.zeros_like(b) for b in dnn.biases]
+    losses: List[float] = []
+
+    for _ in range(config.epochs):
+        order = rng.permutation(len(x))
+        epoch_loss = 0.0
+        n_batches = 0
+        for lo in range(0, len(x), config.batch_size):
+            batch = order[lo : lo + config.batch_size]
+            loss, grads_w, grads_b = _backward(dnn, x[batch], y[batch])
+            epoch_loss += loss
+            n_batches += 1
+            for i in range(len(dnn.weights)):
+                velocity_w[i] = (
+                    config.momentum * velocity_w[i]
+                    - config.learning_rate * grads_w[i]
+                )
+                velocity_b[i] = (
+                    config.momentum * velocity_b[i]
+                    - config.learning_rate * grads_b[i]
+                )
+                dnn.weights[i] += velocity_w[i]
+                dnn.biases[i] += velocity_b[i]
+        losses.append(epoch_loss / max(n_batches, 1))
+    return losses
+
+
+def _backward(
+    dnn: Dnn, x: np.ndarray, y: np.ndarray
+) -> Tuple[float, List[np.ndarray], List[np.ndarray]]:
+    """One forward/backward pass; returns (loss, weight grads, bias grads)."""
+    log_post, activations = dnn.forward(x, keep_activations=True)
+    batch = len(x)
+    loss = float(-log_post[np.arange(batch), y].mean())
+
+    probs = np.exp(log_post)
+    delta = probs
+    delta[np.arange(batch), y] -= 1.0
+    delta /= batch
+
+    grads_w: List[np.ndarray] = [np.zeros_like(w) for w in dnn.weights]
+    grads_b: List[np.ndarray] = [np.zeros_like(b) for b in dnn.biases]
+    for i in range(len(dnn.weights) - 1, -1, -1):
+        grads_w[i] = activations[i].T @ delta
+        grads_b[i] = delta.sum(axis=0)
+        if i > 0:
+            delta = (delta @ dnn.weights[i].T) * (activations[i] > 0)
+    return loss, grads_w, grads_b

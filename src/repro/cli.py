@@ -1,0 +1,185 @@
+"""Command-line interface.
+
+Four subcommands cover the common workflows:
+
+* ``repro-asr build-task``   -- generate a synthetic ASR task and save its
+  decoding graph.
+* ``repro-asr decode``       -- decode a task's utterances with the
+  reference software decoder.
+* ``repro-asr simulate``     -- decode on the cycle-accurate accelerator
+  simulator in any of the paper's four configurations.
+* ``repro-asr compare``      -- run the six-platform comparison on a
+  memory-system workload and print the Figure 9/10/11 style table.
+
+Run ``python -m repro.cli --help`` for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.accel import AcceleratorConfig, AcceleratorSimulator
+from repro.datasets import SyntheticGraphConfig, TaskConfig, generate_task
+from repro.decoder import BeamSearchConfig, ViterbiDecoder, word_error_rate
+from repro.energy import AcceleratorEnergyModel
+from repro.system import make_memory_workload, run_platform_comparison
+from repro.wfst import save_wfst, sort_states_by_arc_count
+
+CONFIG_NAMES = ("base", "state", "arc", "both")
+
+
+def _accel_config(name: str) -> AcceleratorConfig:
+    base = AcceleratorConfig()
+    return {
+        "base": base,
+        "state": base.with_state_direct(),
+        "arc": base.with_prefetch(),
+        "both": base.with_both(),
+    }[name]
+
+
+def _add_task_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--vocab", type=int, default=200,
+                        help="vocabulary size (default 200)")
+    parser.add_argument("--utterances", type=int, default=5,
+                        help="number of test utterances (default 5)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--beam", type=float, default=14.0)
+
+
+def cmd_build_task(args: argparse.Namespace) -> int:
+    task = generate_task(
+        TaskConfig(vocab_size=args.vocab, num_utterances=args.utterances,
+                   seed=args.seed)
+    )
+    print(f"task: vocab {task.lexicon.vocab_size}, graph "
+          f"{task.graph.num_states} states / {task.graph.num_arcs} arcs "
+          f"({task.graph.total_size_bytes / 1024:.0f} KB)")
+    if args.output:
+        save_wfst(task.graph, args.output)
+        print(f"graph written to {args.output}")
+    return 0
+
+
+def cmd_decode(args: argparse.Namespace) -> int:
+    task = generate_task(
+        TaskConfig(vocab_size=args.vocab, num_utterances=args.utterances,
+                   seed=args.seed)
+    )
+    decoder = ViterbiDecoder(task.graph, BeamSearchConfig(beam=args.beam))
+    total = 0.0
+    for i, utt in enumerate(task.utterances):
+        result = decoder.decode(utt.scores)
+        wer = word_error_rate(utt.words, result.words)
+        total += wer
+        print(f"utt {i}: WER {wer:.2f}  "
+              f"({result.stats.arcs_processed} arcs, "
+              f"{result.stats.mean_active_tokens:.0f} active tokens/frame)  "
+              f"{' '.join(task.transcript(result))}")
+    print(f"mean WER {total / len(task.utterances):.3f}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    task = generate_task(
+        TaskConfig(vocab_size=args.vocab, num_utterances=args.utterances,
+                   seed=args.seed)
+    )
+    config = _accel_config(args.config)
+    sorted_graph = (
+        sort_states_by_arc_count(task.graph)
+        if config.state_direct_enabled
+        else None
+    )
+    sim = AcceleratorSimulator(
+        task.graph, config, beam=args.beam, sorted_graph=sorted_graph
+    )
+    energy_model = AcceleratorEnergyModel()
+    total_cycles = 0
+    total_energy = 0.0
+    speech = 0.0
+    for i, utt in enumerate(task.utterances):
+        result = sim.decode(utt.scores)
+        total_cycles += result.stats.cycles
+        total_energy += energy_model.energy(config, result.stats).total_j
+        speech += utt.duration_seconds
+        s = result.stats
+        print(f"utt {i}: {s.cycles} cycles | miss state "
+              f"{s.state_cache.miss_ratio:.3f} arc {s.arc_cache.miss_ratio:.3f} "
+              f"token {s.token_cache.miss_ratio:.3f} | hash "
+              f"{s.hash.avg_cycles_per_request:.2f} cyc/req | "
+              f"DRAM {s.traffic.total_bytes() / 1024:.0f} KB")
+    seconds = total_cycles / config.frequency_hz
+    print(f"config '{args.config}': {seconds * 1e3:.3f} ms for {speech:.2f} s "
+          f"of speech ({seconds / speech:.5f} s/s), "
+          f"{total_energy * 1e3:.3f} mJ")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    workload = make_memory_workload(
+        num_utterances=1,
+        frames_per_utterance=args.frames,
+        beam=8.0,
+        max_active=args.max_active,
+        seed=args.seed,
+        graph_config=SyntheticGraphConfig(
+            num_states=args.states, num_phones=50, seed=args.seed
+        ),
+    )
+    comparison = run_platform_comparison(workload)
+    report = comparison.report()
+    print(f"{'platform':16s} {'decode s/s':>12s} {'power W':>10s} "
+          f"{'energy J/s':>12s}")
+    for row in report.rows():
+        print(f"{row['platform']:16s} {row['decode_s_per_speech_s']:12.5f} "
+              f"{row['avg_power_w']:10.3f} {row['energy_j_per_speech_s']:12.5f}")
+    speed = report.speedup_vs("GPU")
+    energy = report.energy_reduction_vs("GPU")
+    print(f"\nvs GPU: speedup {speed['ASIC+State&Arc']:.2f}x, "
+          f"energy reduction {energy['ASIC+State&Arc']:.0f}x "
+          f"(paper: 1.7x, 287x)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-asr",
+        description="MICRO 2016 ASR-accelerator reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build-task", help="generate a synthetic ASR task")
+    _add_task_args(p)
+    p.add_argument("--output", help="write the compiled graph (npz)")
+    p.set_defaults(func=cmd_build_task)
+
+    p = sub.add_parser("decode", help="decode with the software decoder")
+    _add_task_args(p)
+    p.set_defaults(func=cmd_decode)
+
+    p = sub.add_parser("simulate", help="decode on the accelerator simulator")
+    _add_task_args(p)
+    p.add_argument("--config", choices=CONFIG_NAMES, default="both",
+                   help="accelerator configuration (default: both)")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("compare", help="six-platform comparison")
+    p.add_argument("--states", type=int, default=50_000)
+    p.add_argument("--frames", type=int, default=20)
+    p.add_argument("--max-active", type=int, default=2000, dest="max_active")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Shared utilities: log-space arithmetic, configuration, errors, RNG."""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigError,
+    GraphError,
+    DecodeError,
+    SimulationError,
+)
+from repro.common.logmath import (
+    LOG_ZERO,
+    log_add,
+    log_add_array,
+    log_mul,
+    from_prob,
+    to_prob,
+    is_log_zero,
+)
+from repro.common.rng import make_rng
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "GraphError",
+    "DecodeError",
+    "SimulationError",
+    "LOG_ZERO",
+    "log_add",
+    "log_add_array",
+    "log_mul",
+    "from_prob",
+    "to_prob",
+    "is_log_zero",
+    "make_rng",
+]

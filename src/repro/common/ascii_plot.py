@@ -1,0 +1,90 @@
+"""Minimal ASCII charts for benchmark reports.
+
+The paper's figures are bar charts and line plots; the benchmark harness
+renders text approximations so the *shape* of each reproduced figure is
+visible directly in the terminal and in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+    log_scale: bool = False,
+) -> str:
+    """Horizontal bar chart; one labelled bar per (label, value)."""
+    if not items:
+        raise ConfigError("bar_chart needs at least one item")
+    import math
+
+    values = [v for _l, v in items]
+    if log_scale:
+        if min(values) <= 0:
+            raise ConfigError("log_scale requires positive values")
+        scaled = [math.log10(v) for v in values]
+        lo = min(scaled) - 0.05 * (max(scaled) - min(scaled) + 1e-12)
+        span = max(scaled) - lo
+        lengths = [
+            max(int(width * (s - lo) / span) if span else width, 1)
+            for s in scaled
+        ]
+    else:
+        top = max(values)
+        if top <= 0:
+            top = 1.0
+        lengths = [max(int(width * v / top), 0) for v in values]
+
+    label_w = max(len(label) for label, _v in items)
+    lines = []
+    for (label, value), length in zip(items, lengths):
+        lines.append(
+            f"{label.ljust(label_w)} | {'#' * length} {value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """Plot one or more y-series against shared x values.
+
+    Each series gets a distinct marker; x positions are spread evenly
+    (category-style, matching the paper's swept-parameter figures).
+    """
+    if not series or not xs:
+        raise ConfigError("line_chart needs x values and at least one series")
+    markers = "*o+x@%"
+    all_y = [y for _name, ys in series for y in ys]
+    lo, hi = min(all_y), max(all_y)
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (_name, ys) in enumerate(series):
+        marker = markers[s_idx % len(markers)]
+        for i, y in enumerate(ys):
+            col = int(i * (width - 1) / max(len(xs) - 1, 1))
+            row = height - 1 - int((y - lo) / (hi - lo) * (height - 1))
+            grid[row][col] = marker
+
+    lines = [f"{hi:10.3g} ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{lo:10.3g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "-" * width)
+    x_labels = "  ".join(str(x) for x in xs)
+    lines.append(" " * 12 + x_labels[: width + 10])
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, (name, _ys) in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch library failures without catching unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class GraphError(ReproError):
+    """A WFST is malformed or an operation on it is undefined."""
+
+
+class DecodeError(ReproError):
+    """Decoding failed (e.g. no surviving path, empty input)."""
+
+
+class SimulationError(ReproError):
+    """The cycle-accurate simulator reached an inconsistent state."""

@@ -1,0 +1,76 @@
+"""Log-space probability arithmetic.
+
+ASR systems work with log probabilities to avoid floating-point underflow
+(paper, Section II).  In log space a probability product becomes a sum --
+which is exactly why the accelerator's Likelihood Evaluation unit only needs
+adders (paper, Section III-B).
+
+All likelihoods in this library are natural-log probabilities ``<= 0.0``;
+``LOG_ZERO`` stands in for ``log(0)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+# A large negative sentinel standing in for log(0).  Chosen so that adding a
+# handful of weights to it can never overflow to -inf in float32 pipelines
+# while still being unreachable by any real path score.
+LOG_ZERO: float = -1.0e30
+
+# Anything below this is treated as log(0) when testing.
+_LOG_ZERO_THRESHOLD: float = -1.0e29
+
+
+def is_log_zero(x: float) -> bool:
+    """Return True when ``x`` represents the probability zero."""
+    return x <= _LOG_ZERO_THRESHOLD
+
+
+def from_prob(p: float) -> float:
+    """Convert a linear probability to log space.
+
+    Raises:
+        ValueError: if ``p`` is negative.
+    """
+    if p < 0.0:
+        raise ValueError(f"probability must be non-negative, got {p}")
+    if p == 0.0:
+        return LOG_ZERO
+    return math.log(p)
+
+
+def to_prob(logp: float) -> float:
+    """Convert a log probability back to linear space."""
+    if is_log_zero(logp):
+        return 0.0
+    return math.exp(logp)
+
+
+def log_mul(a: float, b: float) -> float:
+    """Multiply two probabilities in log space (i.e. add the logs)."""
+    if is_log_zero(a) or is_log_zero(b):
+        return LOG_ZERO
+    return a + b
+
+
+def log_add(a: float, b: float) -> float:
+    """Add two probabilities in log space (log-sum-exp of two values)."""
+    if is_log_zero(a):
+        return b
+    if is_log_zero(b):
+        return a
+    hi, lo = (a, b) if a >= b else (b, a)
+    return hi + math.log1p(math.exp(lo - hi))
+
+
+def log_add_array(values: np.ndarray) -> float:
+    """Log-sum-exp over a 1-D array, ignoring LOG_ZERO entries."""
+    arr = np.asarray(values, dtype=np.float64)
+    live = arr[arr > _LOG_ZERO_THRESHOLD]
+    if live.size == 0:
+        return LOG_ZERO
+    hi = float(live.max())
+    return hi + math.log(float(np.exp(live - hi).sum()))

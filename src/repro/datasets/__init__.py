@@ -1,0 +1,38 @@
+"""Synthetic dataset generation.
+
+Provides everything the evaluation needs in place of the paper's
+proprietary data (Kaldi's 125k-word English WFST, Librispeech audio):
+
+* :mod:`repro.datasets.corpus` -- Zipf-distributed Markov text corpora.
+* :mod:`repro.datasets.task` -- full ASR tasks: lexicon + LM + composed
+  decoding graph + aligned test utterances with acoustic scores.
+* :mod:`repro.datasets.synthetic_graph` -- large random decoding graphs with
+  the published Kaldi graph statistics (arc/state ratio, out-degree skew,
+  epsilon fraction) for memory-system experiments at scale.
+"""
+
+from repro.datasets.corpus import CorpusConfig, generate_corpus
+from repro.datasets.task import AsrTask, TaskConfig, Utterance, generate_task
+from repro.datasets.audio_task import (
+    AudioTask,
+    AudioTaskConfig,
+    generate_audio_task,
+)
+from repro.datasets.synthetic_graph import (
+    SyntheticGraphConfig,
+    generate_kaldi_like_graph,
+)
+
+__all__ = [
+    "CorpusConfig",
+    "generate_corpus",
+    "AsrTask",
+    "TaskConfig",
+    "Utterance",
+    "generate_task",
+    "SyntheticGraphConfig",
+    "generate_kaldi_like_graph",
+    "AudioTask",
+    "AudioTaskConfig",
+    "generate_audio_task",
+]

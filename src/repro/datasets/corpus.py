@@ -1,0 +1,86 @@
+"""Synthetic text corpora.
+
+Sentences are drawn from a hidden Markov chain over the vocabulary whose
+unigram marginals follow a Zipf law -- matching the statistical texture of
+real text closely enough that the trained bigram LM has the skewed fan-out
+the grammar FST (and thus the decoding graph's out-degree distribution)
+depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Corpus generation parameters."""
+
+    vocab_size: int
+    num_sentences: int
+    mean_sentence_len: int = 8
+    zipf_exponent: float = 1.1
+    branching: int = 20
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.vocab_size < 2:
+            raise ConfigError("vocab_size must be >= 2")
+        if self.num_sentences < 1:
+            raise ConfigError("num_sentences must be >= 1")
+        if self.mean_sentence_len < 1:
+            raise ConfigError("mean_sentence_len must be >= 1")
+        if self.branching < 1:
+            raise ConfigError("branching must be >= 1")
+
+
+def generate_corpus(config: CorpusConfig) -> List[List[int]]:
+    """Generate sentences of word ids in ``1..vocab_size``.
+
+    Each word is given a sparse successor set (``branching`` candidates)
+    with Zipf-weighted global popularity, and sentences are random walks
+    over that chain.
+    """
+    rng = make_rng(config.seed, "corpus")
+    v = config.vocab_size
+
+    ranks = np.arange(1, v + 1, dtype=np.float64)
+    zipf = ranks ** (-config.zipf_exponent)
+    zipf /= zipf.sum()
+
+    # Sparse successor sets: per word, `branching` successors sampled by
+    # popularity, with transition probabilities re-normalised.
+    branching = min(config.branching, v)
+    successors = np.zeros((v + 1, branching), dtype=np.int64)
+    succ_probs = np.zeros((v + 1, branching), dtype=np.float64)
+    for w in range(v + 1):  # row 0 doubles as the sentence-start history
+        cand = rng.choice(v, size=branching, replace=False, p=zipf) + 1
+        weights = zipf[cand - 1] * rng.uniform(0.5, 1.5, size=branching)
+        successors[w] = cand
+        succ_probs[w] = weights / weights.sum()
+
+    stop_prob = 1.0 / config.mean_sentence_len
+    sentences: List[List[int]] = []
+    for _ in range(config.num_sentences):
+        sentence: List[int] = []
+        history = 0
+        while True:
+            word = int(
+                successors[history][
+                    rng.choice(branching, p=succ_probs[history])
+                ]
+            )
+            sentence.append(word)
+            history = word
+            if len(sentence) >= 1 and rng.random() < stop_prob:
+                break
+            if len(sentence) >= 4 * config.mean_sentence_len:
+                break
+        sentences.append(sentence)
+    return sentences

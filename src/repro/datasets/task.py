@@ -1,0 +1,147 @@
+"""End-to-end ASR task generation.
+
+A *task* bundles everything one evaluation run needs: the lexicon, the
+trained bigram LM, the composed and compiled decoding graph (L ∘ G), and a
+set of test utterances with ground-truth transcripts, phone alignments and
+acoustic score matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.acoustic.scorer import AcousticScores, SyntheticScorer
+from repro.datasets.corpus import CorpusConfig, generate_corpus
+from repro.frontend.audio import PhoneAlignment
+from repro.lexicon.lexicon import Lexicon, generate_lexicon
+from repro.lexicon.lexicon_fst import build_lexicon_fst
+from repro.lm.grammar_fst import build_grammar_fst
+from repro.lm.ngram import NGramModel, train_ngram
+from repro.wfst.fst import Fst
+from repro.wfst.layout import CompiledWfst
+from repro.wfst.ops import compose, remove_epsilon_cycles
+
+
+@dataclass(frozen=True)
+class Utterance:
+    """One test utterance with ground truth and acoustic scores."""
+
+    words: Tuple[int, ...]
+    alignment: PhoneAlignment
+    scores: AcousticScores
+
+    @property
+    def num_frames(self) -> int:
+        return self.scores.num_frames
+
+    @property
+    def duration_seconds(self) -> float:
+        """Speech duration assuming the standard 10 ms frame hop."""
+        return self.num_frames * 0.01
+
+
+@dataclass(frozen=True)
+class TaskConfig:
+    """Parameters of a generated ASR task."""
+
+    vocab_size: int = 500
+    corpus_sentences: int = 2000
+    num_utterances: int = 10
+    utterance_words: int = 6
+    mean_frames_per_phone: int = 6
+    silence_prob: float = 0.2
+    score_separation: float = 4.0
+    score_noise: float = 1.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.vocab_size < 2:
+            raise ConfigError("vocab_size must be >= 2")
+        if self.num_utterances < 1:
+            raise ConfigError("num_utterances must be >= 1")
+        if self.utterance_words < 1:
+            raise ConfigError("utterance_words must be >= 1")
+
+
+@dataclass
+class AsrTask:
+    """A complete decoding task."""
+
+    config: TaskConfig
+    lexicon: Lexicon
+    lm: NGramModel
+    graph: CompiledWfst
+    utterances: List[Utterance]
+
+    @property
+    def num_phones(self) -> int:
+        return self.lexicon.phones.num_phones
+
+    def transcript(self, utt: Utterance) -> List[str]:
+        return [self.lexicon.word_of(w) for w in utt.words]
+
+
+def generate_task(config: TaskConfig = TaskConfig()) -> AsrTask:
+    """Generate a full ASR task deterministically from ``config.seed``."""
+    lexicon = generate_lexicon(config.vocab_size, seed=config.seed)
+    corpus = generate_corpus(
+        CorpusConfig(
+            vocab_size=config.vocab_size,
+            num_sentences=config.corpus_sentences,
+            seed=config.seed,
+        )
+    )
+    lm = train_ngram(corpus, config.vocab_size)
+
+    lexicon_fst = build_lexicon_fst(lexicon, silence_prob=config.silence_prob)
+    grammar_fst = build_grammar_fst(lm)
+    decoding_fst = compose(lexicon_fst, grammar_fst)
+    remove_epsilon_cycles(decoding_fst)
+    graph = CompiledWfst.from_fst(decoding_fst)
+
+    utterances = _generate_utterances(config, lexicon, corpus)
+    return AsrTask(config, lexicon, lm, graph, utterances)
+
+
+def _generate_utterances(
+    config: TaskConfig,
+    lexicon: Lexicon,
+    corpus: Sequence[Sequence[int]],
+) -> List[Utterance]:
+    """Draw test sentences from the corpus distribution and score them."""
+    rng = make_rng(config.seed, "utterances")
+    scorer = SyntheticScorer(
+        num_phones=lexicon.phones.num_phones,
+        separation=config.score_separation,
+        noise=config.score_noise,
+        seed=config.seed,
+    )
+    sil = lexicon.phones.silence_id
+
+    utterances: List[Utterance] = []
+    for utt_id in range(config.num_utterances):
+        # Reuse corpus sentences so the test set matches the LM.
+        sentence = list(corpus[int(rng.integers(0, len(corpus)))])
+        words = tuple(sentence[: config.utterance_words])
+        if not words:
+            words = (int(rng.integers(1, config.vocab_size + 1)),)
+
+        phones: List[int] = []
+        for w in words:
+            if config.silence_prob > 0 and rng.random() < config.silence_prob:
+                phones.append(sil)
+            phones.extend(lexicon.pronunciation(w))
+
+        durations = [
+            3 + int(rng.poisson(max(config.mean_frames_per_phone - 3, 0)))
+            for _ in phones
+        ]
+        alignment = PhoneAlignment(tuple(phones), tuple(durations))
+        scores = scorer.score(alignment, utterance_id=utt_id)
+        utterances.append(Utterance(words, alignment, scores))
+    return utterances

@@ -1,0 +1,26 @@
+"""Software reference decoder: Viterbi beam search over a compiled WFST.
+
+This is the algorithm of the paper's Section II, in the token-passing style
+of Kaldi's decoder: per 10 ms frame, prune active tokens against the beam,
+expand non-epsilon arcs with the frame's acoustic scores, then traverse
+epsilon arcs without consuming input, and finally backtrack from the best
+token.  The accelerator simulator implements the same recurrence in
+hardware form; its output must match this decoder exactly (tested).
+"""
+
+from repro.decoder.viterbi import BeamSearchConfig, ViterbiDecoder
+from repro.decoder.result import DecodeResult, SearchStats
+from repro.decoder.lattice import Lattice, LatticeDecoder, NBestEntry
+from repro.decoder.wer import word_error_rate, levenshtein
+
+__all__ = [
+    "BeamSearchConfig",
+    "ViterbiDecoder",
+    "DecodeResult",
+    "SearchStats",
+    "Lattice",
+    "LatticeDecoder",
+    "NBestEntry",
+    "word_error_rate",
+    "levenshtein",
+]

@@ -1,0 +1,247 @@
+"""Word lattices and N-best extraction.
+
+The paper's accelerator emits a single best path (the token trace plus
+backtracking), which is what its evaluation measures.  Production
+recognisers usually also want alternatives; this module provides them on
+the same search: a :class:`Lattice` is the DAG of all tokens that survived
+the beam, with one node per (frame, state) and one edge per surviving arc
+relaxation, from which N-best word sequences are extracted by k-shortest
+paths.
+
+The 1-best lattice path is exactly the Viterbi decoder's output (tested),
+so the lattice is a strict generalisation of the trace the hardware writes
+to main memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.common.errors import ConfigError, DecodeError
+from repro.common.logmath import LOG_ZERO
+from repro.acoustic.scorer import AcousticScores
+from repro.decoder.viterbi import BeamSearchConfig
+from repro.wfst.layout import CompiledWfst
+
+#: Synthetic source/sink node ids (frame, state) cannot collide with.
+_SOURCE = ("source",)
+_SINK = ("sink",)
+
+
+@dataclass(frozen=True)
+class NBestEntry:
+    """One N-best hypothesis."""
+
+    words: Tuple[int, ...]
+    log_likelihood: float
+
+
+@dataclass
+class Lattice:
+    """A pruned token DAG over (frame, state) nodes."""
+
+    graph: "nx.DiGraph"
+    num_frames: int
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes() - 2  # minus source/sink
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    def best_path(self) -> NBestEntry:
+        """The Viterbi path through the lattice."""
+        entries = self.nbest(1)
+        if not entries:
+            raise DecodeError("lattice contains no complete path")
+        return entries[0]
+
+    def nbest(self, k: int, max_paths: int = None) -> List[NBestEntry]:
+        """Up to ``k`` highest-likelihood distinct word sequences.
+
+        Distinct paths can share a word sequence (the same words with a
+        different time alignment), so path enumeration is capped at
+        ``max_paths`` (default ``50 * k``) to bound the search.
+        """
+        if k < 1:
+            raise ConfigError("k must be >= 1")
+        if max_paths is None:
+            max_paths = 50 * k
+        entries: List[NBestEntry] = []
+        seen_words = set()
+        paths = nx.shortest_simple_paths(
+            self.graph, _SOURCE, _SINK, weight="cost"
+        )
+        examined = 0
+        for path in paths:
+            examined += 1
+            if examined > max_paths:
+                break
+            words: List[int] = []
+            score = 0.0
+            for u, v in zip(path[:-1], path[1:]):
+                data = self.graph.edges[u, v]
+                score -= data["cost"]
+                word = data.get("word", 0)
+                if word:
+                    words.append(word)
+            key = tuple(words)
+            if key in seen_words:
+                continue
+            seen_words.add(key)
+            entries.append(NBestEntry(key, score))
+            if len(entries) >= k:
+                break
+        return entries
+
+    def oracle_wer(self, reference: Tuple[int, ...], k: int = 50) -> float:
+        """Best WER achievable among the top-k hypotheses."""
+        from repro.decoder.wer import word_error_rate
+
+        entries = self.nbest(k)
+        if not entries:
+            return 1.0
+        return min(word_error_rate(reference, e.words) for e in entries)
+
+
+class LatticeDecoder:
+    """Beam-search decoder that records the surviving search space."""
+
+    def __init__(
+        self,
+        graph: CompiledWfst,
+        config: BeamSearchConfig = BeamSearchConfig(),
+        lattice_beam: float = 6.0,
+    ) -> None:
+        if lattice_beam <= 0:
+            raise ConfigError("lattice_beam must be positive")
+        self.graph = graph
+        self.config = config
+        self.lattice_beam = lattice_beam
+
+    # ------------------------------------------------------------------
+    def decode(self, scores: AcousticScores) -> Lattice:
+        """Decode one utterance into a lattice."""
+        if scores.num_frames == 0:
+            raise DecodeError("no frames to decode")
+        graph = self.graph
+
+        lat = nx.DiGraph()
+        lat.add_node(_SOURCE)
+        lat.add_node(_SINK)
+
+        def node(frame: int, state: int):
+            return (frame, state)
+
+        # tokens: state -> score for the current frame boundary.
+        tokens: Dict[int, float] = {graph.start: 0.0}
+        lat.add_edge(_SOURCE, node(0, graph.start), cost=0.0, word=0)
+        self._epsilon_closure(tokens, 0, lat)
+
+        for frame in range(scores.num_frames):
+            frame_scores = scores.frame(frame)
+            best = max(tokens.values())
+            threshold = best - self.config.beam
+            survivors = {
+                s: score for s, score in tokens.items() if score >= threshold
+            }
+            if self.config.max_active and (
+                len(survivors) > self.config.max_active
+            ):
+                keep = sorted(
+                    survivors, key=lambda s: survivors[s], reverse=True
+                )[: self.config.max_active]
+                survivors = {s: survivors[s] for s in keep}
+            if not survivors:
+                raise DecodeError(f"beam emptied the search at frame {frame}")
+
+            next_tokens: Dict[int, float] = {}
+            for state, score in survivors.items():
+                first, n_non_eps, _ = graph.arc_range(state)
+                for a in range(first, first + n_non_eps):
+                    arc_score = (
+                        float(graph.arc_weight[a])
+                        + float(frame_scores[graph.arc_ilabel[a]])
+                    )
+                    dest = int(graph.arc_dest[a])
+                    new = score + arc_score
+                    if new > next_tokens.get(dest, LOG_ZERO):
+                        next_tokens[dest] = new
+                    lat.add_edge(
+                        node(frame, state),
+                        node(frame + 1, dest),
+                        cost=-arc_score,
+                        word=int(graph.arc_olabel[a]),
+                    )
+            self._epsilon_closure(next_tokens, frame + 1, lat)
+            tokens = next_tokens
+
+        finals = {
+            s: score + graph.final_weight(s)
+            for s, score in tokens.items()
+            if graph.is_final(s)
+        }
+        if not finals:
+            raise DecodeError("no final token at the end of the utterance")
+        for state in finals:
+            lat.add_edge(
+                node(scores.num_frames, state),
+                _SINK,
+                cost=-graph.final_weight(state),
+                word=0,
+            )
+
+        lattice = Lattice(lat, scores.num_frames)
+        self._prune(lattice)
+        return lattice
+
+    # ------------------------------------------------------------------
+    def _epsilon_closure(
+        self, tokens: Dict[int, float], frame: int, lat: "nx.DiGraph"
+    ) -> None:
+        graph = self.graph
+        worklist = list(tokens.keys())
+        while worklist:
+            state = worklist.pop()
+            score = tokens[state]
+            first, n_non_eps, n_eps = graph.arc_range(state)
+            for a in range(first + n_non_eps, first + n_non_eps + n_eps):
+                dest = int(graph.arc_dest[a])
+                weight = float(graph.arc_weight[a])
+                lat.add_edge(
+                    (frame, state),
+                    (frame, dest),
+                    cost=-weight,
+                    word=int(graph.arc_olabel[a]),
+                )
+                new = score + weight
+                if new > tokens.get(dest, LOG_ZERO):
+                    tokens[dest] = new
+                    worklist.append(dest)
+
+    def _prune(self, lattice: Lattice) -> None:
+        """Drop nodes whose best complete path is outside the lattice beam."""
+        g = lattice.graph
+        try:
+            fwd = nx.shortest_path_length(g, source=_SOURCE, weight="cost")
+            bwd = nx.shortest_path_length(
+                g.reverse(copy=False), source=_SINK, weight="cost"
+            )
+        except nx.NetworkXNoPath:  # pragma: no cover - defensive
+            return
+        best = fwd.get(_SINK)
+        if best is None:
+            raise DecodeError("lattice has no source-to-sink path")
+        cut = best + self.lattice_beam
+        doomed = [
+            n
+            for n in list(g.nodes)
+            if n not in (_SOURCE, _SINK)
+            and (n not in fwd or n not in bwd or fwd[n] + bwd[n] > cut)
+        ]
+        g.remove_nodes_from(doomed)

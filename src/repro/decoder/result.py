@@ -1,0 +1,74 @@
+"""Decode results and search statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class SearchStats:
+    """Operation counts gathered during one decode.
+
+    These counters drive the CPU timing model and the Figure 7 histogram;
+    the accelerator simulator gathers its own cycle-level statistics but
+    shares these functional counters for cross-checking.
+    """
+
+    frames: int = 0
+    tokens_pruned: int = 0
+    states_expanded: int = 0
+    arcs_processed: int = 0
+    epsilon_arcs_processed: int = 0
+    tokens_created: int = 0
+    tokens_updated: int = 0
+    #: out-degree of every state fetched dynamically (Figure 7's data).
+    visited_state_degrees: List[int] = field(default_factory=list)
+    #: active tokens at the start of each frame.
+    active_tokens_per_frame: List[int] = field(default_factory=list)
+
+    @property
+    def total_token_writes(self) -> int:
+        return self.tokens_created + self.tokens_updated
+
+    @property
+    def mean_active_tokens(self) -> float:
+        if not self.active_tokens_per_frame:
+            return 0.0
+        return sum(self.active_tokens_per_frame) / len(
+            self.active_tokens_per_frame
+        )
+
+    @classmethod
+    def merge(cls, stats_list) -> "SearchStats":
+        """Aggregate the counters of several decodes (e.g. a test set)."""
+        merged = cls()
+        for s in stats_list:
+            merged.frames += s.frames
+            merged.tokens_pruned += s.tokens_pruned
+            merged.states_expanded += s.states_expanded
+            merged.arcs_processed += s.arcs_processed
+            merged.epsilon_arcs_processed += s.epsilon_arcs_processed
+            merged.tokens_created += s.tokens_created
+            merged.tokens_updated += s.tokens_updated
+            merged.visited_state_degrees.extend(s.visited_state_degrees)
+            merged.active_tokens_per_frame.extend(s.active_tokens_per_frame)
+        return merged
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Output of one utterance decode.
+
+    Attributes:
+        words: best-path word ids in spoken order.
+        log_likelihood: score of the best complete path.
+        reached_final: True when the best token was in a final state
+            (otherwise the decoder fell back to the best live token).
+        stats: functional operation counts.
+    """
+
+    words: Tuple[int, ...]
+    log_likelihood: float
+    reached_final: bool
+    stats: SearchStats

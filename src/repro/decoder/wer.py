@@ -1,0 +1,29 @@
+"""Word error rate scoring."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def levenshtein(ref: Sequence, hyp: Sequence) -> int:
+    """Edit distance (insertions + deletions + substitutions)."""
+    n, m = len(ref), len(hyp)
+    if n == 0:
+        return m
+    if m == 0:
+        return n
+    prev = list(range(m + 1))
+    for i in range(1, n + 1):
+        cur = [i] + [0] * m
+        for j in range(1, m + 1):
+            cost = 0 if ref[i - 1] == hyp[j - 1] else 1
+            cur[j] = min(prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost)
+        prev = cur
+    return prev[m]
+
+
+def word_error_rate(ref: Sequence, hyp: Sequence) -> float:
+    """WER = edit distance / reference length (0 for empty == empty)."""
+    if len(ref) == 0:
+        return 0.0 if len(hyp) == 0 else float(len(hyp))
+    return levenshtein(ref, hyp) / len(ref)

@@ -1,0 +1,183 @@
+"""Accelerator area / power / energy model (28 nm).
+
+The paper synthesises the pipeline with Synopsys DC and models the SRAM
+arrays with CACTI (enhanced, 28 nm).  Those tools are not available
+offline, so this module provides analytical equivalents whose constants
+are calibrated to the figures the paper publishes:
+
+* total area 24.06 mm² (base) and 24.09 mm² with both techniques;
+* the prefetch FIFOs/ROB add 0.05% area and dissipate 4.83 mW;
+* the State Issuer comparators/offset table add 0.02% area and 0.15 mW;
+* average power 389-462 mW across configurations, with the higher figures
+  for the faster (prefetching) configurations because static power is the
+  dominant term and execution time shrinks.
+
+Energy for a decode is computed from the simulator's operation counters:
+``E = P_static * t + sum(per-op energy * op count)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.common.errors import ConfigError
+from repro.accel.config import AcceleratorConfig
+from repro.accel.prefetch import PrefetchHardware
+from repro.accel.stats import SimStats
+
+
+@dataclass(frozen=True)
+class SramMacroModel:
+    """CACTI-like scaling for on-chip SRAM macros at 28 nm.
+
+    Area grows linearly with capacity; per-access energy grows with the
+    square root of capacity (wordline/bitline length).
+    """
+
+    area_mm2_per_mb: float = 1.8
+    area_fixed_mm2: float = 0.03
+    read_energy_pj_at_64kb: float = 10.0
+
+    def area_mm2(self, size_bytes: int) -> float:
+        if size_bytes < 0:
+            raise ConfigError("size must be non-negative")
+        return self.area_fixed_mm2 + self.area_mm2_per_mb * size_bytes / 2**20
+
+    def access_energy_pj(self, size_bytes: int) -> float:
+        if size_bytes <= 0:
+            return 0.0
+        return self.read_energy_pj_at_64kb * (size_bytes / (64 * 1024)) ** 0.5
+
+
+@dataclass(frozen=True)
+class AcceleratorAreaModel:
+    """Die area of the accelerator.
+
+    ``other_area_mm2`` covers the synthesised pipeline logic, the memory
+    controller, clocking and interconnect; it is the calibration constant
+    that puts the base configuration at the paper's 24.06 mm².
+    """
+
+    sram: SramMacroModel = field(default_factory=SramMacroModel)
+    logic_area_mm2: float = 1.9
+    other_area_mm2: float = 15.5675
+    state_direct_area_mm2: float = 0.005  # 0.02% of total (paper)
+
+    def sram_area_mm2(self, config: AcceleratorConfig) -> float:
+        macros = [
+            config.state_cache.size_bytes,
+            config.arc_cache.size_bytes,
+            config.token_cache.size_bytes,
+            config.hash_table.size_bytes,  # two tables
+            config.hash_table.size_bytes,
+            config.acoustic_buffer_bytes,
+        ]
+        return sum(self.sram.area_mm2(m) for m in macros)
+
+    def prefetch_area_mm2(self, config: AcceleratorConfig) -> float:
+        if not config.prefetch_enabled:
+            return 0.0
+        # Flop-based FIFOs: no macro overhead, just the storage bits
+        # (paper: +0.05% of total area).
+        hw = PrefetchHardware()
+        return self.sram.area_mm2_per_mb * hw.total_bytes / 2**20
+
+    def total_mm2(self, config: AcceleratorConfig) -> float:
+        total = (
+            self.sram_area_mm2(config)
+            + self.logic_area_mm2
+            + self.other_area_mm2
+            + self.prefetch_area_mm2(config)
+        )
+        if config.state_direct_enabled:
+            total += self.state_direct_area_mm2
+        return total
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules per contributor for one decode."""
+
+    static_j: float = 0.0
+    dynamic_j: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_j(self) -> float:
+        return self.static_j + sum(self.dynamic_j.values())
+
+
+@dataclass(frozen=True)
+class AcceleratorEnergyModel:
+    """Energy/power from simulator counters.
+
+    Constants (28 nm): leakage density 11 mW/mm² (puts static power at
+    ~265 mW for the 24 mm² die -- the dominant term, which is why the
+    speedup from prefetching also shows up as an energy reduction);
+    DRAM at 35 pJ/byte; FP ops at 8 pJ.
+    """
+
+    area: AcceleratorAreaModel = field(default_factory=AcceleratorAreaModel)
+    leakage_mw_per_mm2: float = 11.0
+    dram_pj_per_byte: float = 35.0
+    fp_op_pj: float = 8.0
+    prefetch_power_w: float = 4.83e-3  # paper, Section VI
+    state_direct_power_w: float = 0.15e-3  # paper, Section VI
+
+    def static_power_w(self, config: AcceleratorConfig) -> float:
+        from dataclasses import replace
+
+        # Leakage of the base die; the two techniques' hardware uses the
+        # paper's published totals directly (4.83 mW / 0.15 mW), which
+        # already include their leakage.
+        base = replace(
+            config, prefetch_enabled=False, state_direct_enabled=False
+        )
+        power = self.area.total_mm2(base) * self.leakage_mw_per_mm2 * 1e-3
+        if config.prefetch_enabled:
+            power += self.prefetch_power_w
+        if config.state_direct_enabled:
+            power += self.state_direct_power_w
+        return power
+
+    def energy(
+        self, config: AcceleratorConfig, stats: SimStats
+    ) -> EnergyBreakdown:
+        """Energy for one decode from its statistics."""
+        seconds = stats.seconds(config.frequency_hz)
+        out = EnergyBreakdown(
+            static_j=self.static_power_w(config) * seconds
+        )
+        sram = self.area.sram
+
+        def sram_energy(accesses: int, size_bytes: int) -> float:
+            return accesses * sram.access_energy_pj(size_bytes) * 1e-12
+
+        out.dynamic_j["state_cache"] = sram_energy(
+            stats.state_cache.accesses, config.state_cache.size_bytes
+        )
+        out.dynamic_j["arc_cache"] = sram_energy(
+            stats.arc_cache.accesses, config.arc_cache.size_bytes
+        )
+        out.dynamic_j["token_cache"] = sram_energy(
+            stats.token_cache.accesses, config.token_cache.size_bytes
+        )
+        out.dynamic_j["hash"] = sram_energy(
+            stats.hash.total_cycles, config.hash_table.size_bytes
+        )
+        out.dynamic_j["acoustic_buffer"] = sram_energy(
+            stats.acoustic_lookups, config.acoustic_buffer_bytes
+        )
+        out.dynamic_j["fp_units"] = (
+            (stats.fp_adds + stats.fp_compares) * self.fp_op_pj * 1e-12
+        )
+        out.dynamic_j["dram"] = (
+            stats.traffic.total_bytes() * self.dram_pj_per_byte * 1e-12
+        )
+        return out
+
+    def avg_power_w(self, config: AcceleratorConfig, stats: SimStats) -> float:
+        seconds = stats.seconds(config.frequency_hz)
+        if seconds == 0:
+            return 0.0
+        return self.energy(config, stats).total_j / seconds

@@ -1,0 +1,77 @@
+"""Cross-platform energy/performance reports (Figures 9-12 and 14)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class PlatformResult:
+    """One platform's decode of a fixed amount of speech."""
+
+    name: str
+    decode_seconds: float
+    energy_j: float
+    speech_seconds: float
+
+    @property
+    def decode_time_per_speech_second(self) -> float:
+        """The paper's Figure 9 metric."""
+        if self.speech_seconds == 0:
+            return 0.0
+        return self.decode_seconds / self.speech_seconds
+
+    @property
+    def energy_per_speech_second(self) -> float:
+        """The paper's Figure 14 y-axis."""
+        if self.speech_seconds == 0:
+            return 0.0
+        return self.energy_j / self.speech_seconds
+
+    @property
+    def avg_power_w(self) -> float:
+        if self.decode_seconds == 0:
+            return 0.0
+        return self.energy_j / self.decode_seconds
+
+    @property
+    def realtime(self) -> bool:
+        """Real-time speech recognition: decode faster than the speech."""
+        return self.decode_seconds < self.speech_seconds
+
+
+@dataclass
+class EnergyReport:
+    """Collects platform results and derives the paper's comparisons."""
+
+    results: List[PlatformResult]
+
+    def by_name(self) -> Dict[str, PlatformResult]:
+        return {r.name: r for r in self.results}
+
+    def speedup_vs(self, baseline: str) -> Dict[str, float]:
+        """Figure 10: speedup of every platform over ``baseline``."""
+        base = self.by_name()[baseline]
+        return {
+            r.name: base.decode_seconds / r.decode_seconds
+            for r in self.results
+        }
+
+    def energy_reduction_vs(self, baseline: str) -> Dict[str, float]:
+        """Figure 11: energy reduction of every platform vs ``baseline``."""
+        base = self.by_name()[baseline]
+        return {r.name: base.energy_j / r.energy_j for r in self.results}
+
+    def rows(self) -> List[Dict[str, float]]:
+        """Tabular view for the benchmark harness output."""
+        return [
+            {
+                "platform": r.name,
+                "decode_s_per_speech_s": r.decode_time_per_speech_second,
+                "energy_j_per_speech_s": r.energy_per_speech_second,
+                "avg_power_w": r.avg_power_w,
+                "realtime": r.realtime,
+            }
+            for r in self.results
+        ]

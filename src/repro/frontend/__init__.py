@@ -1,0 +1,23 @@
+"""Signal-processing front end: synthetic audio and MFCC features.
+
+The ASR pipeline's first stages (paper, Section II): segment audio into
+10 ms frames and convert each frame into an MFCC feature vector.  Since the
+reproduction has no Librispeech audio, :mod:`repro.frontend.audio`
+synthesises formant-like waveforms from phone strings; the MFCC pipeline is
+implemented from scratch on top of numpy.
+"""
+
+from repro.frontend.audio import AudioSynthesizer, PhoneAlignment
+from repro.frontend.mfcc import MfccConfig, MfccExtractor, hz_to_mel, mel_to_hz
+from repro.frontend.normalize import cmvn, splice
+
+__all__ = [
+    "AudioSynthesizer",
+    "PhoneAlignment",
+    "MfccConfig",
+    "MfccExtractor",
+    "hz_to_mel",
+    "mel_to_hz",
+    "cmvn",
+    "splice",
+]

@@ -1,0 +1,166 @@
+"""MFCC feature extraction, implemented from scratch.
+
+Pipeline (paper, Section II, citing [17]): pre-emphasis -> 25 ms Hamming
+windows with a 10 ms hop -> power spectrum -> mel filterbank -> log ->
+DCT-II -> cepstral coefficients.  Output frames align one-to-one with the
+10 ms frames the Viterbi search consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+
+def hz_to_mel(hz: np.ndarray) -> np.ndarray:
+    """Convert frequency in Hz to mel scale (O'Shaughnessy formula)."""
+    return 2595.0 * np.log10(1.0 + np.asarray(hz, dtype=np.float64) / 700.0)
+
+
+def mel_to_hz(mel: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`hz_to_mel`."""
+    return 700.0 * (10.0 ** (np.asarray(mel, dtype=np.float64) / 2595.0) - 1.0)
+
+
+@dataclass(frozen=True)
+class MfccConfig:
+    """MFCC pipeline parameters (defaults follow common ASR practice)."""
+
+    sample_rate: int = 16000
+    frame_len_ms: float = 25.0
+    frame_hop_ms: float = 10.0
+    pre_emphasis: float = 0.97
+    num_mel_filters: int = 26
+    num_ceps: int = 13
+    low_freq_hz: float = 20.0
+    high_freq_hz: float = 7600.0
+    include_energy: bool = True
+    include_deltas: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_ceps > self.num_mel_filters:
+            raise ConfigError("num_ceps cannot exceed num_mel_filters")
+        if not 0.0 <= self.pre_emphasis < 1.0:
+            raise ConfigError("pre_emphasis must be in [0, 1)")
+        if self.high_freq_hz > self.sample_rate / 2:
+            raise ConfigError("high_freq_hz above Nyquist")
+
+    @property
+    def frame_len(self) -> int:
+        return int(round(self.sample_rate * self.frame_len_ms / 1000.0))
+
+    @property
+    def frame_hop(self) -> int:
+        return int(round(self.sample_rate * self.frame_hop_ms / 1000.0))
+
+    @property
+    def fft_size(self) -> int:
+        n = 1
+        while n < self.frame_len:
+            n *= 2
+        return n
+
+    @property
+    def feature_dim(self) -> int:
+        base = self.num_ceps + (1 if self.include_energy else 0)
+        return base * (3 if self.include_deltas else 1)
+
+
+class MfccExtractor:
+    """Stateless MFCC extractor; construct once, reuse across utterances."""
+
+    def __init__(self, config: MfccConfig = MfccConfig()) -> None:
+        self.config = config
+        self._window = np.hamming(config.frame_len)
+        self._filterbank = self._build_filterbank()
+        self._dct = self._build_dct_matrix()
+
+    def extract(self, waveform: np.ndarray) -> np.ndarray:
+        """Compute the feature matrix ``(num_frames, feature_dim)``."""
+        cfg = self.config
+        signal = np.asarray(waveform, dtype=np.float64)
+        if signal.ndim != 1:
+            raise ConfigError("waveform must be 1-D")
+        if len(signal) < cfg.frame_len:
+            raise ConfigError("waveform shorter than one frame")
+
+        emphasized = np.empty_like(signal)
+        emphasized[0] = signal[0]
+        emphasized[1:] = signal[1:] - cfg.pre_emphasis * signal[:-1]
+
+        num_frames = 1 + (len(emphasized) - cfg.frame_len) // cfg.frame_hop
+        idx = (
+            np.arange(cfg.frame_len)[None, :]
+            + cfg.frame_hop * np.arange(num_frames)[:, None]
+        )
+        frames = emphasized[idx] * self._window
+
+        spectrum = np.fft.rfft(frames, n=cfg.fft_size, axis=1)
+        power = (np.abs(spectrum) ** 2) / cfg.fft_size
+
+        mel_energies = power @ self._filterbank.T
+        log_mel = np.log(np.maximum(mel_energies, 1e-12))
+        ceps = log_mel @ self._dct.T
+
+        features = [ceps]
+        if cfg.include_energy:
+            energy = np.log(np.maximum(power.sum(axis=1), 1e-12))
+            features.append(energy[:, None])
+        base = np.hstack(features)
+
+        if cfg.include_deltas:
+            d1 = self._delta(base)
+            d2 = self._delta(d1)
+            base = np.hstack([base, d1, d2])
+        return base
+
+    # ------------------------------------------------------------------
+    def _build_filterbank(self) -> np.ndarray:
+        cfg = self.config
+        n_bins = cfg.fft_size // 2 + 1
+        mel_points = np.linspace(
+            hz_to_mel(cfg.low_freq_hz),
+            hz_to_mel(cfg.high_freq_hz),
+            cfg.num_mel_filters + 2,
+        )
+        hz_points = mel_to_hz(mel_points)
+        bin_points = np.floor(
+            (cfg.fft_size + 1) * hz_points / cfg.sample_rate
+        ).astype(int)
+        bank = np.zeros((cfg.num_mel_filters, n_bins))
+        for m in range(1, cfg.num_mel_filters + 1):
+            left, center, right = bin_points[m - 1 : m + 2]
+            if center == left:
+                center += 1
+            if right == center:
+                right += 1
+            for k in range(left, center):
+                if 0 <= k < n_bins:
+                    bank[m - 1, k] = (k - left) / (center - left)
+            for k in range(center, right):
+                if 0 <= k < n_bins:
+                    bank[m - 1, k] = (right - k) / (right - center)
+        return bank
+
+    def _build_dct_matrix(self) -> np.ndarray:
+        cfg = self.config
+        n, k = cfg.num_mel_filters, cfg.num_ceps
+        basis = np.zeros((k, n))
+        scale = np.sqrt(2.0 / n)
+        for i in range(k):
+            basis[i] = scale * np.cos(np.pi * i * (np.arange(n) + 0.5) / n)
+        return basis
+
+    @staticmethod
+    def _delta(features: np.ndarray, span: int = 2) -> np.ndarray:
+        """Regression-based delta features over ``span`` neighbours."""
+        padded = np.pad(features, ((span, span), (0, 0)), mode="edge")
+        denom = 2.0 * sum(d * d for d in range(1, span + 1))
+        out = np.zeros_like(features)
+        for d in range(1, span + 1):
+            out += d * (padded[span + d :][: len(features)] -
+                        padded[span - d :][: len(features)])
+        return out / denom

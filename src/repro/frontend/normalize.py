@@ -1,0 +1,47 @@
+"""Feature post-processing: CMVN and frame splicing.
+
+Standard front-end steps between MFCC extraction and the DNN:
+
+* **CMVN** (cepstral mean and variance normalisation) removes per-utterance
+  channel effects -- each feature dimension is standardised over the
+  utterance.
+* **Splicing** stacks each frame with +/- ``context`` neighbours, giving
+  the DNN the temporal context hybrid models rely on (the paper-era Kaldi
+  recipe splices +/-5 frames into a 440-dim input).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+
+def cmvn(features: np.ndarray, variance: bool = True) -> np.ndarray:
+    """Per-utterance cepstral mean (and optionally variance) normalisation."""
+    feats = np.asarray(features, dtype=np.float64)
+    if feats.ndim != 2 or len(feats) == 0:
+        raise ConfigError("features must be a non-empty 2-D array")
+    out = feats - feats.mean(axis=0)
+    if variance:
+        out = out / np.maximum(feats.std(axis=0), 1e-6)
+    return out
+
+
+def splice(features: np.ndarray, context: int = 5) -> np.ndarray:
+    """Stack each frame with ``context`` neighbours on both sides.
+
+    Edge frames repeat the first/last frame, so the output has the same
+    number of rows and ``(2 * context + 1) * dim`` columns.
+    """
+    if context < 0:
+        raise ConfigError("context must be >= 0")
+    feats = np.asarray(features, dtype=np.float64)
+    if feats.ndim != 2 or len(feats) == 0:
+        raise ConfigError("features must be a non-empty 2-D array")
+    if context == 0:
+        return feats.copy()
+    padded = np.pad(feats, ((context, context), (0, 0)), mode="edge")
+    n = len(feats)
+    pieces = [padded[k : k + n] for k in range(2 * context + 1)]
+    return np.hstack(pieces)

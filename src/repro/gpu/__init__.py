@@ -1,0 +1,28 @@
+"""GPU baseline: data-parallel Viterbi decoder + GTX 980 performance model.
+
+The paper's strongest baseline is a CUDA decoder (Chong et al. [10], [30])
+on an NVIDIA GeForce GTX 980 (Table III).  We reproduce it as:
+
+* :class:`GpuViterbiDecoder` -- a *functional* data-parallel decoder whose
+  per-frame structure mirrors the CUDA kernels (compact active set, expand
+  all arcs in parallel with atomic-max reductions, epsilon passes); and
+* :class:`GpuTimingModel` -- an analytical kernel-phase timing model of the
+  GTX 980 calibrated to the paper's measured operating points (10x the CPU
+  on the Viterbi search, 26x on the DNN, 76.4 W average power).
+"""
+
+from repro.gpu.decoder import GpuViterbiDecoder
+from repro.gpu.model import (
+    GTX980,
+    GpuSpec,
+    GpuTimingModel,
+    GpuDnnModel,
+)
+
+__all__ = [
+    "GpuViterbiDecoder",
+    "GTX980",
+    "GpuSpec",
+    "GpuTimingModel",
+    "GpuDnnModel",
+]

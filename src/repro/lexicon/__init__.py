@@ -1,0 +1,14 @@
+"""Pronunciation lexicon substrate: phone inventory, lexicon, L transducer."""
+
+from repro.lexicon.phones import PhoneSet, DEFAULT_PHONES, SILENCE_PHONE
+from repro.lexicon.lexicon import Lexicon, generate_lexicon
+from repro.lexicon.lexicon_fst import build_lexicon_fst
+
+__all__ = [
+    "PhoneSet",
+    "DEFAULT_PHONES",
+    "SILENCE_PHONE",
+    "Lexicon",
+    "generate_lexicon",
+    "build_lexicon_fst",
+]

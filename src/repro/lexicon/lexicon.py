@@ -1,0 +1,120 @@
+"""Pronunciation lexicon: word ids and their phone sequences.
+
+The reproduction has no access to a real 125k-word dictionary, so
+:func:`generate_lexicon` synthesises one: phonotactically plausible
+pronunciations (alternating consonant/vowel clusters) with a realistic
+length distribution.  Word ids start at 1 -- id 0 is epsilon in the WFST
+output-label space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.lexicon.phones import PhoneSet
+
+_VOWELS = (
+    "aa", "ae", "ah", "ao", "aw", "ay", "eh", "er", "ey", "ih",
+    "iy", "ow", "oy", "uh", "uw",
+)
+
+
+@dataclass(frozen=True)
+class Lexicon:
+    """An immutable word -> pronunciation table.
+
+    Attributes:
+        phones: the phone inventory the pronunciations are drawn from.
+        words: word symbols; ``words[i]`` has word id ``i + 1``.
+        pronunciations: ``pronunciations[i]`` is the phone-id tuple of word
+            id ``i + 1``.
+    """
+
+    phones: PhoneSet
+    words: Tuple[str, ...]
+    pronunciations: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.words)
+
+    def word_id(self, word: str) -> int:
+        try:
+            return self.words.index(word) + 1
+        except ValueError:
+            raise ConfigError(f"unknown word: {word!r}") from None
+
+    def word_of(self, word_id: int) -> str:
+        if not 1 <= word_id <= len(self.words):
+            raise ConfigError(f"word id out of range: {word_id}")
+        return self.words[word_id - 1]
+
+    def pronunciation(self, word_id: int) -> Tuple[int, ...]:
+        if not 1 <= word_id <= len(self.pronunciations):
+            raise ConfigError(f"word id out of range: {word_id}")
+        return self.pronunciations[word_id - 1]
+
+    def word_ids(self) -> List[int]:
+        return list(range(1, len(self.words) + 1))
+
+
+def generate_lexicon(
+    vocab_size: int,
+    seed: int = 0,
+    min_phones: int = 2,
+    max_phones: int = 8,
+    phones: PhoneSet = None,
+) -> Lexicon:
+    """Generate a synthetic lexicon of ``vocab_size`` distinct words.
+
+    Pronunciations alternate consonants and vowels (a crude syllable model)
+    and are guaranteed unique, which keeps the lexicon transducer
+    deterministic enough for the decoder to settle word identities.
+    """
+    if vocab_size < 1:
+        raise ConfigError("vocab_size must be >= 1")
+    if not 1 <= min_phones <= max_phones:
+        raise ConfigError("need 1 <= min_phones <= max_phones")
+
+    phone_set = phones if phones is not None else PhoneSet()
+    rng = make_rng(seed, "lexicon")
+
+    vowel_ids = [phone_set.id_of(v) for v in _VOWELS if v in phone_set.symbols()]
+    consonant_ids = [
+        i for i in phone_set.non_silence_ids() if i not in set(vowel_ids)
+    ]
+    if not vowel_ids or not consonant_ids:
+        raise ConfigError("phone set must contain both vowels and consonants")
+
+    seen: Dict[Tuple[int, ...], int] = {}
+    words: List[str] = []
+    prons: List[Tuple[int, ...]] = []
+    attempts = 0
+    max_attempts = vocab_size * 200
+    while len(words) < vocab_size:
+        attempts += 1
+        if attempts > max_attempts:
+            raise ConfigError(
+                "could not generate enough unique pronunciations; "
+                "increase max_phones or phone inventory"
+            )
+        length = int(rng.integers(min_phones, max_phones + 1))
+        start_with_vowel = bool(rng.integers(0, 2))
+        pron: List[int] = []
+        for k in range(length):
+            use_vowel = (k % 2 == 0) == start_with_vowel
+            pool = vowel_ids if use_vowel else consonant_ids
+            pron.append(int(rng.choice(pool)))
+        key = tuple(pron)
+        if key in seen:
+            continue
+        seen[key] = len(words)
+        words.append("w%05d" % len(words))
+        prons.append(key)
+
+    return Lexicon(phone_set, tuple(words), tuple(prons))

@@ -1,0 +1,84 @@
+"""Lexicon transducer (L): phone sequences -> word sequences.
+
+The classic construction: a root state with one linear phone chain per word.
+The word label is emitted on the first phone arc (early emission keeps
+composition small); the chain returns to the root through an epsilon arc so
+the transducer accepts any word sequence.  Optional silence can be consumed
+between words via a self-loop on the root.
+
+Each phone state carries a self-loop on the same phone -- the single-state
+HMM topology that lets a phone span multiple 10 ms frames.  In a full Kaldi
+HCLG this duration modelling lives in the H transducer; folding it into L
+keeps the composed graph structure identical from the decoder's point of
+view (states, emitting arcs, epsilon arcs) without a separate H level.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.errors import ConfigError
+from repro.common.logmath import from_prob
+from repro.lexicon.lexicon import Lexicon
+from repro.wfst.fst import EPSILON, Fst
+
+
+def build_lexicon_fst(
+    lexicon: Lexicon,
+    silence_prob: float = 0.2,
+    self_loop_prob: float = 0.8,
+) -> Fst:
+    """Build the L transducer for ``lexicon``.
+
+    Args:
+        lexicon: the pronunciation table.
+        silence_prob: probability of an optional silence phone between
+            words; 0 disables the silence loop.
+        self_loop_prob: probability of staying in a phone for another frame
+            (mean duration = 1 / (1 - p) frames); 0 disables self-loops.
+
+    Returns:
+        A mutable FST with phone input labels and word output labels.
+    """
+    if not 0.0 <= silence_prob < 1.0:
+        raise ConfigError("silence_prob must be in [0, 1)")
+    if not 0.0 <= self_loop_prob < 1.0:
+        raise ConfigError("self_loop_prob must be in [0, 1)")
+
+    loop_weight = from_prob(self_loop_prob) if self_loop_prob > 0 else None
+    exit_weight = (
+        math.log(1.0 - self_loop_prob) if self_loop_prob > 0 else 0.0
+    )
+
+    fst = Fst()
+    root = fst.add_state()
+    fst.set_start(root)
+    fst.set_final(root, 0.0)
+
+    if silence_prob > 0.0:
+        sil = lexicon.phones.silence_id
+        # Enter a silence segment, dwell on it, then return to the root.
+        sil_state = fst.add_state()
+        fst.add_arc(root, sil, EPSILON, from_prob(silence_prob), sil_state)
+        if loop_weight is not None:
+            fst.add_arc(sil_state, sil, EPSILON, loop_weight, sil_state)
+        fst.add_arc(sil_state, EPSILON, EPSILON, exit_weight, root)
+
+    for word_id in lexicon.word_ids():
+        pron = lexicon.pronunciation(word_id)
+        prev = root
+        for k, phone in enumerate(pron):
+            olabel = word_id if k == 0 else EPSILON
+            # Entering a phone costs the exit of the previous one; the
+            # self-loop on the destination models the dwell time.
+            weight = 0.0 if k == 0 else exit_weight
+            dest = fst.add_state()
+            fst.add_arc(prev, phone, olabel, weight, dest)
+            if loop_weight is not None:
+                fst.add_arc(dest, phone, EPSILON, loop_weight, dest)
+            if k == len(pron) - 1:
+                # Return to the root without consuming input.
+                fst.add_arc(dest, EPSILON, EPSILON, exit_weight, root)
+            prev = dest
+
+    return fst

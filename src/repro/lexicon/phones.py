@@ -1,0 +1,68 @@
+"""Phone inventory.
+
+A compact English-like phone set (ARPAbet-style symbols).  Phone ids start
+at 1 -- id 0 is reserved for epsilon in the WFST label space.  The DNN
+acoustic model emits one posterior per phone, so the phone id doubles as the
+column index into each frame's acoustic-likelihood vector (the accelerator's
+Acoustic Likelihood Buffer is indexed the same way).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+
+#: ARPAbet-like inventory: vowels, stops, fricatives, nasals, liquids.
+DEFAULT_PHONES: Tuple[str, ...] = (
+    "aa", "ae", "ah", "ao", "aw", "ay", "eh", "er", "ey", "ih",
+    "iy", "ow", "oy", "uh", "uw",
+    "b", "ch", "d", "dh", "f", "g", "hh", "jh", "k", "l",
+    "m", "n", "ng", "p", "r", "s", "sh", "t", "th", "v",
+    "w", "y", "z", "zh",
+)
+
+#: Dedicated silence phone, always present (id = last).
+SILENCE_PHONE: str = "sil"
+
+
+class PhoneSet:
+    """Bidirectional mapping between phone symbols and integer ids."""
+
+    def __init__(self, phones: Sequence[str] = DEFAULT_PHONES) -> None:
+        symbols = list(phones)
+        if SILENCE_PHONE not in symbols:
+            symbols.append(SILENCE_PHONE)
+        if len(set(symbols)) != len(symbols):
+            raise ConfigError("duplicate phone symbols in inventory")
+        self._symbols: List[str] = symbols
+        self._ids: Dict[str, int] = {p: i + 1 for i, p in enumerate(symbols)}
+
+    @property
+    def num_phones(self) -> int:
+        """Number of phones (ids run 1..num_phones)."""
+        return len(self._symbols)
+
+    @property
+    def silence_id(self) -> int:
+        return self._ids[SILENCE_PHONE]
+
+    def id_of(self, symbol: str) -> int:
+        if symbol not in self._ids:
+            raise ConfigError(f"unknown phone symbol: {symbol!r}")
+        return self._ids[symbol]
+
+    def symbol_of(self, phone_id: int) -> str:
+        if not 1 <= phone_id <= len(self._symbols):
+            raise ConfigError(f"phone id out of range: {phone_id}")
+        return self._symbols[phone_id - 1]
+
+    def symbols(self) -> List[str]:
+        return list(self._symbols)
+
+    def ids(self) -> List[int]:
+        return list(range(1, len(self._symbols) + 1))
+
+    def non_silence_ids(self) -> List[int]:
+        sil = self.silence_id
+        return [i for i in self.ids() if i != sil]

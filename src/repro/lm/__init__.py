@@ -1,0 +1,14 @@
+"""Language-model substrate: n-gram models and the G transducer."""
+
+from repro.lm.ngram import NGramModel, train_ngram
+from repro.lm.grammar_fst import build_grammar_fst
+from repro.lm.trigram import TrigramModel, build_trigram_fst, train_trigram
+
+__all__ = [
+    "NGramModel",
+    "train_ngram",
+    "build_grammar_fst",
+    "TrigramModel",
+    "build_trigram_fst",
+    "train_trigram",
+]

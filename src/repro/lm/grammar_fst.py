@@ -1,0 +1,69 @@
+"""Grammar transducer (G): a word-level acceptor of the n-gram model.
+
+The standard backoff construction: one history state per word, plus a
+single backoff (unigram) state.  Observed bigrams are direct word/word arcs
+between history states; every history also has an epsilon backoff arc to
+the unigram state carrying the backoff penalty.  These epsilon arcs are the
+main source of epsilon transitions in the final decoding graph (the paper's
+graph has 11.5% epsilon arcs, largely for the same reason: cross-word /
+backoff modelling).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.lm.ngram import BOS, EOS, NGramModel
+from repro.wfst.fst import EPSILON, Fst
+
+
+def build_grammar_fst(model: NGramModel) -> Fst:
+    """Build the G acceptor for a backoff bigram model.
+
+    Input and output labels are both word ids; weights are LM log
+    probabilities.
+    """
+    fst = Fst()
+    backoff_state = fst.add_state()
+    fst.set_final(backoff_state, model.eos_logprob)
+
+    history_state: Dict[int, int] = {}
+
+    def state_of(history: int) -> int:
+        if history not in history_state:
+            s = fst.add_state()
+            history_state[history] = s
+            # Backoff escape: epsilon arc to the unigram state.
+            fst.add_arc(
+                s,
+                EPSILON,
+                EPSILON,
+                model.backoff_logweight.get(history, 0.0),
+                backoff_state,
+            )
+            # Ending the sentence in this history.
+            eos_lp = model.bigram_logprob.get((history, EOS))
+            if eos_lp is not None:
+                fst.set_final(s, eos_lp)
+        return history_state[history]
+
+    start = state_of(BOS)
+    fst.set_start(start)
+
+    # Unigram arcs out of the backoff state.
+    for word in range(1, model.vocab_size + 1):
+        fst.add_arc(
+            backoff_state,
+            word,
+            word,
+            model.unigram_logprob[word],
+            state_of(word),
+        )
+
+    # Observed bigram arcs.
+    for (prev, word), logprob in model.bigram_logprob.items():
+        if word == EOS:
+            continue  # handled as final weights
+        fst.add_arc(state_of(prev), word, word, logprob, state_of(word))
+
+    return fst

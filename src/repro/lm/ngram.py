@@ -1,0 +1,141 @@
+"""Backoff n-gram language models.
+
+A standard interpolated/absolute-discount backoff model over word ids,
+trained from a corpus of sentences (lists of word ids).  Supports unigram
+and bigram orders -- the paper notes the WFST flexibility argument directly:
+"language models (e.g., bigrams or trigrams)" plug into the same decoder
+unchanged.
+
+Probabilities are returned in log space.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import math
+
+from repro.common.errors import ConfigError
+from repro.common.logmath import LOG_ZERO
+
+#: Sentence-boundary pseudo-word id (never appears in vocabularies).
+BOS: int = -1
+EOS: int = -2
+
+
+@dataclass
+class NGramModel:
+    """A backoff bigram model with unigram floor.
+
+    Attributes:
+        vocab_size: highest word id in the vocabulary.
+        unigram_logprob: ``unigram_logprob[w]`` for w in 1..vocab_size (and
+            EOS stored separately).
+        bigram_logprob: observed-bigram log probabilities keyed by
+            ``(prev, word)``; ``word`` may be EOS.
+        backoff_logweight: per-history backoff penalties keyed by prev word
+            (or BOS).
+        eos_logprob: unigram log probability of the sentence end.
+    """
+
+    vocab_size: int
+    unigram_logprob: Dict[int, float]
+    bigram_logprob: Dict[Tuple[int, int], float]
+    backoff_logweight: Dict[int, float]
+    eos_logprob: float
+
+    # ------------------------------------------------------------------
+    def logprob(self, word: int, prev: int = BOS) -> float:
+        """Log P(word | prev) with backoff to the unigram."""
+        key = (prev, word)
+        if key in self.bigram_logprob:
+            return self.bigram_logprob[key]
+        backoff = self.backoff_logweight.get(prev, 0.0)
+        if word == EOS:
+            return backoff + self.eos_logprob
+        uni = self.unigram_logprob.get(word, LOG_ZERO)
+        if uni <= LOG_ZERO / 2:
+            return LOG_ZERO
+        return backoff + uni
+
+    def sentence_logprob(self, sentence: Sequence[int]) -> float:
+        """Log probability of a complete sentence including EOS."""
+        total = 0.0
+        prev = BOS
+        for word in sentence:
+            total += self.logprob(word, prev)
+            prev = word
+        total += self.logprob(EOS, prev)
+        return total
+
+    def observed_histories(self) -> List[int]:
+        """All history words that have at least one observed bigram."""
+        return sorted({prev for prev, _ in self.bigram_logprob})
+
+
+def train_ngram(
+    corpus: Iterable[Sequence[int]],
+    vocab_size: int,
+    discount: float = 0.4,
+) -> NGramModel:
+    """Train a backoff bigram model with absolute discounting.
+
+    Args:
+        corpus: iterable of sentences (word-id sequences, ids in
+            1..vocab_size).
+        vocab_size: size of the vocabulary.
+        discount: absolute discount mass moved from observed bigrams to the
+            backoff distribution.
+
+    Raises:
+        ConfigError: on empty corpus or out-of-range word ids.
+    """
+    if not 0.0 < discount < 1.0:
+        raise ConfigError("discount must be in (0, 1)")
+
+    unigram_counts: Counter = Counter()
+    bigram_counts: Dict[int, Counter] = defaultdict(Counter)
+    n_sentences = 0
+    for sentence in corpus:
+        n_sentences += 1
+        prev = BOS
+        for word in sentence:
+            if not 1 <= word <= vocab_size:
+                raise ConfigError(f"word id {word} out of range")
+            unigram_counts[word] += 1
+            bigram_counts[prev][word] += 1
+            prev = word
+        bigram_counts[prev][EOS] += 1
+    if n_sentences == 0:
+        raise ConfigError("corpus is empty")
+
+    total_tokens = sum(unigram_counts.values()) + n_sentences  # words + EOS
+    # Add-one smoothed unigram over the full vocabulary plus EOS.
+    denom = total_tokens + vocab_size + 1
+    unigram_logprob = {
+        w: math.log((unigram_counts.get(w, 0) + 1) / denom)
+        for w in range(1, vocab_size + 1)
+    }
+    eos_logprob = math.log((n_sentences + 1) / denom)
+
+    bigram_logprob: Dict[Tuple[int, int], float] = {}
+    backoff_logweight: Dict[int, float] = {}
+    for prev, counts in bigram_counts.items():
+        history_total = sum(counts.values())
+        discounted_mass = discount * len(counts)
+        for word, count in counts.items():
+            p = (count - discount) / history_total
+            if p <= 0.0:
+                continue
+            bigram_logprob[(prev, word)] = math.log(p)
+        backoff_logweight[prev] = math.log(discounted_mass / history_total)
+
+    return NGramModel(
+        vocab_size=vocab_size,
+        unigram_logprob=unigram_logprob,
+        bigram_logprob=bigram_logprob,
+        backoff_logweight=backoff_logweight,
+        eos_logprob=eos_logprob,
+    )

@@ -1,0 +1,197 @@
+"""Backoff trigram language models and their G transducer.
+
+The paper's Section II argues that the WFST approach makes the accelerator
+model-agnostic: "adopting more accurate language models only requires
+changes to the parameters of the WFST, but not to the software or hardware
+implementation".  This module provides the trigram instance of that claim:
+a Katz-style backoff trigram over word ids and the standard three-level
+grammar transducer (trigram histories -> bigram histories -> unigram
+state), decodable by the unchanged decoder and accelerator.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import math
+
+from repro.common.errors import ConfigError
+from repro.lm.ngram import BOS, EOS, NGramModel, train_ngram
+from repro.wfst.fst import EPSILON, Fst
+
+
+@dataclass
+class TrigramModel:
+    """A backoff trigram stacked on a backoff bigram.
+
+    Attributes:
+        bigram: the lower-order model (provides bigram and unigram levels).
+        trigram_logprob: observed-trigram log probabilities keyed by
+            ``(w1, w2, w3)``; ``w3`` may be EOS.  ``w1`` may be BOS.
+        backoff_logweight: per-(w1, w2) backoff penalties to the bigram
+            level.
+    """
+
+    bigram: NGramModel
+    trigram_logprob: Dict[Tuple[int, int, int], float]
+    backoff_logweight: Dict[Tuple[int, int], float]
+
+    @property
+    def vocab_size(self) -> int:
+        return self.bigram.vocab_size
+
+    def logprob(self, word: int, w1: int = BOS, w2: int = BOS) -> float:
+        """Log P(word | w1, w2) with backoff through the bigram."""
+        key = (w1, w2, word)
+        if key in self.trigram_logprob:
+            return self.trigram_logprob[key]
+        backoff = self.backoff_logweight.get((w1, w2), 0.0)
+        return backoff + self.bigram.logprob(word, prev=w2)
+
+    def sentence_logprob(self, sentence: Sequence[int]) -> float:
+        total = 0.0
+        w1, w2 = BOS, BOS
+        for word in sentence:
+            total += self.logprob(word, w1, w2)
+            w1, w2 = w2, word
+        total += self.logprob(EOS, w1, w2)
+        return total
+
+    def observed_bigram_histories(self) -> List[Tuple[int, int]]:
+        return sorted({(a, b) for a, b, _c in self.trigram_logprob})
+
+
+def train_trigram(
+    corpus: Iterable[Sequence[int]],
+    vocab_size: int,
+    discount: float = 0.4,
+) -> TrigramModel:
+    """Train a backoff trigram (and its underlying bigram) from a corpus."""
+    if not 0.0 < discount < 1.0:
+        raise ConfigError("discount must be in (0, 1)")
+
+    sentences = [list(s) for s in corpus]
+    bigram = train_ngram(sentences, vocab_size, discount=discount)
+
+    trigram_counts: Dict[Tuple[int, int], Counter] = defaultdict(Counter)
+    for sentence in sentences:
+        w1, w2 = BOS, BOS
+        for word in sentence:
+            if not 1 <= word <= vocab_size:
+                raise ConfigError(f"word id {word} out of range")
+            trigram_counts[(w1, w2)][word] += 1
+            w1, w2 = w2, word
+        trigram_counts[(w1, w2)][EOS] += 1
+
+    trigram_logprob: Dict[Tuple[int, int, int], float] = {}
+    backoff_logweight: Dict[Tuple[int, int], float] = {}
+    for history, counts in trigram_counts.items():
+        total = sum(counts.values())
+        for word, count in counts.items():
+            p = (count - discount) / total
+            if p <= 0.0:
+                continue
+            trigram_logprob[(history[0], history[1], word)] = math.log(p)
+        backoff_logweight[history] = math.log(
+            discount * len(counts) / total
+        )
+
+    return TrigramModel(bigram, trigram_logprob, backoff_logweight)
+
+
+def build_trigram_fst(model: TrigramModel) -> Fst:
+    """Build the three-level G acceptor for a backoff trigram model.
+
+    States: one unigram (root backoff) state, one bigram state per word
+    that appears as the most recent history word, and one trigram state
+    per observed (w1, w2) history.  A word arc lands on the most specific
+    history state that exists for its new context.
+    """
+    fst = Fst()
+    unigram_state = fst.add_state()
+    fst.set_final(unigram_state, model.bigram.eos_logprob)
+
+    bigram_state: Dict[int, int] = {}
+    trigram_state: Dict[Tuple[int, int], int] = {}
+    trigram_histories = set(model.observed_bigram_histories())
+
+    def get_bigram_state(word: int) -> int:
+        if word not in bigram_state:
+            s = fst.add_state()
+            bigram_state[word] = s
+            fst.add_arc(
+                s,
+                EPSILON,
+                EPSILON,
+                model.bigram.backoff_logweight.get(word, 0.0),
+                unigram_state,
+            )
+            eos_lp = model.bigram.bigram_logprob.get((word, EOS))
+            if eos_lp is not None:
+                fst.set_final(s, eos_lp)
+        return bigram_state[word]
+
+    def get_trigram_state(w1: int, w2: int) -> int:
+        key = (w1, w2)
+        if key not in trigram_state:
+            s = fst.add_state()
+            trigram_state[key] = s
+            fst.add_arc(
+                s,
+                EPSILON,
+                EPSILON,
+                model.backoff_logweight.get(key, 0.0),
+                get_bigram_state(w2),
+            )
+            eos_lp = model.trigram_logprob.get((w1, w2, EOS))
+            if eos_lp is not None:
+                fst.set_final(s, eos_lp)
+        return trigram_state[key]
+
+    def destination(prev: int, word: int) -> int:
+        """Most specific history state after consuming ``word``."""
+        if (prev, word) in trigram_histories:
+            return get_trigram_state(prev, word)
+        return get_bigram_state(word)
+
+    # Start at the (BOS, BOS) trigram history when observed, else BOS bigram.
+    if (BOS, BOS) in trigram_histories:
+        start = get_trigram_state(BOS, BOS)
+    else:
+        start = get_bigram_state(BOS)
+    fst.set_start(start)
+
+    # Unigram arcs: the unigram context only knows the new last word, so
+    # the destination is always the bigram state.
+    for word in range(1, model.vocab_size + 1):
+        fst.add_arc(
+            unigram_state,
+            word,
+            word,
+            model.bigram.unigram_logprob[word],
+            get_bigram_state(word),
+        )
+
+    # Bigram arcs out of bigram states.
+    for (prev, word), logprob in model.bigram.bigram_logprob.items():
+        if word == EOS:
+            continue
+        fst.add_arc(
+            get_bigram_state(prev),
+            word,
+            word,
+            logprob,
+            destination(prev, word),
+        )
+
+    # Trigram arcs out of trigram states.
+    for (w1, w2, w3), logprob in model.trigram_logprob.items():
+        if w3 == EOS:
+            continue
+        fst.add_arc(
+            get_trigram_state(w1, w2), w3, w3, logprob, destination(w2, w3)
+        )
+
+    return fst

@@ -1,0 +1,30 @@
+"""Whole-pipeline ASR system models and the cross-platform experiment harness."""
+
+from repro.system.pipeline import AsrSystemModel, PipelineTimes
+from repro.system.stream import (
+    BatchTiming,
+    StreamConfig,
+    StreamReport,
+    simulate_stream,
+)
+from repro.system.experiment import (
+    ComparisonResult,
+    MemoryWorkload,
+    PlatformRun,
+    make_memory_workload,
+    run_platform_comparison,
+)
+
+__all__ = [
+    "AsrSystemModel",
+    "PipelineTimes",
+    "ComparisonResult",
+    "MemoryWorkload",
+    "PlatformRun",
+    "make_memory_workload",
+    "run_platform_comparison",
+    "BatchTiming",
+    "StreamConfig",
+    "StreamReport",
+    "simulate_stream",
+]

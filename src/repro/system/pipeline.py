@@ -1,0 +1,118 @@
+"""Overall ASR system: GPU (DNN) + accelerator (Viterbi), pipelined.
+
+Paper, Section III-A and VI: input frames are grouped into batches; the GPU
+evaluates the DNN for batch *i* while the accelerator searches batch *i-1*.
+Acoustic scores stream into the double-buffered Acoustic Likelihood Buffer,
+overlapping the transfer with decoding.  The paper reports 1.87x for this
+hybrid system over running both stages sequentially on the GPU.
+
+The model computes steady-state pipeline throughput: per batch the system
+advances at the pace of the slower stage, plus the one-time fill latency of
+the first batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PipelineTimes:
+    """Timing of the two pipeline stages over one batch of frames."""
+
+    dnn_seconds: float
+    search_seconds: float
+    transfer_seconds: float = 0.0
+
+    @property
+    def bottleneck_seconds(self) -> float:
+        """Steady-state time per batch: the slower stage dominates; the
+        score transfer is hidden by the double buffer unless it exceeds
+        the search time."""
+        return max(
+            self.dnn_seconds, max(self.search_seconds, self.transfer_seconds)
+        )
+
+
+@dataclass(frozen=True)
+class AsrSystemModel:
+    """End-to-end latency/throughput of hybrid and GPU-only systems."""
+
+    batch_frames: int = 100
+    pcie_gbs: float = 12.0  # effective PCIe 3.0 x16 bandwidth
+
+    def transfer_seconds(self, score_bytes_per_frame: int) -> float:
+        """DMA time for one batch of acoustic scores."""
+        if score_bytes_per_frame < 0:
+            raise ConfigError("score bytes must be non-negative")
+        total = score_bytes_per_frame * self.batch_frames
+        return total / (self.pcie_gbs * 1e9)
+
+    def hybrid_seconds(
+        self,
+        total_frames: int,
+        dnn_seconds_per_frame: float,
+        accel_search_seconds_per_frame: float,
+        score_bytes_per_frame: int = 0,
+    ) -> float:
+        """GPU(DNN) + accelerator(search), pipelined over batches.
+
+        Exact two-stage pipeline makespan: the first batch's DNN fills the
+        pipeline, each further step advances at the slower of (next
+        batch's DNN) and (previous batch's search + transfer), and the
+        last batch's search drains it.
+        """
+        if total_frames <= 0:
+            raise ConfigError("total_frames must be positive")
+        full, rem = divmod(total_frames, self.batch_frames)
+        chunks = [self.batch_frames] * full + ([rem] if rem else [])
+
+        def transfer(frames: int) -> float:
+            return frames * score_bytes_per_frame / (self.pcie_gbs * 1e9)
+
+        dnn_t = [c * dnn_seconds_per_frame for c in chunks]
+        search_t = [
+            max(c * accel_search_seconds_per_frame, transfer(c))
+            for c in chunks
+        ]
+        time = dnn_t[0]
+        for i in range(1, len(chunks)):
+            time += max(dnn_t[i], search_t[i - 1])
+        return time + search_t[-1]
+
+    def gpu_only_seconds(
+        self,
+        total_frames: int,
+        dnn_seconds_per_frame: float,
+        gpu_search_seconds_per_frame: float,
+    ) -> float:
+        """Both stages run sequentially on the GPU (no overlap possible:
+        the search depends on the scores of its own batch and both stages
+        contend for the same device)."""
+        if total_frames <= 0:
+            raise ConfigError("total_frames must be positive")
+        return total_frames * (
+            dnn_seconds_per_frame + gpu_search_seconds_per_frame
+        )
+
+    def hybrid_speedup(
+        self,
+        total_frames: int,
+        dnn_seconds_per_frame: float,
+        gpu_search_seconds_per_frame: float,
+        accel_search_seconds_per_frame: float,
+        score_bytes_per_frame: int = 0,
+    ) -> float:
+        """The paper's in-text result: hybrid vs GPU-only (1.87x)."""
+        gpu_only = self.gpu_only_seconds(
+            total_frames, dnn_seconds_per_frame, gpu_search_seconds_per_frame
+        )
+        hybrid = self.hybrid_seconds(
+            total_frames,
+            dnn_seconds_per_frame,
+            accel_search_seconds_per_frame,
+            score_bytes_per_frame,
+        )
+        return gpu_only / hybrid

@@ -1,0 +1,103 @@
+"""Weighted epsilon removal for epsilon-acyclic WFSTs.
+
+Folds *output-free* epsilon paths into their non-epsilon neighbours: after
+removal, the only epsilon arcs left are those carrying an output label
+(which cannot be folded without re-timing word emissions).  In the graphs
+this library builds, epsilon arcs are LM backoffs and lexicon
+return-to-root transitions -- all output-free -- so removal yields fully
+epsilon-free graphs.
+
+Epsilon-free graphs matter for the accelerator: every epsilon arc is a
+second intra-frame pass through the pipeline (Section III-B), so removal
+trades graph size (folded arcs are duplicated per predecessor) for
+pipeline work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.wfst.fst import EPSILON, Fst
+from repro.wfst.ops import connect, remove_epsilon_cycles
+from repro.wfst.semiring import LogProbSemiring
+
+
+def remove_epsilons(fst: Fst) -> Fst:
+    """Return an equivalent FST whose output-free epsilon arcs are folded.
+
+    Raises:
+        GraphError: if the epsilon subgraph is cyclic.
+    """
+    remove_epsilon_cycles(fst)
+
+    out = Fst()
+    out.add_states(fst.num_states)
+    out.set_start(fst.start)
+
+    for s in fst.states():
+        closure = _free_epsilon_closure(fst, s)
+
+        # Finality folds through output-free epsilon paths.
+        best_final = fst.final_weight(s)
+        for state, weight in closure.items():
+            total = LogProbSemiring.times(weight, fst.final_weight(state))
+            best_final = LogProbSemiring.plus(best_final, total)
+        if best_final > LogProbSemiring.zero / 2:
+            out.set_final(s, best_final)
+
+        emitted = set()
+
+        def add(ilabel: int, olabel: int, weight: float, dest: int) -> None:
+            key = (ilabel, olabel, round(weight, 12), dest)
+            if key in emitted:
+                return
+            emitted.add(key)
+            out.add_arc(s, ilabel, olabel, weight, dest)
+
+        # Arcs of s itself and of everything in its free-epsilon closure.
+        sources = [(s, 0.0)] + list(closure.items())
+        for state, path_weight in sources:
+            for arc in fst.arcs(state):
+                if arc.is_epsilon and arc.olabel == EPSILON:
+                    continue  # folded into the closure
+                add(
+                    arc.ilabel,
+                    arc.olabel,
+                    path_weight + arc.weight,
+                    arc.dest,
+                )
+
+    return connect(out)
+
+
+def count_epsilon_arcs(fst: Fst) -> Tuple[int, int]:
+    """``(output_free, output_carrying)`` epsilon-arc counts."""
+    free = carrying = 0
+    for s in fst.states():
+        for arc in fst.arcs(s):
+            if not arc.is_epsilon:
+                continue
+            if arc.olabel == EPSILON:
+                free += 1
+            else:
+                carrying += 1
+    return free, carrying
+
+
+def _free_epsilon_closure(fst: Fst, start: int) -> Dict[int, float]:
+    """Best output-free epsilon-path weight to every reachable state."""
+    closure: Dict[int, float] = {}
+    stack: List[Tuple[int, float]] = [
+        (arc.dest, arc.weight)
+        for arc in fst.arcs(start)
+        if arc.is_epsilon and arc.olabel == EPSILON
+    ]
+    while stack:
+        state, weight = stack.pop()
+        if state in closure and closure[state] >= weight:
+            continue
+        closure[state] = weight
+        for arc in fst.arcs(state):
+            if arc.is_epsilon and arc.olabel == EPSILON:
+                stack.append((arc.dest, weight + arc.weight))
+    return closure

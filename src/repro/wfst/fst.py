@@ -1,0 +1,158 @@
+"""Mutable weighted finite-state transducer.
+
+The mutable :class:`Fst` is the construction-time representation: the
+lexicon/grammar builders create and compose these, and the result is then
+frozen into the packed array layout (:mod:`repro.wfst.layout`) that the
+decoders and the accelerator simulator read.
+
+Weights are log probabilities (see :mod:`repro.wfst.semiring`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.common.errors import GraphError
+from repro.common.logmath import LOG_ZERO
+
+#: Reserved label id for epsilon (no input consumed / no output emitted).
+EPSILON: int = 0
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A single WFST transition.
+
+    Attributes:
+        ilabel: input label (phoneme id), ``EPSILON`` for epsilon arcs.
+        olabel: output label (word id), ``EPSILON`` when no word is emitted.
+        weight: transition log probability.
+        dest: destination state id.
+    """
+
+    ilabel: int
+    olabel: int
+    weight: float
+    dest: int
+
+    @property
+    def is_epsilon(self) -> bool:
+        """True when this arc consumes no input label."""
+        return self.ilabel == EPSILON
+
+
+@dataclass
+class _State:
+    arcs: List[Arc] = field(default_factory=list)
+    final_weight: float = LOG_ZERO
+
+
+class Fst:
+    """A mutable WFST with a single start state and weighted final states."""
+
+    def __init__(self) -> None:
+        self._states: List[_State] = []
+        self._start: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_state(self) -> int:
+        """Append a fresh state and return its id."""
+        self._states.append(_State())
+        return len(self._states) - 1
+
+    def add_states(self, count: int) -> List[int]:
+        """Append ``count`` fresh states and return their ids."""
+        return [self.add_state() for _ in range(count)]
+
+    def add_arc(
+        self,
+        src: int,
+        ilabel: int,
+        olabel: int,
+        weight: float,
+        dest: int,
+    ) -> None:
+        """Add an arc from ``src`` to ``dest``."""
+        self._check_state(src)
+        self._check_state(dest)
+        if ilabel < 0 or olabel < 0:
+            raise GraphError(f"labels must be non-negative: {ilabel}, {olabel}")
+        self._states[src].arcs.append(Arc(ilabel, olabel, weight, dest))
+
+    def set_start(self, state: int) -> None:
+        self._check_state(state)
+        self._start = state
+
+    def set_final(self, state: int, weight: float = 0.0) -> None:
+        self._check_state(state)
+        self._states[state].final_weight = weight
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def start(self) -> int:
+        if self._start is None:
+            raise GraphError("start state has not been set")
+        return self._start
+
+    @property
+    def has_start(self) -> bool:
+        return self._start is not None
+
+    @property
+    def num_states(self) -> int:
+        return len(self._states)
+
+    @property
+    def num_arcs(self) -> int:
+        return sum(len(s.arcs) for s in self._states)
+
+    def arcs(self, state: int) -> List[Arc]:
+        """All outgoing arcs of ``state`` (construction order)."""
+        self._check_state(state)
+        return self._states[state].arcs
+
+    def final_weight(self, state: int) -> float:
+        self._check_state(state)
+        return self._states[state].final_weight
+
+    def is_final(self, state: int) -> bool:
+        return self.final_weight(state) > LOG_ZERO / 2
+
+    def states(self) -> Iterator[int]:
+        return iter(range(len(self._states)))
+
+    def num_epsilon_arcs(self) -> int:
+        """Total number of epsilon (no input label) arcs in the graph."""
+        return sum(
+            1 for s in self._states for a in s.arcs if a.is_epsilon
+        )
+
+    def out_degree(self, state: int) -> int:
+        self._check_state(state)
+        return len(self._states[state].arcs)
+
+    # ------------------------------------------------------------------
+    # Mutation helpers used by graph ops
+    # ------------------------------------------------------------------
+    def replace_arcs(self, state: int, arcs: Iterable[Arc]) -> None:
+        """Replace the arc list of ``state`` wholesale."""
+        self._check_state(state)
+        self._states[state].arcs = list(arcs)
+
+    # ------------------------------------------------------------------
+    def _check_state(self, state: int) -> None:
+        if not 0 <= state < len(self._states):
+            raise GraphError(
+                f"state {state} out of range (have {len(self._states)})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Fst(states={self.num_states}, arcs={self.num_arcs}, "
+            f"start={self._start})"
+        )

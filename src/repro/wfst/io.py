@@ -1,0 +1,50 @@
+"""Serialisation of compiled decoding graphs.
+
+Graphs are stored as ``.npz`` archives holding the packed arrays unchanged,
+so a load/save round trip is bit-exact.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.common.errors import GraphError
+from repro.wfst.layout import CompiledWfst
+
+_FORMAT_VERSION = 1
+
+
+def save_wfst(graph: CompiledWfst, path: str) -> None:
+    """Write a compiled graph to ``path`` (npz format)."""
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        start=np.int64(graph.start),
+        states_packed=graph.states_packed,
+        arc_dest=graph.arc_dest,
+        arc_weight=graph.arc_weight,
+        arc_ilabel=graph.arc_ilabel,
+        arc_olabel=graph.arc_olabel,
+        final_weights=graph.final_weights,
+    )
+
+
+def load_wfst(path: str) -> CompiledWfst:
+    """Load a compiled graph previously written by :func:`save_wfst`."""
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    with np.load(path) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise GraphError(f"unsupported graph format version {version}")
+        return CompiledWfst(
+            start=int(data["start"]),
+            states_packed=data["states_packed"].copy(),
+            arc_dest=data["arc_dest"].copy(),
+            arc_weight=data["arc_weight"].copy(),
+            arc_ilabel=data["arc_ilabel"].copy(),
+            arc_olabel=data["arc_olabel"].copy(),
+            final_weights=data["final_weights"].copy(),
+        )

@@ -1,0 +1,233 @@
+"""Packed binary memory layout of a decoding graph.
+
+This mirrors the layout the accelerator reads from main memory (paper,
+Section III, following Choi et al. [2]):
+
+* **States array** -- one 64-bit record per state: index of the first
+  outgoing arc (32 bits), number of non-epsilon arcs (16 bits), number of
+  epsilon arcs (16 bits).
+* **Arcs array** -- one 128-bit record per arc: destination state id,
+  transition weight, input label (phoneme id) and output label (word id),
+  32 bits each.  All outgoing arcs of a state are contiguous, non-epsilon
+  arcs first.
+
+The simulator computes DRAM addresses from these records, so the layout is
+kept byte-exact: :data:`STATE_BYTES` = 8 and :data:`ARC_BYTES` = 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.common.errors import GraphError
+from repro.common.logmath import LOG_ZERO
+from repro.wfst.fst import EPSILON, Fst
+from repro.wfst.ops import arcsort
+
+#: Bytes per packed state record (paper: 64-bit structure).
+STATE_BYTES: int = 8
+#: Bytes per packed arc record (paper: 128 bits).
+ARC_BYTES: int = 16
+
+_MAX_U16 = (1 << 16) - 1
+_MAX_U32 = (1 << 32) - 1
+
+
+@dataclass(frozen=True)
+class StateRecord:
+    """Unpacked view of one 64-bit state record."""
+
+    first_arc: int
+    num_non_eps: int
+    num_eps: int
+
+    @property
+    def num_arcs(self) -> int:
+        return self.num_non_eps + self.num_eps
+
+
+class CompiledWfst:
+    """Immutable, array-backed decoding graph.
+
+    Arc attributes are stored as parallel numpy arrays for fast access from
+    the decoders; :meth:`pack_state` / :meth:`unpack_state` and
+    :meth:`pack_arc` / :meth:`unpack_arc` demonstrate the bit-exact hardware
+    encoding and are exercised by the test suite.
+    """
+
+    def __init__(
+        self,
+        start: int,
+        states_packed: np.ndarray,
+        arc_dest: np.ndarray,
+        arc_weight: np.ndarray,
+        arc_ilabel: np.ndarray,
+        arc_olabel: np.ndarray,
+        final_weights: np.ndarray,
+    ) -> None:
+        self.start = int(start)
+        self.states_packed = states_packed
+        self.arc_dest = arc_dest
+        self.arc_weight = arc_weight
+        self.arc_ilabel = arc_ilabel
+        self.arc_olabel = arc_olabel
+        self.final_weights = final_weights
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_fst(cls, fst: Fst) -> "CompiledWfst":
+        """Freeze a mutable FST into the packed layout.
+
+        Arcs of each state are re-ordered so non-epsilon arcs come first
+        (required by the layout), preserving relative order otherwise.
+        """
+        arcsort(fst)
+        n_states = fst.num_states
+        n_arcs = fst.num_arcs
+        if n_states > _MAX_U32 or n_arcs > _MAX_U32:
+            raise GraphError("graph exceeds 32-bit index space")
+
+        states_packed = np.zeros(n_states, dtype=np.uint64)
+        arc_dest = np.zeros(n_arcs, dtype=np.uint32)
+        arc_weight = np.zeros(n_arcs, dtype=np.float32)
+        arc_ilabel = np.zeros(n_arcs, dtype=np.uint32)
+        arc_olabel = np.zeros(n_arcs, dtype=np.uint32)
+        final_weights = np.full(n_states, LOG_ZERO, dtype=np.float64)
+
+        cursor = 0
+        for s in fst.states():
+            arcs = fst.arcs(s)
+            non_eps = [a for a in arcs if not a.is_epsilon]
+            eps = [a for a in arcs if a.is_epsilon]
+            if len(non_eps) > _MAX_U16 or len(eps) > _MAX_U16:
+                raise GraphError(f"state {s} exceeds 16-bit arc counts")
+            states_packed[s] = cls.pack_state(
+                StateRecord(cursor, len(non_eps), len(eps))
+            )
+            for arc in non_eps + eps:
+                arc_dest[cursor] = arc.dest
+                arc_weight[cursor] = arc.weight
+                arc_ilabel[cursor] = arc.ilabel
+                arc_olabel[cursor] = arc.olabel
+                cursor += 1
+            final_weights[s] = fst.final_weight(s)
+
+        return cls(
+            fst.start,
+            states_packed,
+            arc_dest,
+            arc_weight,
+            arc_ilabel,
+            arc_olabel,
+            final_weights,
+        )
+
+    # ------------------------------------------------------------------
+    # Bit-exact packing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def pack_state(record: StateRecord) -> int:
+        """Pack a state record into its 64-bit hardware encoding."""
+        if not 0 <= record.first_arc <= _MAX_U32:
+            raise GraphError(f"first_arc out of range: {record.first_arc}")
+        if not 0 <= record.num_non_eps <= _MAX_U16:
+            raise GraphError(f"num_non_eps out of range: {record.num_non_eps}")
+        if not 0 <= record.num_eps <= _MAX_U16:
+            raise GraphError(f"num_eps out of range: {record.num_eps}")
+        return (
+            record.first_arc
+            | (record.num_non_eps << 32)
+            | (record.num_eps << 48)
+        )
+
+    @staticmethod
+    def unpack_state(packed: int) -> StateRecord:
+        """Unpack a 64-bit state record."""
+        packed = int(packed)
+        return StateRecord(
+            first_arc=packed & _MAX_U32,
+            num_non_eps=(packed >> 32) & _MAX_U16,
+            num_eps=(packed >> 48) & _MAX_U16,
+        )
+
+    @staticmethod
+    def pack_arc(dest: int, weight: float, ilabel: int, olabel: int) -> bytes:
+        """Pack one arc into its 128-bit hardware encoding."""
+        buf = np.zeros(1, dtype=[("d", "<u4"), ("w", "<f4"), ("i", "<u4"), ("o", "<u4")])
+        buf[0] = (dest, weight, ilabel, olabel)
+        return buf.tobytes()
+
+    @staticmethod
+    def unpack_arc(raw: bytes) -> Tuple[int, float, int, int]:
+        """Unpack one 128-bit arc record."""
+        if len(raw) != ARC_BYTES:
+            raise GraphError(f"arc record must be {ARC_BYTES} bytes")
+        buf = np.frombuffer(
+            raw, dtype=[("d", "<u4"), ("w", "<f4"), ("i", "<u4"), ("o", "<u4")]
+        )[0]
+        return int(buf["d"]), float(buf["w"]), int(buf["i"]), int(buf["o"])
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return len(self.states_packed)
+
+    @property
+    def num_arcs(self) -> int:
+        return len(self.arc_dest)
+
+    @property
+    def states_size_bytes(self) -> int:
+        return self.num_states * STATE_BYTES
+
+    @property
+    def arcs_size_bytes(self) -> int:
+        return self.num_arcs * ARC_BYTES
+
+    @property
+    def total_size_bytes(self) -> int:
+        return self.states_size_bytes + self.arcs_size_bytes
+
+    def state_record(self, state: int) -> StateRecord:
+        """The unpacked 64-bit record for ``state``."""
+        return self.unpack_state(self.states_packed[state])
+
+    def out_degree(self, state: int) -> int:
+        rec = self.state_record(state)
+        return rec.num_arcs
+
+    def arc_range(self, state: int) -> Tuple[int, int, int]:
+        """``(first_arc, num_non_eps, num_eps)`` for ``state``."""
+        rec = self.state_record(state)
+        return rec.first_arc, rec.num_non_eps, rec.num_eps
+
+    def final_weight(self, state: int) -> float:
+        return float(self.final_weights[state])
+
+    def is_final(self, state: int) -> bool:
+        return self.final_weights[state] > LOG_ZERO / 2
+
+    def final_states(self) -> List[int]:
+        return [int(s) for s in np.nonzero(self.final_weights > LOG_ZERO / 2)[0]]
+
+    # Address map (used by the accelerator memory model) ----------------
+    def state_address(self, state: int, base: int = 0) -> int:
+        """Byte address of the packed record of ``state``."""
+        return base + state * STATE_BYTES
+
+    def arc_address(self, arc_index: int, base: int = 0) -> int:
+        """Byte address of the packed record of arc ``arc_index``."""
+        return base + arc_index * ARC_BYTES
+
+    def epsilon_fraction(self) -> float:
+        """Fraction of arcs that are epsilon (Kaldi's graph: 11.5%)."""
+        if self.num_arcs == 0:
+            return 0.0
+        return float(np.count_nonzero(self.arc_ilabel == EPSILON)) / self.num_arcs

@@ -1,0 +1,178 @@
+"""Graph operations on mutable WFSTs.
+
+Implements the operations the decoding-graph builder needs: composition
+(L ∘ G), connection (trimming unreachable / dead states), arc sorting, and a
+check that epsilon arcs cannot loop forever (the decoders process epsilon
+closures per frame and require epsilon-acyclicity, which real decoding graphs
+satisfy).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+from repro.common.errors import GraphError
+from repro.common.logmath import LOG_ZERO
+from repro.wfst.fst import Arc, EPSILON, Fst
+from repro.wfst.semiring import LogProbSemiring
+
+
+def compose(left: Fst, right: Fst) -> Fst:
+    """Compose two transducers: output labels of ``left`` feed inputs of ``right``.
+
+    Uses the standard epsilon-matching construction with an epsilon filter
+    simplification: an epsilon output on the left may advance the left side
+    alone, and an epsilon input on the right may advance the right side
+    alone.  This can create redundant epsilon paths but never changes the
+    best-path semantics under the max/plus semiring, which is all the decoder
+    uses.
+    """
+    out = Fst()
+    pair_to_state: Dict[Tuple[int, int], int] = {}
+    queue: deque = deque()
+
+    def get_state(ls: int, rs: int) -> int:
+        key = (ls, rs)
+        if key not in pair_to_state:
+            pair_to_state[key] = out.add_state()
+            queue.append(key)
+        return pair_to_state[key]
+
+    start = get_state(left.start, right.start)
+    out.set_start(start)
+
+    while queue:
+        ls, rs = queue.popleft()
+        src = pair_to_state[(ls, rs)]
+
+        lw = left.final_weight(ls)
+        rw = right.final_weight(rs)
+        if left.is_final(ls) and right.is_final(rs):
+            out.set_final(src, LogProbSemiring.times(lw, rw))
+
+        for la in left.arcs(ls):
+            if la.olabel == EPSILON:
+                # Left side advances alone.
+                dest = get_state(la.dest, rs)
+                out.add_arc(src, la.ilabel, EPSILON, la.weight, dest)
+            else:
+                for ra in right.arcs(rs):
+                    if ra.ilabel == la.olabel:
+                        dest = get_state(la.dest, ra.dest)
+                        weight = LogProbSemiring.times(la.weight, ra.weight)
+                        out.add_arc(src, la.ilabel, ra.olabel, weight, dest)
+        for ra in right.arcs(rs):
+            if ra.ilabel == EPSILON:
+                # Right side advances alone.
+                dest = get_state(ls, ra.dest)
+                out.add_arc(src, EPSILON, ra.olabel, ra.weight, dest)
+
+    return connect(out)
+
+
+def connect(fst: Fst) -> Fst:
+    """Trim states that are unreachable from the start or cannot reach a final."""
+    if not fst.has_start:
+        raise GraphError("cannot connect an FST without a start state")
+
+    forward = _reachable_forward(fst)
+    backward = _reachable_backward(fst)
+    keep = forward & backward
+    if fst.start not in keep:
+        raise GraphError("start state cannot reach any final state")
+
+    remap: Dict[int, int] = {}
+    out = Fst()
+    for s in sorted(keep):
+        remap[s] = out.add_state()
+    out.set_start(remap[fst.start])
+    for s in sorted(keep):
+        if fst.is_final(s):
+            out.set_final(remap[s], fst.final_weight(s))
+        for arc in fst.arcs(s):
+            if arc.dest in keep:
+                out.add_arc(
+                    remap[s], arc.ilabel, arc.olabel, arc.weight, remap[arc.dest]
+                )
+    return out
+
+
+def arcsort(fst: Fst) -> None:
+    """Sort each state's arcs: non-epsilon first, then by input label.
+
+    This matches the memory layout requirement of the accelerator (paper,
+    Section III): "the non-epsilon arcs are stored first, followed by the
+    epsilon arcs".
+    """
+    for s in fst.states():
+        arcs = sorted(
+            fst.arcs(s),
+            key=lambda a: (a.is_epsilon, a.ilabel, a.olabel, a.dest),
+        )
+        fst.replace_arcs(s, arcs)
+
+
+def remove_epsilon_cycles(fst: Fst) -> None:
+    """Raise :class:`GraphError` if the epsilon subgraph contains a cycle.
+
+    The name reflects intent: decoding graphs built by this library are
+    epsilon-acyclic by construction, so instead of rewriting weights (full
+    epsilon removal) we verify the property and fail loudly when violated.
+    """
+    color: Dict[int, int] = {}  # 0 = visiting, 1 = done
+
+    for root in fst.states():
+        if root in color:
+            continue
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        while stack:
+            node, idx = stack.pop()
+            if idx == 0:
+                if color.get(node) == 1:
+                    continue
+                color[node] = 0
+            eps_dests = [a.dest for a in fst.arcs(node) if a.is_epsilon]
+            if idx < len(eps_dests):
+                stack.append((node, idx + 1))
+                child = eps_dests[idx]
+                state = color.get(child)
+                if state == 0:
+                    raise GraphError(
+                        f"epsilon cycle detected through state {child}"
+                    )
+                if state is None:
+                    stack.append((child, 0))
+            else:
+                color[node] = 1
+
+
+def _reachable_forward(fst: Fst) -> set:
+    seen = {fst.start}
+    stack = [fst.start]
+    while stack:
+        s = stack.pop()
+        for arc in fst.arcs(s):
+            if arc.dest not in seen:
+                seen.add(arc.dest)
+                stack.append(arc.dest)
+    return seen
+
+
+def _reachable_backward(fst: Fst) -> set:
+    preds: Dict[int, List[int]] = {s: [] for s in fst.states()}
+    finals: List[int] = []
+    for s in fst.states():
+        if fst.is_final(s):
+            finals.append(s)
+        for arc in fst.arcs(s):
+            preds[arc.dest].append(s)
+    seen = set(finals)
+    stack = list(finals)
+    while stack:
+        s = stack.pop()
+        for p in preds[s]:
+            if p not in seen:
+                seen.add(p)
+                stack.append(p)
+    return seen

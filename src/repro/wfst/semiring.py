@@ -1,0 +1,66 @@
+"""Semirings for WFST weights.
+
+Two semirings are provided:
+
+* :class:`LogProbSemiring` -- weights are log probabilities (``<= 0``);
+  ``times`` is addition in log space, ``plus`` is max (Viterbi
+  approximation).  This is the semiring the paper's Equation 1 computes in,
+  and the one the accelerator implements with adders and comparators.
+* :class:`TropicalSemiring` -- weights are non-negative costs; ``times`` is
+  addition, ``plus`` is min.  Equivalent to the log-prob semiring under
+  negation; provided because decoding-graph literature (and Kaldi) speaks in
+  costs.
+"""
+
+from __future__ import annotations
+
+from repro.common.logmath import LOG_ZERO, is_log_zero
+
+
+class LogProbSemiring:
+    """Max/plus semiring over log probabilities."""
+
+    zero: float = LOG_ZERO
+    one: float = 0.0
+
+    @staticmethod
+    def times(a: float, b: float) -> float:
+        if is_log_zero(a) or is_log_zero(b):
+            return LOG_ZERO
+        return a + b
+
+    @staticmethod
+    def plus(a: float, b: float) -> float:
+        return a if a >= b else b
+
+    @staticmethod
+    def better(a: float, b: float) -> bool:
+        """True when ``a`` is a strictly better (more likely) weight."""
+        return a > b
+
+    @staticmethod
+    def is_zero(a: float) -> bool:
+        return is_log_zero(a)
+
+
+class TropicalSemiring:
+    """Min/plus semiring over costs (negated log probabilities)."""
+
+    zero: float = float("inf")
+    one: float = 0.0
+
+    @staticmethod
+    def times(a: float, b: float) -> float:
+        return a + b
+
+    @staticmethod
+    def plus(a: float, b: float) -> float:
+        return a if a <= b else b
+
+    @staticmethod
+    def better(a: float, b: float) -> bool:
+        return a < b
+
+    @staticmethod
+    def is_zero(a: float) -> bool:
+        return a == float("inf")

@@ -1,0 +1,107 @@
+"""Single-source shortest-distance over the max/plus semiring.
+
+``shortest_distance`` computes, for every state, the likelihood of the
+best label-sequence-agnostic path from the start state (or to a final
+state with ``reverse=True``).  Log-probability weights are non-positive,
+so no positive cycles exist and the relaxation converges.
+
+Uses: search-space diagnostics (how much of the graph is reachable within
+a budget), lattice-style pruning bounds, and test oracles -- the beam
+decoder's best path can never beat ``forward[s] + backward[s]`` for any
+state on it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.common.errors import GraphError
+from repro.common.logmath import LOG_ZERO
+from repro.wfst.layout import CompiledWfst
+
+
+def shortest_distance(
+    graph: CompiledWfst,
+    reverse: bool = False,
+    max_relaxations: int = 50_000_000,
+) -> np.ndarray:
+    """Best-path log likelihood per state.
+
+    Args:
+        graph: the compiled WFST.
+        reverse: if False, distances *from the start state*; if True,
+            distances *to the best final state* (including its final
+            weight).
+        max_relaxations: safety bound for adversarial graphs.
+
+    Returns:
+        float64 array of length ``num_states`` (``LOG_ZERO`` where
+        unreachable).
+    """
+    n = graph.num_states
+    dist = np.full(n, LOG_ZERO)
+    on_queue = np.zeros(n, dtype=bool)
+    queue: Deque[int] = deque()
+
+    if reverse:
+        preds = _predecessors(graph)
+        finals = graph.final_states()
+        for s in finals:
+            dist[s] = graph.final_weight(s)
+            queue.append(s)
+            on_queue[s] = True
+    else:
+        dist[graph.start] = 0.0
+        queue.append(graph.start)
+        on_queue[graph.start] = True
+
+    relaxations = 0
+    while queue:
+        s = queue.popleft()
+        on_queue[s] = False
+        base = dist[s]
+        if reverse:
+            edges = preds[s]
+        else:
+            first, n_non_eps, n_eps = graph.arc_range(s)
+            edges = [
+                (int(graph.arc_dest[a]), float(graph.arc_weight[a]))
+                for a in range(first, first + n_non_eps + n_eps)
+            ]
+        for dest, weight in edges:
+            relaxations += 1
+            if relaxations > max_relaxations:
+                raise GraphError("shortest_distance relaxation budget exceeded")
+            new = base + weight
+            if new > dist[dest]:
+                dist[dest] = new
+                if not on_queue[dest]:
+                    queue.append(dest)
+                    on_queue[dest] = True
+    return dist
+
+
+def best_complete_path_score(graph: CompiledWfst) -> float:
+    """Likelihood of the best start-to-final path (acoustics ignored)."""
+    dist = shortest_distance(graph)
+    best = LOG_ZERO
+    for s in graph.final_states():
+        total = dist[s] + graph.final_weight(s)
+        if total > best:
+            best = total
+    return float(best)
+
+
+def _predecessors(graph: CompiledWfst) -> List[List]:
+    """Per-state list of (source, weight) incoming edges."""
+    preds: List[List] = [[] for _ in range(graph.num_states)]
+    for s in range(graph.num_states):
+        first, n_non_eps, n_eps = graph.arc_range(s)
+        for a in range(first, first + n_non_eps + n_eps):
+            preds[int(graph.arc_dest[a])].append(
+                (s, float(graph.arc_weight[a]))
+            )
+    return preds

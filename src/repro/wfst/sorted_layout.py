@@ -1,0 +1,206 @@
+"""Arc-count-sorted WFST layout (paper, Section IV-B).
+
+The bandwidth-saving technique re-orders states so that all states with at
+most N outgoing arcs come first, grouped and sorted by arc count.  Inside the
+group of states with exactly ``k`` arcs, arc records are laid out densely, so
+the first-arc index of a state is a linear function of its state index:
+
+    ``arc_index = state_index * k + offset[k]``
+
+The hardware realises this with N parallel comparators against the running
+group boundaries (S1, S1+S2, ...) plus a 16-entry offset table, and thereby
+skips the state fetch entirely for those states.  States with more than N
+arcs keep the indirect 64-bit state record.
+
+:class:`SortedWfst` produces the re-ordered :class:`CompiledWfst` together
+with the comparator/offset metadata, and :meth:`SortedWfst.direct_lookup`
+models the comparator bank: it returns the arc range without touching the
+states array whenever the state is in the sorted region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import GraphError
+from repro.wfst.layout import CompiledWfst, StateRecord
+
+#: Paper's operating point: direct arc computation for states with <= 16 arcs.
+DEFAULT_MAX_DIRECT_ARCS: int = 16
+
+
+@dataclass(frozen=True)
+class DirectLookupTables:
+    """Comparator boundaries and offset table for the State Issuer.
+
+    Attributes:
+        max_direct_arcs: N, the largest out-degree handled directly.
+        boundaries: cumulative state-count boundaries; ``boundaries[k-1]`` is
+            the index of the first state with more than ``k`` arcs among the
+            sorted groups (the values S1, S1+S2, ... fed to the comparators).
+        group_start: first state index of each group ``k`` (1-based key).
+        offsets: per-group additive term so that
+            ``arc = state * k + offsets[k]``.
+    """
+
+    max_direct_arcs: int
+    boundaries: Tuple[int, ...]
+    group_start: Dict[int, int]
+    offsets: Dict[int, int]
+
+
+class SortedWfst:
+    """A decoding graph in the bandwidth-optimised sorted layout."""
+
+    def __init__(
+        self,
+        graph: CompiledWfst,
+        tables: DirectLookupTables,
+        old_to_new: np.ndarray,
+    ) -> None:
+        self.graph = graph
+        self.tables = tables
+        self.old_to_new = old_to_new
+
+    @property
+    def max_direct_arcs(self) -> int:
+        return self.tables.max_direct_arcs
+
+    def direct_lookup(self, state: int) -> Optional[StateRecord]:
+        """Model the comparator bank of the modified State Issuer.
+
+        Returns the state record computed arithmetically when ``state`` lies
+        in the sorted region (out-degree <= N), or ``None`` when the
+        indirect state fetch is required.  The returned record's epsilon
+        split is not known without reading the arcs, so ``num_non_eps``
+        carries the total count and ``num_eps`` is zero; the Arc Issuer
+        discovers epsilon arcs from the arc records themselves (ilabel 0).
+        """
+        boundaries = self.tables.boundaries
+        if not boundaries or state >= boundaries[-1]:
+            return None
+        # The comparator bank: find the first boundary exceeding the index.
+        for k, bound in enumerate(boundaries, start=1):
+            if state < bound:
+                first_arc = state * k + self.tables.offsets[k]
+                return StateRecord(first_arc, k, 0)
+        return None
+
+    def covered_state_fraction(self) -> float:
+        """Static fraction of states whose arc index is directly computable."""
+        if self.graph.num_states == 0:
+            return 0.0
+        if not self.tables.boundaries:
+            return 0.0
+        return self.tables.boundaries[-1] / self.graph.num_states
+
+
+def sort_states_by_arc_count(
+    graph: CompiledWfst,
+    max_direct_arcs: int = DEFAULT_MAX_DIRECT_ARCS,
+) -> SortedWfst:
+    """Re-order a compiled graph into the sorted layout.
+
+    States with out-degree in ``1..max_direct_arcs`` are moved to the front,
+    grouped by out-degree ascending; remaining states (including out-degree
+    zero, which needs no arc lookup but would corrupt the dense grouping)
+    follow in original order.
+    """
+    if max_direct_arcs < 1:
+        raise GraphError("max_direct_arcs must be >= 1")
+
+    n = graph.num_states
+    degrees = np.array([graph.out_degree(s) for s in range(n)], dtype=np.int64)
+
+    groups: Dict[int, List[int]] = {k: [] for k in range(1, max_direct_arcs + 1)}
+    rest: List[int] = []
+    for s in range(n):
+        d = int(degrees[s])
+        if 1 <= d <= max_direct_arcs:
+            groups[d].append(s)
+        else:
+            rest.append(s)
+
+    new_order: List[int] = []
+    boundaries: List[int] = []
+    group_start: Dict[int, int] = {}
+    for k in range(1, max_direct_arcs + 1):
+        group_start[k] = len(new_order)
+        new_order.extend(groups[k])
+        boundaries.append(len(new_order))
+    new_order.extend(rest)
+
+    old_to_new = np.zeros(n, dtype=np.int64)
+    for new_id, old_id in enumerate(new_order):
+        old_to_new[old_id] = new_id
+
+    # Rebuild arc arrays in the new state order; arcs of one state stay
+    # contiguous and in their original relative order.
+    n_arcs = graph.num_arcs
+    arc_dest = np.zeros(n_arcs, dtype=np.uint32)
+    arc_weight = np.zeros(n_arcs, dtype=np.float32)
+    arc_ilabel = np.zeros(n_arcs, dtype=np.uint32)
+    arc_olabel = np.zeros(n_arcs, dtype=np.uint32)
+    states_packed = np.zeros(n, dtype=np.uint64)
+    final_weights = np.zeros(n, dtype=np.float64)
+
+    offsets: Dict[int, int] = {}
+    cursor = 0
+    for new_id, old_id in enumerate(new_order):
+        first, n_non_eps, n_eps = graph.arc_range(old_id)
+        count = n_non_eps + n_eps
+        states_packed[new_id] = CompiledWfst.pack_state(
+            StateRecord(cursor, n_non_eps, n_eps)
+        )
+        final_weights[new_id] = graph.final_weights[old_id]
+        src = slice(first, first + count)
+        dst = slice(cursor, cursor + count)
+        arc_dest[dst] = old_to_new[graph.arc_dest[src].astype(np.int64)]
+        arc_weight[dst] = graph.arc_weight[src]
+        arc_ilabel[dst] = graph.arc_ilabel[src]
+        arc_olabel[dst] = graph.arc_olabel[src]
+        cursor += count
+
+    # Derive the offset table: within group k the states are dense, so the
+    # first arc of the group anchors the linear map.
+    for k in range(1, max_direct_arcs + 1):
+        start_state = group_start[k]
+        group_size = len(groups[k])
+        if group_size == 0:
+            # Keep the linear map consistent with neighbouring groups by
+            # anchoring at where the group would begin.
+            anchor_arc = _first_arc_at(states_packed, start_state, n)
+            offsets[k] = anchor_arc - start_state * k
+            continue
+        rec = CompiledWfst.unpack_state(states_packed[start_state])
+        offsets[k] = rec.first_arc - start_state * k
+
+    sorted_graph = CompiledWfst(
+        start=int(old_to_new[graph.start]),
+        states_packed=states_packed,
+        arc_dest=arc_dest,
+        arc_weight=arc_weight,
+        arc_ilabel=arc_ilabel,
+        arc_olabel=arc_olabel,
+        final_weights=final_weights,
+    )
+    tables = DirectLookupTables(
+        max_direct_arcs=max_direct_arcs,
+        boundaries=tuple(boundaries),
+        group_start=group_start,
+        offsets=offsets,
+    )
+    return SortedWfst(sorted_graph, tables, old_to_new)
+
+
+def _first_arc_at(states_packed: np.ndarray, state: int, n_states: int) -> int:
+    """First-arc index at ``state``, or total arc count when past the end."""
+    if state < n_states:
+        return CompiledWfst.unpack_state(states_packed[state]).first_arc
+    if n_states == 0:
+        return 0
+    rec = CompiledWfst.unpack_state(states_packed[n_states - 1])
+    return rec.first_arc + rec.num_arcs

@@ -1,0 +1,49 @@
+"""Shared fixtures: small tasks and graphs reused across the test suite."""
+
+import pytest
+
+from repro.accel import AcceleratorConfig
+from repro.datasets import (
+    SyntheticGraphConfig,
+    TaskConfig,
+    generate_kaldi_like_graph,
+    generate_task,
+)
+from repro.wfst import sort_states_by_arc_count
+
+
+@pytest.fixture(scope="session")
+def small_task():
+    """A complete ASR task small enough for exhaustive checks."""
+    return generate_task(
+        TaskConfig(
+            vocab_size=60,
+            corpus_sentences=300,
+            num_utterances=4,
+            utterance_words=4,
+            seed=11,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def small_graph(small_task):
+    return small_task.graph
+
+
+@pytest.fixture(scope="session")
+def small_sorted_graph(small_graph):
+    return sort_states_by_arc_count(small_graph)
+
+
+@pytest.fixture(scope="session")
+def synthetic_graph():
+    """A mid-size Kaldi-like random graph for memory-system tests."""
+    return generate_kaldi_like_graph(
+        SyntheticGraphConfig(num_states=3000, num_phones=30, seed=7)
+    )
+
+
+@pytest.fixture(scope="session")
+def table1_config():
+    return AcceleratorConfig()

@@ -1,0 +1,214 @@
+"""Unit tests for the accelerator building blocks: memory controller,
+caches, hash tables, and pipeline timing primitives."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.accel import Cache, MemoryController, Region, TokenHashTable
+from repro.accel.config import CacheConfig, HashConfig
+from repro.accel.pipeline import RollingWindow, ThroughputGate
+
+
+class TestMemoryController:
+    def test_fixed_latency(self):
+        mem = MemoryController(latency_cycles=50)
+        assert mem.request(100, Region.ARCS, 64) == 150
+
+    def test_traffic_accounting(self):
+        mem = MemoryController()
+        mem.request(0, Region.ARCS, 64)
+        mem.request(0, Region.STATES, 64, write=False)
+        mem.write_nonblocking(0, Region.TOKENS, 64)
+        assert mem.traffic.read_bytes[Region.ARCS] == 64
+        assert mem.traffic.read_bytes[Region.STATES] == 64
+        assert mem.traffic.write_bytes[Region.TOKENS] == 64
+        assert mem.traffic.total_bytes() == 192
+
+    def test_queueing_when_burst_exceeds_inflight(self):
+        mem = MemoryController(latency_cycles=50, max_inflight=4)
+        times = [mem.request(0, Region.ARCS, 64) for _ in range(5)]
+        # The fifth request waits for the first to retire.
+        assert times[4] > times[0]
+
+    def test_no_queueing_when_spread_out(self):
+        mem = MemoryController(latency_cycles=50, max_inflight=4)
+        done = [mem.request(t * 100, Region.ARCS, 64) for t in range(6)]
+        for t, d in zip(range(6), done):
+            assert d == t * 100 + 50
+
+
+class TestCache:
+    def make(self, size=1024, assoc=2, perfect=False):
+        mem = MemoryController(latency_cycles=50)
+        cfg = CacheConfig(size_bytes=size, assoc=assoc, perfect=perfect)
+        return Cache(cfg, mem, Region.ARCS), mem
+
+    def test_miss_then_hit(self):
+        cache, _ = self.make()
+        t1, hit1 = cache.access(0, 0x100)
+        t2, hit2 = cache.access(t1, 0x100)
+        assert not hit1 and hit2
+        assert t1 == 50
+        assert t2 == t1 + 1
+
+    def test_same_line_hits(self):
+        cache, _ = self.make()
+        cache.access(0, 0x100)
+        _t, hit = cache.access(60, 0x13F)  # same 64-byte line
+        assert hit
+
+    def test_adjacent_line_misses(self):
+        cache, _ = self.make()
+        cache.access(0, 0x100)
+        _t, hit = cache.access(60, 0x140)
+        assert not hit
+
+    def test_lru_eviction(self):
+        # 1024 B, 2-way, 64 B lines -> 8 sets; two lines map to set 0
+        # when their line ids differ by 8.
+        cache, _ = self.make(size=1024, assoc=2)
+        a, b, c = 0x000, 0x200, 0x400  # line ids 0, 8, 16 -> all set 0
+        cache.access(0, a)
+        cache.access(100, b)
+        cache.access(200, c)  # evicts a (LRU)
+        _t, hit_b = cache.access(300, b)
+        _t, hit_a = cache.access(400, a)
+        assert hit_b and not hit_a
+
+    def test_tags_updated_immediately(self):
+        """Paper, Section IV-A: a second access to an in-flight line hits
+        but still waits for the fill."""
+        cache, _ = self.make()
+        t1, hit1 = cache.access(0, 0x100)
+        t2, hit2 = cache.access(1, 0x100)
+        assert not hit1 and hit2
+        assert t2 >= t1  # data not available before the fill returns
+
+    def test_dirty_eviction_writes_back(self):
+        cache, mem = self.make(size=1024, assoc=2)
+        cache.access(0, 0x000, write=True)
+        cache.access(100, 0x200)
+        cache.access(200, 0x400)  # evicts the dirty line
+        assert cache.stats.writebacks == 1
+        assert mem.traffic.write_bytes.get(Region.ARCS, 0) == 64
+
+    def test_perfect_cache_never_misses(self):
+        cache, _ = self.make(perfect=True)
+        for addr in range(0, 1 << 16, 64):
+            _t, hit = cache.access(0, addr)
+            assert hit
+        assert cache.stats.misses == 0
+
+    def test_flush_dirty(self):
+        cache, mem = self.make()
+        cache.access(0, 0x000, write=True)
+        cache.access(0, 0x040, write=True)
+        count = cache.flush_dirty(100)
+        assert count == 2
+        assert mem.traffic.write_bytes[Region.ARCS] == 128
+
+    def test_miss_ratio(self):
+        cache, _ = self.make()
+        cache.access(0, 0x000)
+        cache.access(10, 0x000)
+        cache.access(20, 0x000)
+        cache.access(30, 0x040)
+        assert cache.stats.miss_ratio == pytest.approx(0.5)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=100, assoc=2)  # not line-aligned
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=0, assoc=1)
+
+
+class TestTokenHashTable:
+    def make(self, entries=64, backup=8, perfect=False):
+        mem = MemoryController(latency_cycles=50)
+        cfg = HashConfig(
+            num_entries=entries, backup_entries=backup, perfect=perfect
+        )
+        return TokenHashTable(cfg, mem), mem
+
+    def test_first_insert_is_one_cycle(self):
+        hash_table, _ = self.make()
+        done, cycles = hash_table.access(10, state=5)
+        assert cycles == 1
+        assert done == 11
+
+    def test_repeat_access_same_cost(self):
+        hash_table, _ = self.make()
+        hash_table.access(0, state=5)
+        _done, cycles = hash_table.access(10, state=5)
+        assert cycles == 1
+
+    def test_collision_costs_extra_cycles(self):
+        hash_table, _ = self.make(entries=1)  # everything collides
+        hash_table.access(0, state=1)
+        _done, c2 = hash_table.access(10, state=2)
+        _done, c3 = hash_table.access(20, state=3)
+        assert c2 == 2 and c3 == 3
+        assert hash_table.stats.collisions == 2
+
+    def test_overflow_goes_to_memory(self):
+        hash_table, mem = self.make(entries=1, backup=1)
+        hash_table.access(0, state=1)
+        hash_table.access(0, state=2)  # fills the backup buffer
+        done, cycles = hash_table.access(0, state=3)  # overflows
+        assert cycles >= 50
+        assert hash_table.stats.overflows >= 1
+        assert mem.traffic.region_bytes(Region.OVERFLOW) > 0
+
+    def test_clear_resets_frame(self):
+        hash_table, _ = self.make(entries=1)
+        hash_table.access(0, state=1)
+        hash_table.access(0, state=2)
+        hash_table.clear()
+        _done, cycles = hash_table.access(0, state=2)
+        assert cycles == 1
+        assert hash_table.occupancy == 1
+
+    def test_perfect_hash_always_one_cycle(self):
+        hash_table, _ = self.make(entries=1, perfect=True)
+        for s in range(20):
+            _done, cycles = hash_table.access(0, state=s)
+            assert cycles == 1
+
+    def test_avg_cycles_metric(self):
+        hash_table, _ = self.make(entries=1)
+        hash_table.access(0, state=1)
+        hash_table.access(0, state=2)
+        assert hash_table.stats.avg_cycles_per_request == pytest.approx(1.5)
+
+
+class TestPipelinePrimitives:
+    def test_rolling_window_allows_depth(self):
+        win = RollingWindow(2)
+        assert win.gate() == 0
+        win.push(100)
+        assert win.gate() == 0
+        win.push(200)
+        assert win.gate() == 100  # third op waits for the first
+
+    def test_rolling_window_drain(self):
+        win = RollingWindow(4)
+        win.push(10)
+        win.push(50)
+        assert win.drain() == 50
+
+    def test_rolling_window_invalid_depth(self):
+        with pytest.raises(ConfigError):
+            RollingWindow(0)
+
+    def test_throughput_gate_spacing(self):
+        gate = ThroughputGate(2)
+        assert gate.next_slot(0) == 0
+        assert gate.next_slot(0) == 2
+        assert gate.next_slot(10) == 10
+        assert gate.next_slot(10) == 12
+
+    def test_throughput_gate_reset(self):
+        gate = ThroughputGate(1)
+        gate.next_slot(5)
+        gate.reset()
+        assert gate.next_slot(0) == 0

@@ -1,0 +1,129 @@
+"""Tests for the DNN acoustic model, trainer, and scorers."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.acoustic import (
+    Dnn,
+    DnnConfig,
+    DnnScorer,
+    SyntheticScorer,
+    TrainConfig,
+    train_dnn,
+)
+from repro.acoustic.trainer import _backward
+from repro.frontend import PhoneAlignment
+
+
+@pytest.fixture()
+def tiny_dnn():
+    return Dnn(DnnConfig(input_dim=8, hidden_dims=(16,), num_classes=5), seed=3)
+
+
+class TestDnnForward:
+    def test_log_posteriors_normalised(self, tiny_dnn):
+        x = np.random.default_rng(0).normal(size=(10, 8))
+        log_post = tiny_dnn.log_posteriors(x)
+        assert log_post.shape == (10, 5)
+        sums = np.exp(log_post).sum(axis=1)
+        assert np.allclose(sums, 1.0)
+
+    def test_predict_shape(self, tiny_dnn):
+        x = np.zeros((4, 8))
+        assert tiny_dnn.predict(x).shape == (4,)
+
+    def test_num_params(self, tiny_dnn):
+        assert tiny_dnn.num_params == 8 * 16 + 16 + 16 * 5 + 5
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            DnnConfig(input_dim=0, hidden_dims=(4,), num_classes=3)
+        with pytest.raises(ConfigError):
+            DnnConfig(input_dim=4, hidden_dims=(0,), num_classes=3)
+
+
+class TestGradients:
+    def test_numerical_gradient_check(self, tiny_dnn):
+        """Backprop must match finite differences."""
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(6, 8))
+        y = rng.integers(0, 5, size=6)
+        loss, grads_w, _grads_b = _backward(tiny_dnn, x, y)
+
+        eps = 1e-6
+        w = tiny_dnn.weights[0]
+        for idx in [(0, 0), (3, 7), (7, 15)]:
+            orig = w[idx]
+            w[idx] = orig + eps
+            loss_hi, _, _ = _backward(tiny_dnn, x, y)
+            w[idx] = orig - eps
+            loss_lo, _, _ = _backward(tiny_dnn, x, y)
+            w[idx] = orig
+            numeric = (loss_hi - loss_lo) / (2 * eps)
+            assert grads_w[0][idx] == pytest.approx(numeric, abs=1e-4)
+
+
+class TestTrainer:
+    def test_learns_separable_task(self):
+        rng = np.random.default_rng(2)
+        centers = rng.normal(scale=3.0, size=(4, 10))
+        labels = rng.integers(0, 4, size=600)
+        feats = centers[labels] + rng.normal(scale=0.5, size=(600, 10))
+
+        dnn = Dnn(DnnConfig(10, (32,), 4), seed=0)
+        losses = train_dnn(
+            dnn, feats, labels, TrainConfig(epochs=15, learning_rate=0.1, seed=0)
+        )
+        assert losses[-1] < losses[0] * 0.5
+        accuracy = (dnn.predict(feats) == labels).mean()
+        assert accuracy > 0.9
+
+    def test_shape_mismatch_rejected(self, tiny_dnn):
+        with pytest.raises(ConfigError):
+            train_dnn(tiny_dnn, np.zeros((4, 8)), np.zeros(5, dtype=int))
+
+    def test_label_out_of_range_rejected(self, tiny_dnn):
+        with pytest.raises(ConfigError):
+            train_dnn(tiny_dnn, np.zeros((2, 8)), np.array([0, 7]))
+
+
+class TestScorers:
+    def test_dnn_scorer_shape_and_epsilon_column(self, tiny_dnn):
+        priors = DnnScorer.priors_from_labels(np.array([0, 1, 2, 3, 4]), 5)
+        scorer = DnnScorer(tiny_dnn, priors)
+        scores = scorer.score(np.zeros((7, 8)))
+        assert scores.matrix.shape == (7, 6)
+        assert (scores.matrix[:, 0] < -1e8).all()
+        assert scores.num_phones == 5
+
+    def test_priors_sum_to_one(self):
+        priors = DnnScorer.priors_from_labels(np.array([0, 0, 1]), 3)
+        assert np.exp(priors).sum() == pytest.approx(1.0)
+
+    def test_synthetic_scorer_favours_true_phone(self):
+        align = PhoneAlignment((3, 7), (5, 5))
+        scorer = SyntheticScorer(num_phones=10, separation=5.0, noise=0.5, seed=1)
+        scores = scorer.score(align)
+        labels = align.frame_labels()
+        for f in range(scores.num_frames):
+            best = int(np.argmax(scores.matrix[f, 1:])) + 1
+            assert best == labels[f]
+
+    def test_synthetic_scores_are_log_likelihoods(self):
+        align = PhoneAlignment((1,), (20,))
+        scores = SyntheticScorer(num_phones=5, seed=2).score(align)
+        assert (scores.matrix[:, 1:] <= 0).all()
+
+    def test_score_accessors(self):
+        align = PhoneAlignment((2,), (3,))
+        scores = SyntheticScorer(num_phones=4, seed=3).score(align)
+        assert scores.score(0, 2) == scores.matrix[0, 2]
+        with pytest.raises(ConfigError):
+            scores.score(0, 0)
+
+    def test_invalid_scorer_config(self):
+        with pytest.raises(ConfigError):
+            SyntheticScorer(num_phones=1)
+        with pytest.raises(ConfigError):
+            SyntheticScorer(num_phones=5, separation=-1.0)

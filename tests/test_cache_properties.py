@@ -1,0 +1,102 @@
+"""Property-based tests for the cache model against a reference LRU."""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accel import Cache, MemoryController, Region
+from repro.accel.config import CacheConfig
+
+
+class ReferenceLru:
+    """An independent, dead-simple LRU model (line-granular)."""
+
+    def __init__(self, num_sets: int, assoc: int, line: int) -> None:
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.line = line
+        self.sets = [OrderedDict() for _ in range(num_sets)]
+
+    def access(self, addr: int) -> bool:
+        line_id = addr // self.line
+        ways = self.sets[line_id % self.num_sets]
+        if line_id in ways:
+            ways.move_to_end(line_id)
+            return True
+        if len(ways) >= self.assoc:
+            ways.popitem(last=False)
+        ways[line_id] = True
+        return False
+
+
+addresses = st.lists(
+    st.integers(0, 4095).map(lambda x: x * 16), min_size=1, max_size=300
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(addresses)
+def test_hit_miss_sequence_matches_reference(addrs):
+    config = CacheConfig(size_bytes=2048, assoc=2)  # 16 sets
+    cache = Cache(config, MemoryController(), Region.ARCS)
+    ref = ReferenceLru(config.num_sets, config.assoc, config.line_bytes)
+
+    time = 0
+    for addr in addrs:
+        time += 1
+        _done, hit = cache.access(time, addr)
+        assert hit == ref.access(addr), f"divergence at address {addr:#x}"
+
+
+@settings(max_examples=30, deadline=None)
+@given(addresses)
+def test_miss_count_invariant_under_timing(addrs):
+    """Hits and misses depend only on the address stream, not on timing."""
+    config = CacheConfig(size_bytes=1024, assoc=4)
+
+    def run(time_step):
+        cache = Cache(config, MemoryController(), Region.ARCS)
+        time = 0
+        for addr in addrs:
+            time += time_step
+            cache.access(time, addr)
+        return cache.stats.misses
+
+    assert run(1) == run(100)
+
+
+@settings(max_examples=30, deadline=None)
+@given(addresses)
+def test_fully_associative_upper_bounds_hits(addrs):
+    """More associativity (same capacity) can reduce conflict misses for
+    these short streams without pathological LRU interactions."""
+    direct = CacheConfig(size_bytes=1024, assoc=1)
+    cache = Cache(direct, MemoryController(), Region.ARCS)
+    time = 0
+    for addr in addrs:
+        time += 1
+        cache.access(time, addr)
+    # Sanity rather than theory (Belady anomalies exist for LRU only
+    # across capacities, not associativity at fixed capacity with LRU
+    # stack property): the model never produces more misses than accesses
+    # nor fewer than distinct lines.
+    distinct_lines = len({a // 64 for a in addrs})
+    assert distinct_lines <= cache.stats.misses <= len(addrs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(addresses, st.integers(1, 3))
+def test_lru_stack_property(addrs, shift):
+    """Doubling associativity at fixed set count never adds misses (LRU
+    inclusion property per set)."""
+    small = CacheConfig(size_bytes=1024, assoc=2)       # 8 sets
+    big = CacheConfig(size_bytes=2048, assoc=4)         # 8 sets, deeper ways
+
+    def misses(config):
+        cache = Cache(config, MemoryController(), Region.ARCS)
+        for t, addr in enumerate(addrs):
+            cache.access(t, addr)
+        return cache.stats.misses
+
+    assert misses(big) <= misses(small)

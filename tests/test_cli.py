@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for cmd in ("build-task", "decode", "simulate", "compare"):
+            args = parser.parse_args([cmd] if cmd != "simulate" else [cmd])
+            assert hasattr(args, "func")
+
+    def test_simulate_config_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["simulate", "--config", "arc"])
+        assert args.config == "arc"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["simulate", "--config", "nonsense"])
+
+
+class TestCommands:
+    def test_build_task(self, capsys, tmp_path):
+        out = str(tmp_path / "graph.npz")
+        code = main(["build-task", "--vocab", "40", "--utterances", "2",
+                     "--output", out])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "graph" in captured
+        assert (tmp_path / "graph.npz").exists()
+
+    def test_decode(self, capsys):
+        code = main(["decode", "--vocab", "40", "--utterances", "2",
+                     "--seed", "4"])
+        assert code == 0
+        assert "mean WER" in capsys.readouterr().out
+
+    def test_simulate_all_configs(self, capsys):
+        for config in ("base", "state", "arc", "both"):
+            code = main(["simulate", "--vocab", "40", "--utterances", "1",
+                         "--seed", "4", "--config", config])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "cycles" in out
+            assert f"config '{config}'" in out
+
+    def test_compare_small(self, capsys):
+        code = main(["compare", "--states", "3000", "--frames", "8",
+                     "--max-active", "200", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ASIC+State&Arc" in out
+        assert "vs GPU" in out

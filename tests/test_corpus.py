@@ -1,0 +1,48 @@
+"""Tests for synthetic corpus generation."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.datasets import CorpusConfig, generate_corpus
+
+
+def test_sentence_count():
+    corpus = generate_corpus(CorpusConfig(vocab_size=50, num_sentences=200, seed=1))
+    assert len(corpus) == 200
+
+
+def test_word_ids_in_range():
+    corpus = generate_corpus(CorpusConfig(vocab_size=30, num_sentences=100, seed=2))
+    words = [w for s in corpus for w in s]
+    assert min(words) >= 1 and max(words) <= 30
+
+
+def test_mean_length_near_target():
+    cfg = CorpusConfig(vocab_size=50, num_sentences=2000, mean_sentence_len=8, seed=3)
+    corpus = generate_corpus(cfg)
+    mean = np.mean([len(s) for s in corpus])
+    assert 5.0 < mean < 12.0
+
+
+def test_zipf_skew():
+    """Top-decile words should dominate the corpus."""
+    cfg = CorpusConfig(vocab_size=100, num_sentences=2000, seed=4)
+    corpus = generate_corpus(cfg)
+    counts = np.bincount(
+        [w for s in corpus for w in s], minlength=101
+    )[1:]
+    top10 = np.sort(counts)[-10:].sum()
+    assert top10 > 0.4 * counts.sum()
+
+
+def test_deterministic():
+    cfg = CorpusConfig(vocab_size=20, num_sentences=50, seed=5)
+    assert generate_corpus(cfg) == generate_corpus(cfg)
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ConfigError):
+        CorpusConfig(vocab_size=1, num_sentences=10)
+    with pytest.raises(ConfigError):
+        CorpusConfig(vocab_size=10, num_sentences=0)

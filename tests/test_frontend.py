@@ -1,0 +1,128 @@
+"""Tests for the audio synthesiser and MFCC pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.frontend import (
+    AudioSynthesizer,
+    MfccConfig,
+    MfccExtractor,
+    PhoneAlignment,
+    hz_to_mel,
+    mel_to_hz,
+)
+from repro.lexicon import PhoneSet
+
+
+@pytest.fixture(scope="module")
+def phone_set():
+    return PhoneSet()
+
+
+@pytest.fixture(scope="module")
+def synth(phone_set):
+    return AudioSynthesizer(phone_set, seed=1)
+
+
+class TestMelScale:
+    def test_zero_hz_is_zero_mel(self):
+        assert hz_to_mel(0.0) == 0.0
+
+    def test_round_trip(self):
+        freqs = np.array([100.0, 440.0, 1000.0, 4000.0])
+        assert np.allclose(mel_to_hz(hz_to_mel(freqs)), freqs)
+
+    def test_monotonic(self):
+        freqs = np.linspace(1, 8000, 100)
+        mels = hz_to_mel(freqs)
+        assert (np.diff(mels) > 0).all()
+
+
+class TestAlignment:
+    def test_total_frames(self):
+        a = PhoneAlignment((1, 2, 3), (4, 5, 6))
+        assert a.total_frames == 15
+
+    def test_frame_labels_expand(self):
+        a = PhoneAlignment((7, 9), (2, 3))
+        assert a.frame_labels().tolist() == [7, 7, 9, 9, 9]
+
+
+class TestSynthesizer:
+    def test_waveform_length_matches_alignment(self, synth):
+        wave, align = synth.synthesize([1, 5, 9], seed=3)
+        assert len(wave) == align.total_frames * synth.hop_samples
+
+    def test_normalised(self, synth):
+        wave, _ = synth.synthesize([1, 2, 3, 4], seed=4)
+        assert np.abs(wave).max() <= 1.0
+
+    def test_deterministic(self, synth):
+        a, _ = synth.synthesize([1, 2], seed=5)
+        b, _ = synth.synthesize([1, 2], seed=5)
+        assert np.array_equal(a, b)
+
+    def test_different_phones_differ_spectrally(self, synth, phone_set):
+        wave_a, _ = synth.synthesize([1] * 4, seed=6)
+        wave_b, _ = synth.synthesize([10] * 4, seed=6)
+        spec_a = np.abs(np.fft.rfft(wave_a))
+        spec_b = np.abs(np.fft.rfft(wave_b))
+        corr = np.corrcoef(spec_a, spec_b)[0, 1]
+        assert corr < 0.9
+
+    def test_empty_sequence_rejected(self, synth):
+        with pytest.raises(ConfigError):
+            synth.synthesize([], seed=0)
+
+
+class TestMfcc:
+    def test_output_shape(self, synth):
+        wave, align = synth.synthesize([1, 2, 3], seed=7)
+        cfg = MfccConfig()
+        feats = MfccExtractor(cfg).extract(wave)
+        assert feats.shape[1] == cfg.feature_dim
+        # One feature frame per 10 ms hop (within window-edge truncation).
+        assert abs(feats.shape[0] - align.total_frames) <= 3
+
+    def test_feature_dim_arithmetic(self):
+        cfg = MfccConfig(num_ceps=13, include_energy=True, include_deltas=True)
+        assert cfg.feature_dim == (13 + 1) * 3
+        cfg2 = MfccConfig(include_energy=False, include_deltas=False)
+        assert cfg2.feature_dim == 13
+
+    def test_deterministic(self, synth):
+        wave, _ = synth.synthesize([1, 2], seed=8)
+        ex = MfccExtractor()
+        assert np.array_equal(ex.extract(wave), ex.extract(wave))
+
+    def test_same_phone_frames_cluster(self, synth):
+        """Frames of one phone must be closer to each other than to
+        frames of a different phone -- the property the DNN relies on."""
+        wave, align = synth.synthesize([1] * 3 + [20] * 3, seed=9)
+        feats = MfccExtractor(MfccConfig(include_deltas=False)).extract(wave)
+        labels = align.frame_labels()[: len(feats)]
+        a = feats[labels == 1].mean(axis=0)
+        b = feats[labels == 20].mean(axis=0)
+        within = np.linalg.norm(feats[labels == 1] - a, axis=1).mean()
+        between = np.linalg.norm(a - b)
+        assert between > within * 0.5
+
+    def test_filterbank_covers_all_filters(self):
+        ex = MfccExtractor()
+        assert (ex._filterbank.sum(axis=1) > 0).all()
+
+    def test_dct_rows_orthogonal(self):
+        ex = MfccExtractor()
+        d = ex._dct
+        gram = d @ d.T
+        off_diag = gram - np.diag(np.diag(gram))
+        assert np.abs(off_diag).max() < 1e-9
+
+    def test_too_short_waveform_rejected(self):
+        with pytest.raises(ConfigError):
+            MfccExtractor().extract(np.zeros(10))
+
+    def test_nyquist_violation_rejected(self):
+        with pytest.raises(ConfigError):
+            MfccConfig(sample_rate=8000, high_freq_hz=7600.0)

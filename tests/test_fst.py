@@ -1,0 +1,92 @@
+"""Tests for the mutable FST."""
+
+import pytest
+
+from repro.common.errors import GraphError
+from repro.common.logmath import LOG_ZERO
+from repro.wfst import EPSILON, Fst
+
+
+def chain_fst():
+    fst = Fst()
+    s0, s1, s2 = fst.add_states(3)
+    fst.set_start(s0)
+    fst.add_arc(s0, 1, 10, -0.5, s1)
+    fst.add_arc(s1, 2, EPSILON, -0.25, s2)
+    fst.set_final(s2, 0.0)
+    return fst
+
+
+class TestConstruction:
+    def test_add_states_returns_sequential_ids(self):
+        fst = Fst()
+        assert fst.add_states(3) == [0, 1, 2]
+
+    def test_counts(self):
+        fst = chain_fst()
+        assert fst.num_states == 3
+        assert fst.num_arcs == 2
+
+    def test_arc_attributes(self):
+        fst = chain_fst()
+        arc = fst.arcs(0)[0]
+        assert (arc.ilabel, arc.olabel, arc.dest) == (1, 10, 1)
+        assert arc.weight == -0.5
+        assert not arc.is_epsilon
+
+    def test_epsilon_detection(self):
+        fst = Fst()
+        s = fst.add_state()
+        fst.add_arc(s, EPSILON, 5, 0.0, s)
+        assert fst.arcs(s)[0].is_epsilon
+        assert fst.num_epsilon_arcs() == 1
+
+    def test_negative_label_rejected(self):
+        fst = Fst()
+        s = fst.add_state()
+        with pytest.raises(GraphError):
+            fst.add_arc(s, -1, 0, 0.0, s)
+
+    def test_arc_to_missing_state_rejected(self):
+        fst = Fst()
+        s = fst.add_state()
+        with pytest.raises(GraphError):
+            fst.add_arc(s, 1, 1, 0.0, 99)
+
+
+class TestStartAndFinal:
+    def test_start_unset_raises(self):
+        with pytest.raises(GraphError):
+            Fst().start
+
+    def test_has_start(self):
+        fst = Fst()
+        assert not fst.has_start
+        fst.set_start(fst.add_state())
+        assert fst.has_start
+
+    def test_final_weight_default_is_log_zero(self):
+        fst = Fst()
+        s = fst.add_state()
+        assert fst.final_weight(s) == LOG_ZERO
+        assert not fst.is_final(s)
+
+    def test_set_final(self):
+        fst = Fst()
+        s = fst.add_state()
+        fst.set_final(s, -1.5)
+        assert fst.is_final(s)
+        assert fst.final_weight(s) == -1.5
+
+
+class TestMutation:
+    def test_replace_arcs(self):
+        fst = chain_fst()
+        fst.replace_arcs(0, [])
+        assert fst.out_degree(0) == 0
+        assert fst.num_arcs == 1
+
+    def test_out_degree(self):
+        fst = chain_fst()
+        assert fst.out_degree(0) == 1
+        assert fst.out_degree(2) == 0

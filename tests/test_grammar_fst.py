@@ -1,0 +1,59 @@
+"""Tests for the grammar (G) transducer."""
+
+import pytest
+
+from repro.lm import build_grammar_fst, train_ngram
+from repro.wfst import EPSILON
+from repro.wfst.ops import remove_epsilon_cycles
+
+
+@pytest.fixture(scope="module")
+def model():
+    corpus = [[1, 2, 3], [1, 2], [2, 3]] * 4
+    return train_ngram(corpus, vocab_size=3)
+
+
+@pytest.fixture(scope="module")
+def grammar(model):
+    return build_grammar_fst(model)
+
+
+def test_acceptor_labels_match(grammar):
+    for s in grammar.states():
+        for arc in grammar.arcs(s):
+            assert arc.ilabel == arc.olabel
+
+
+def test_backoff_arcs_are_epsilon(grammar):
+    eps_arcs = [
+        a for s in grammar.states() for a in grammar.arcs(s) if a.is_epsilon
+    ]
+    assert eps_arcs, "grammar must contain backoff epsilon arcs"
+    # All epsilon arcs point at the single backoff state.
+    dests = {a.dest for a in eps_arcs}
+    assert len(dests) == 1
+
+
+def test_epsilon_acyclic(grammar):
+    remove_epsilon_cycles(grammar)
+
+
+def test_observed_bigram_weight_matches_model(grammar, model):
+    # Find history state of word 1 by walking arc labeled 1 from start.
+    start_arcs = {a.ilabel: a for a in grammar.arcs(grammar.start)}
+    h1 = start_arcs[1].dest
+    arcs1 = {a.ilabel: a for a in grammar.arcs(h1) if not a.is_epsilon}
+    assert arcs1[2].weight == pytest.approx(model.bigram_logprob[(1, 2)])
+
+
+def test_every_word_reachable_from_backoff(grammar, model):
+    eps = next(
+        a for s in grammar.states() for a in grammar.arcs(s) if a.is_epsilon
+    )
+    backoff = eps.dest
+    labels = {a.ilabel for a in grammar.arcs(backoff)}
+    assert labels == set(range(1, model.vocab_size + 1))
+
+
+def test_final_states_exist(grammar):
+    assert any(grammar.is_final(s) for s in grammar.states())

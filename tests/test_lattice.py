@@ -1,0 +1,79 @@
+"""Tests for lattice decoding and N-best extraction."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.decoder import BeamSearchConfig, ViterbiDecoder, word_error_rate
+from repro.decoder.lattice import LatticeDecoder
+
+
+@pytest.fixture(scope="module")
+def lattice_task():
+    from repro.datasets import TaskConfig, generate_task
+
+    # Short utterances keep the lattice (and Yen's algorithm) small.
+    return generate_task(
+        TaskConfig(vocab_size=40, corpus_sentences=200, num_utterances=2,
+                   utterance_words=2, mean_frames_per_phone=4, seed=17)
+    )
+
+
+@pytest.fixture(scope="module")
+def decoded(lattice_task):
+    config = BeamSearchConfig(beam=12.0)
+    lattice_decoder = LatticeDecoder(
+        lattice_task.graph, config, lattice_beam=6.0
+    )
+    viterbi = ViterbiDecoder(lattice_task.graph, config)
+    utt = lattice_task.utterances[0]
+    return (
+        lattice_decoder.decode(utt.scores),
+        viterbi.decode(utt.scores),
+        utt,
+    )
+
+
+class TestLattice:
+    def test_best_path_matches_viterbi(self, decoded):
+        lattice, viterbi_result, _utt = decoded
+        best = lattice.best_path()
+        assert best.words == viterbi_result.words
+        assert best.log_likelihood == pytest.approx(
+            viterbi_result.log_likelihood
+        )
+
+    def test_nbest_scores_non_increasing(self, decoded):
+        lattice, _vit, _utt = decoded
+        entries = lattice.nbest(5)
+        assert len(entries) >= 1
+        scores = [e.log_likelihood for e in entries]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_nbest_hypotheses_distinct(self, decoded):
+        lattice, _vit, _utt = decoded
+        entries = lattice.nbest(5)
+        words = [e.words for e in entries]
+        assert len(set(words)) == len(words)
+
+    def test_oracle_wer_at_most_onebest(self, decoded):
+        lattice, viterbi_result, utt = decoded
+        onebest = word_error_rate(utt.words, viterbi_result.words)
+        assert lattice.oracle_wer(utt.words, k=10) <= onebest + 1e-9
+
+    def test_lattice_has_nodes_and_edges(self, decoded):
+        lattice, _vit, _utt = decoded
+        assert lattice.num_nodes > 0
+        assert lattice.num_edges > lattice.num_nodes  # alternatives exist
+
+    def test_wider_lattice_beam_keeps_more(self, lattice_task):
+        utt = lattice_task.utterances[1]
+        config = BeamSearchConfig(beam=12.0)
+        narrow = LatticeDecoder(lattice_task.graph, config, lattice_beam=2.0)
+        wide = LatticeDecoder(lattice_task.graph, config, lattice_beam=10.0)
+        n = narrow.decode(utt.scores)
+        w = wide.decode(utt.scores)
+        assert w.num_nodes >= n.num_nodes
+
+    def test_invalid_params_rejected(self, small_graph):
+        with pytest.raises(ConfigError):
+            LatticeDecoder(small_graph, lattice_beam=0.0)

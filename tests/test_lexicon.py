@@ -1,0 +1,89 @@
+"""Tests for the phone inventory and lexicon generation."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.lexicon import (
+    DEFAULT_PHONES,
+    Lexicon,
+    PhoneSet,
+    SILENCE_PHONE,
+    generate_lexicon,
+)
+
+
+class TestPhoneSet:
+    def test_ids_start_at_one(self):
+        ps = PhoneSet()
+        assert min(ps.ids()) == 1
+        assert max(ps.ids()) == ps.num_phones
+
+    def test_silence_always_present(self):
+        ps = PhoneSet(["aa", "b"])
+        assert SILENCE_PHONE in ps.symbols()
+
+    def test_symbol_round_trip(self):
+        ps = PhoneSet()
+        for symbol in DEFAULT_PHONES:
+            assert ps.symbol_of(ps.id_of(symbol)) == symbol
+
+    def test_unknown_symbol_raises(self):
+        with pytest.raises(ConfigError):
+            PhoneSet().id_of("qq")
+
+    def test_out_of_range_id_raises(self):
+        ps = PhoneSet()
+        with pytest.raises(ConfigError):
+            ps.symbol_of(0)
+        with pytest.raises(ConfigError):
+            ps.symbol_of(ps.num_phones + 1)
+
+    def test_duplicate_phones_rejected(self):
+        with pytest.raises(ConfigError):
+            PhoneSet(["aa", "aa"])
+
+    def test_non_silence_ids_excludes_silence(self):
+        ps = PhoneSet()
+        assert ps.silence_id not in ps.non_silence_ids()
+
+
+class TestGenerateLexicon:
+    def test_vocab_size(self):
+        lex = generate_lexicon(50, seed=1)
+        assert lex.vocab_size == 50
+
+    def test_pronunciations_unique(self):
+        lex = generate_lexicon(200, seed=2)
+        assert len(set(lex.pronunciations)) == 200
+
+    def test_pronunciation_lengths_in_range(self):
+        lex = generate_lexicon(100, seed=3, min_phones=3, max_phones=5)
+        assert all(3 <= len(p) <= 5 for p in lex.pronunciations)
+
+    def test_no_silence_inside_words(self):
+        lex = generate_lexicon(100, seed=4)
+        sil = lex.phones.silence_id
+        assert all(sil not in p for p in lex.pronunciations)
+
+    def test_deterministic(self):
+        a = generate_lexicon(30, seed=9)
+        b = generate_lexicon(30, seed=9)
+        assert a.pronunciations == b.pronunciations
+
+    def test_word_id_round_trip(self):
+        lex = generate_lexicon(10, seed=5)
+        for wid in lex.word_ids():
+            assert lex.word_id(lex.word_of(wid)) == wid
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_lexicon(0)
+        with pytest.raises(ConfigError):
+            generate_lexicon(10, min_phones=5, max_phones=3)
+
+    def test_word_id_out_of_range(self):
+        lex = generate_lexicon(5, seed=6)
+        with pytest.raises(ConfigError):
+            lex.pronunciation(6)
+        with pytest.raises(ConfigError):
+            lex.word_of(0)

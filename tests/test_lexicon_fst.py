@@ -1,0 +1,94 @@
+"""Tests for the lexicon transducer construction."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.lexicon import build_lexicon_fst, generate_lexicon
+from repro.wfst import EPSILON
+from repro.wfst.ops import remove_epsilon_cycles
+
+
+@pytest.fixture(scope="module")
+def lexicon():
+    return generate_lexicon(20, seed=1)
+
+
+def walk_word(fst, lexicon, word_id):
+    """Follow the pronunciation of a word through L; return emitted words."""
+    pron = lexicon.pronunciation(word_id)
+    state = fst.start
+    emitted = []
+    for phone in pron:
+        # Take the non-self-loop arc consuming this phone that leaves the
+        # current state toward an unvisited state.
+        candidates = [
+            a for a in fst.arcs(state) if a.ilabel == phone and a.dest != state
+        ]
+        assert candidates, f"no arc for phone {phone} from state {state}"
+        # Words share a root: pick the arc that eventually matches; for the
+        # unique-pronunciation lexicon the first is correct except at the
+        # root, where the olabel disambiguates.
+        arc = next(
+            (a for a in candidates if a.olabel == word_id), candidates[0]
+        )
+        if arc.olabel != EPSILON:
+            emitted.append(arc.olabel)
+        state = arc.dest
+    return emitted, state
+
+
+class TestStructure:
+    def test_root_is_start_and_final(self, lexicon):
+        fst = build_lexicon_fst(lexicon)
+        assert fst.is_final(fst.start)
+
+    def test_every_word_spells_out(self, lexicon):
+        fst = build_lexicon_fst(lexicon)
+        for wid in lexicon.word_ids():
+            emitted, state = walk_word(fst, lexicon, wid)
+            assert emitted == [wid]
+            # Last phone state returns to root via epsilon.
+            eps_arcs = [a for a in fst.arcs(state) if a.is_epsilon]
+            assert any(a.dest == fst.start for a in eps_arcs)
+
+    def test_word_emitted_on_first_arc(self, lexicon):
+        fst = build_lexicon_fst(lexicon)
+        root_olabels = {
+            a.olabel for a in fst.arcs(fst.start) if a.olabel != EPSILON
+        }
+        assert root_olabels == set(lexicon.word_ids())
+
+    def test_self_loops_present(self, lexicon):
+        fst = build_lexicon_fst(lexicon, self_loop_prob=0.7)
+        wid = 1
+        pron = lexicon.pronunciation(wid)
+        _emitted, state = walk_word(fst, lexicon, wid)
+        loops = [a for a in fst.arcs(state) if a.dest == state]
+        assert len(loops) == 1
+        assert loops[0].ilabel == pron[-1]
+
+    def test_self_loops_disabled(self, lexicon):
+        fst = build_lexicon_fst(lexicon, self_loop_prob=0.0)
+        for s in fst.states():
+            assert all(a.dest != s for a in fst.arcs(s))
+
+    def test_silence_loop(self, lexicon):
+        fst = build_lexicon_fst(lexicon, silence_prob=0.3)
+        sil = lexicon.phones.silence_id
+        sil_arcs = [a for a in fst.arcs(fst.start) if a.ilabel == sil]
+        assert len(sil_arcs) == 1
+
+    def test_silence_disabled(self, lexicon):
+        fst = build_lexicon_fst(lexicon, silence_prob=0.0)
+        sil = lexicon.phones.silence_id
+        assert all(a.ilabel != sil for a in fst.arcs(fst.start))
+
+    def test_epsilon_acyclic(self, lexicon):
+        fst = build_lexicon_fst(lexicon)
+        remove_epsilon_cycles(fst)  # should not raise
+
+    def test_invalid_probs_rejected(self, lexicon):
+        with pytest.raises(ConfigError):
+            build_lexicon_fst(lexicon, silence_prob=1.0)
+        with pytest.raises(ConfigError):
+            build_lexicon_fst(lexicon, self_loop_prob=-0.1)

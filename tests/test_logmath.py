@@ -1,0 +1,99 @@
+"""Unit and property tests for log-space arithmetic."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.logmath import (
+    LOG_ZERO,
+    from_prob,
+    is_log_zero,
+    log_add,
+    log_add_array,
+    log_mul,
+    to_prob,
+)
+
+probs = st.floats(min_value=1e-12, max_value=1.0)
+logs = st.floats(min_value=-60.0, max_value=0.0)
+
+
+class TestConversions:
+    def test_from_prob_one_is_zero(self):
+        assert from_prob(1.0) == 0.0
+
+    def test_from_prob_zero_is_log_zero(self):
+        assert is_log_zero(from_prob(0.0))
+
+    def test_from_prob_negative_raises(self):
+        with pytest.raises(ValueError):
+            from_prob(-0.1)
+
+    def test_to_prob_of_log_zero(self):
+        assert to_prob(LOG_ZERO) == 0.0
+
+    @given(probs)
+    def test_round_trip(self, p):
+        assert to_prob(from_prob(p)) == pytest.approx(p, rel=1e-12)
+
+
+class TestLogMul:
+    def test_matches_linear_multiplication(self):
+        assert to_prob(log_mul(from_prob(0.5), from_prob(0.4))) == pytest.approx(0.2)
+
+    def test_zero_annihilates(self):
+        assert is_log_zero(log_mul(LOG_ZERO, 0.0))
+        assert is_log_zero(log_mul(-1.0, LOG_ZERO))
+
+    @given(logs, logs)
+    def test_commutative(self, a, b):
+        assert log_mul(a, b) == log_mul(b, a)
+
+    @given(logs, logs, logs)
+    def test_associative(self, a, b, c):
+        left = log_mul(log_mul(a, b), c)
+        right = log_mul(a, log_mul(b, c))
+        assert left == pytest.approx(right, abs=1e-9)
+
+
+class TestLogAdd:
+    def test_matches_linear_addition(self):
+        got = to_prob(log_add(from_prob(0.25), from_prob(0.5)))
+        assert got == pytest.approx(0.75)
+
+    def test_identity_is_log_zero(self):
+        assert log_add(LOG_ZERO, -3.0) == -3.0
+        assert log_add(-3.0, LOG_ZERO) == -3.0
+
+    @given(logs, logs)
+    def test_commutative(self, a, b):
+        assert log_add(a, b) == pytest.approx(log_add(b, a), abs=1e-12)
+
+    @given(logs, logs)
+    def test_dominates_max(self, a, b):
+        assert log_add(a, b) >= max(a, b)
+
+    @given(logs, logs)
+    def test_bounded_by_max_plus_log2(self, a, b):
+        assert log_add(a, b) <= max(a, b) + math.log(2.0) + 1e-12
+
+
+class TestLogAddArray:
+    def test_empty_is_log_zero(self):
+        assert is_log_zero(log_add_array(np.array([])))
+
+    def test_all_log_zero(self):
+        assert is_log_zero(log_add_array(np.array([LOG_ZERO, LOG_ZERO])))
+
+    def test_matches_pairwise(self):
+        vals = np.array([-1.0, -2.0, -3.0])
+        pairwise = log_add(log_add(-1.0, -2.0), -3.0)
+        assert log_add_array(vals) == pytest.approx(pairwise, abs=1e-12)
+
+    @given(st.lists(logs, min_size=1, max_size=20))
+    def test_matches_linear_sum(self, values):
+        expected = sum(math.exp(v) for v in values)
+        got = to_prob(log_add_array(np.array(values)))
+        assert got == pytest.approx(expected, rel=1e-9)

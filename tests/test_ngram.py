@@ -1,0 +1,77 @@
+"""Tests for the backoff bigram language model."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.logmath import to_prob
+from repro.lm import train_ngram
+from repro.lm.ngram import BOS, EOS
+
+
+@pytest.fixture(scope="module")
+def model():
+    corpus = [[1, 2, 3], [1, 2], [2, 3], [1, 3, 2, 1]] * 5
+    return train_ngram(corpus, vocab_size=4)
+
+
+class TestTraining:
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ConfigError):
+            train_ngram([], vocab_size=3)
+
+    def test_out_of_range_word_rejected(self):
+        with pytest.raises(ConfigError):
+            train_ngram([[5]], vocab_size=3)
+
+    def test_invalid_discount_rejected(self):
+        with pytest.raises(ConfigError):
+            train_ngram([[1]], vocab_size=1, discount=1.5)
+
+
+class TestProbabilities:
+    def test_observed_bigram_more_likely_than_backoff(self, model):
+        # (1, 2) is frequent; (1, 4) never occurs.
+        assert model.logprob(2, prev=1) > model.logprob(4, prev=1)
+
+    def test_unseen_word_gets_unigram_floor(self, model):
+        # Word 4 never appears but has add-one unigram mass.
+        assert to_prob(model.logprob(4, prev=1)) > 0.0
+
+    def test_bos_history(self, model):
+        # Sentences start with 1 or 2, never 3.
+        assert model.logprob(1, prev=BOS) > model.logprob(3, prev=BOS)
+
+    def test_conditional_distribution_sums_to_at_most_one(self, model):
+        for prev in [BOS, 1, 2, 3]:
+            total = sum(
+                to_prob(model.logprob(w, prev)) for w in range(1, 5)
+            ) + to_prob(model.logprob(EOS, prev))
+            assert total <= 1.0 + 1e-9
+
+    def test_observed_mass_plus_backoff_weight_is_one(self, model):
+        """Absolute discounting conserves probability per history."""
+        for prev in model.observed_histories():
+            observed = sum(
+                math.exp(lp)
+                for (h, _w), lp in model.bigram_logprob.items()
+                if h == prev
+            )
+            backoff = math.exp(model.backoff_logweight[prev])
+            assert observed + backoff == pytest.approx(1.0, abs=1e-9)
+
+    def test_sentence_logprob_sums_terms(self, model):
+        sent = [1, 2, 3]
+        manual = (
+            model.logprob(1, BOS)
+            + model.logprob(2, 1)
+            + model.logprob(3, 2)
+            + model.logprob(EOS, 3)
+        )
+        assert model.sentence_logprob(sent) == pytest.approx(manual)
+
+    def test_likely_sentence_beats_unlikely(self, model):
+        assert model.sentence_logprob([1, 2, 3]) > model.sentence_logprob(
+            [4, 4, 4]
+        )

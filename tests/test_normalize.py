@@ -1,0 +1,88 @@
+"""Tests for CMVN and frame splicing."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.common.errors import ConfigError
+from repro.frontend import cmvn, splice
+
+feature_matrices = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 20), st.integers(1, 8)),
+    elements=st.floats(-100, 100),
+)
+
+
+class TestCmvn:
+    def test_zero_mean(self):
+        rng = np.random.default_rng(0)
+        out = cmvn(rng.normal(5.0, 3.0, size=(50, 4)))
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_unit_variance(self):
+        rng = np.random.default_rng(1)
+        out = cmvn(rng.normal(5.0, 3.0, size=(200, 4)))
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-6)
+
+    def test_mean_only(self):
+        rng = np.random.default_rng(2)
+        feats = rng.normal(2.0, 7.0, size=(100, 3))
+        out = cmvn(feats, variance=False)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(out.std(axis=0), feats.std(axis=0))
+
+    def test_constant_dimension_safe(self):
+        feats = np.ones((10, 2))
+        out = cmvn(feats)
+        assert np.isfinite(out).all()
+
+    @given(feature_matrices)
+    def test_idempotent_on_normalised(self, feats):
+        # The property holds away from the variance floor (1e-6), where
+        # near-constant dimensions are deliberately left unscaled.
+        assume(float(feats.std(axis=0).min()) > 1e-3)
+        once = cmvn(feats)
+        twice = cmvn(once)
+        assert np.allclose(once, twice, atol=1e-6)
+
+    def test_invalid_input_rejected(self):
+        with pytest.raises(ConfigError):
+            cmvn(np.zeros(5))
+        with pytest.raises(ConfigError):
+            cmvn(np.zeros((0, 4)))
+
+
+class TestSplice:
+    def test_output_shape(self):
+        feats = np.arange(12.0).reshape(4, 3)
+        out = splice(feats, context=2)
+        assert out.shape == (4, 15)
+
+    def test_zero_context_is_identity(self):
+        feats = np.arange(6.0).reshape(3, 2)
+        assert np.array_equal(splice(feats, 0), feats)
+
+    def test_center_columns_are_original(self):
+        feats = np.random.default_rng(3).normal(size=(6, 4))
+        out = splice(feats, context=2)
+        center = out[:, 2 * 4 : 3 * 4]
+        assert np.allclose(center, feats)
+
+    def test_edges_repeat(self):
+        feats = np.array([[1.0], [2.0], [3.0]])
+        out = splice(feats, context=1)
+        # First frame: left context repeats frame 0.
+        assert out[0].tolist() == [1.0, 1.0, 2.0]
+        # Last frame: right context repeats frame 2.
+        assert out[2].tolist() == [2.0, 3.0, 3.0]
+
+    def test_interior_frame_sees_true_neighbours(self):
+        feats = np.array([[1.0], [2.0], [3.0]])
+        out = splice(feats, context=1)
+        assert out[1].tolist() == [1.0, 2.0, 3.0]
+
+    def test_negative_context_rejected(self):
+        with pytest.raises(ConfigError):
+            splice(np.zeros((3, 2)), context=-1)

@@ -1,0 +1,25 @@
+"""Tests for deterministic RNG streams."""
+
+from repro.common.rng import make_rng
+
+
+def test_same_seed_same_stream_reproduces():
+    a = make_rng(42, "x").integers(0, 1 << 30, size=16)
+    b = make_rng(42, "x").integers(0, 1 << 30, size=16)
+    assert (a == b).all()
+
+
+def test_different_streams_diverge():
+    a = make_rng(42, "x").integers(0, 1 << 30, size=16)
+    b = make_rng(42, "y").integers(0, 1 << 30, size=16)
+    assert (a != b).any()
+
+
+def test_different_seeds_diverge():
+    a = make_rng(1, "x").integers(0, 1 << 30, size=16)
+    b = make_rng(2, "x").integers(0, 1 << 30, size=16)
+    assert (a != b).any()
+
+
+def test_empty_stream_label_is_valid():
+    assert make_rng(7).random() == make_rng(7, "").random()

@@ -1,0 +1,121 @@
+"""Tests for WFST shortest-distance and the ASCII chart helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.ascii_plot import bar_chart, line_chart
+from repro.common.errors import ConfigError
+from repro.common.logmath import LOG_ZERO
+from repro.wfst import CompiledWfst, EPSILON, Fst
+from repro.wfst.shortest import best_complete_path_score, shortest_distance
+
+
+def diamond_graph():
+    """start -> {a, b} -> final, with asymmetric weights."""
+    fst = Fst()
+    s0, s1, s2, s3 = fst.add_states(4)
+    fst.set_start(s0)
+    fst.add_arc(s0, 1, 0, math.log(0.9), s1)
+    fst.add_arc(s0, 2, 0, math.log(0.1), s2)
+    fst.add_arc(s1, 3, 0, math.log(0.5), s3)
+    fst.add_arc(s2, 3, 0, math.log(0.8), s3)
+    fst.set_final(s3, math.log(0.7))
+    return CompiledWfst.from_fst(fst)
+
+
+class TestShortestDistance:
+    def test_forward_distances(self):
+        g = diamond_graph()
+        dist = shortest_distance(g)
+        assert dist[0] == pytest.approx(0.0)
+        assert dist[1] == pytest.approx(math.log(0.9))
+        assert dist[2] == pytest.approx(math.log(0.1))
+        # Best into the final state goes through s1.
+        assert dist[3] == pytest.approx(math.log(0.9 * 0.5))
+
+    def test_reverse_distances(self):
+        g = diamond_graph()
+        dist = shortest_distance(g, reverse=True)
+        assert dist[3] == pytest.approx(math.log(0.7))
+        assert dist[1] == pytest.approx(math.log(0.5 * 0.7))
+        assert dist[2] == pytest.approx(math.log(0.8 * 0.7))
+        assert dist[0] == pytest.approx(math.log(0.9 * 0.5 * 0.7))
+
+    def test_forward_plus_reverse_bounds_total(self):
+        g = diamond_graph()
+        fwd = shortest_distance(g)
+        bwd = shortest_distance(g, reverse=True)
+        best = best_complete_path_score(g)
+        # Every state's through-path is at most the global best.
+        for s in range(g.num_states):
+            if fwd[s] > LOG_ZERO / 2 and bwd[s] > LOG_ZERO / 2:
+                assert fwd[s] + bwd[s] <= best + 1e-9
+
+    def test_unreachable_states_log_zero(self):
+        fst = Fst()
+        s0, s1, orphan = fst.add_states(3)
+        fst.set_start(s0)
+        fst.add_arc(s0, 1, 0, -0.5, s1)
+        fst.add_arc(orphan, 1, 0, -0.5, s1)
+        fst.set_final(s1)
+        g = CompiledWfst.from_fst(fst)
+        dist = shortest_distance(g)
+        assert dist[2] <= LOG_ZERO / 2
+
+    def test_cycles_converge(self):
+        fst = Fst()
+        s0, s1 = fst.add_states(2)
+        fst.set_start(s0)
+        fst.add_arc(s0, 1, 0, -0.5, s1)
+        fst.add_arc(s1, 1, 0, -0.5, s0)  # cycle with negative log weight
+        fst.set_final(s1)
+        g = CompiledWfst.from_fst(fst)
+        dist = shortest_distance(g)
+        assert dist[1] == pytest.approx(-0.5)
+
+    def test_on_task_graph(self, small_graph):
+        dist = shortest_distance(small_graph)
+        assert dist[small_graph.start] == 0.0
+        assert best_complete_path_score(small_graph) > LOG_ZERO / 2
+
+
+class TestAsciiPlots:
+    def test_bar_chart_renders_all_labels(self):
+        chart = bar_chart([("CPU", 32.2), ("GPU", 76.4), ("ASIC", 0.46)])
+        assert "CPU" in chart and "GPU" in chart and "ASIC" in chart
+        assert chart.count("\n") == 2
+
+    def test_bar_lengths_ordered(self):
+        chart = bar_chart([("a", 1.0), ("b", 2.0)])
+        rows = chart.splitlines()
+        assert rows[1].count("#") > rows[0].count("#")
+
+    def test_log_scale_positive_only(self):
+        with pytest.raises(ConfigError):
+            bar_chart([("a", 0.0)], log_scale=True)
+
+    def test_log_scale_compresses(self):
+        chart = bar_chart(
+            [("small", 0.001), ("huge", 1000.0)], log_scale=True, width=30
+        )
+        rows = chart.splitlines()
+        assert rows[0].count("#") >= 1  # small still visible
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            bar_chart([])
+
+    def test_line_chart_contains_markers_and_legend(self):
+        chart = line_chart(
+            [1, 2, 4, 8],
+            [("state", [40.0, 30.0, 25.0, 20.0]),
+             ("arc", [50.0, 45.0, 42.0, 40.0])],
+        )
+        assert "*" in chart and "o" in chart
+        assert "state" in chart and "arc" in chart
+
+    def test_line_chart_requires_data(self):
+        with pytest.raises(ConfigError):
+            line_chart([], [])

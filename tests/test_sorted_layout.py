@@ -1,0 +1,106 @@
+"""Tests for the arc-count-sorted layout (Section IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import GraphError
+from repro.datasets import SyntheticGraphConfig, generate_kaldi_like_graph
+from repro.wfst import sort_states_by_arc_count
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_kaldi_like_graph(
+        SyntheticGraphConfig(num_states=2000, num_phones=20, seed=5)
+    )
+
+
+@pytest.fixture(scope="module")
+def sorted_graph(graph):
+    return sort_states_by_arc_count(graph, max_direct_arcs=16)
+
+
+class TestSorting:
+    def test_degrees_ascend_in_sorted_region(self, sorted_graph):
+        g = sorted_graph.graph
+        end = sorted_graph.tables.boundaries[-1]
+        degrees = [g.out_degree(s) for s in range(end)]
+        assert degrees == sorted(degrees)
+        assert all(1 <= d <= 16 for d in degrees)
+
+    def test_rest_have_large_or_zero_degree(self, sorted_graph):
+        g = sorted_graph.graph
+        end = sorted_graph.tables.boundaries[-1]
+        for s in range(end, g.num_states):
+            d = g.out_degree(s)
+            assert d == 0 or d > 16
+
+    def test_permutation_is_bijective(self, sorted_graph, graph):
+        perm = np.sort(sorted_graph.old_to_new)
+        assert (perm == np.arange(graph.num_states)).all()
+
+    def test_invalid_max_arcs_rejected(self, graph):
+        with pytest.raises(GraphError):
+            sort_states_by_arc_count(graph, max_direct_arcs=0)
+
+
+class TestDirectLookup:
+    def test_matches_state_records_for_all_sorted_states(self, sorted_graph):
+        """The comparator bank must agree with the 64-bit state record."""
+        g = sorted_graph.graph
+        end = sorted_graph.tables.boundaries[-1]
+        for s in range(end):
+            direct = sorted_graph.direct_lookup(s)
+            assert direct is not None
+            record = g.state_record(s)
+            assert direct.first_arc == record.first_arc
+            assert direct.num_arcs == record.num_arcs
+
+    def test_indirect_states_return_none(self, sorted_graph):
+        g = sorted_graph.graph
+        end = sorted_graph.tables.boundaries[-1]
+        for s in range(end, g.num_states):
+            assert sorted_graph.direct_lookup(s) is None
+
+    def test_covered_fraction_is_high(self, sorted_graph):
+        """Paper: >95% of states are directly addressable with N = 16."""
+        assert sorted_graph.covered_state_fraction() > 0.9
+
+
+class TestSemanticEquivalence:
+    def test_arc_multiset_preserved(self, graph, sorted_graph):
+        """Sorting permutes states but preserves the transition structure."""
+        g = sorted_graph.graph
+        o2n = sorted_graph.old_to_new
+
+        def arc_set(graph_, mapper):
+            out = set()
+            for s in range(graph_.num_states):
+                first, n_non_eps, n_eps = graph_.arc_range(s)
+                for a in range(first, first + n_non_eps + n_eps):
+                    out.add(
+                        (
+                            mapper(s),
+                            mapper(int(graph_.arc_dest[a])),
+                            int(graph_.arc_ilabel[a]),
+                            int(graph_.arc_olabel[a]),
+                            float(np.float32(graph_.arc_weight[a])),
+                        )
+                    )
+            return out
+
+        original = arc_set(graph, lambda s: int(o2n[s]))
+        permuted = arc_set(g, lambda s: s)
+        assert original == permuted
+
+    def test_final_weights_preserved(self, graph, sorted_graph):
+        o2n = sorted_graph.old_to_new
+        for s in range(graph.num_states):
+            assert sorted_graph.graph.final_weights[o2n[s]] == pytest.approx(
+                graph.final_weights[s]
+            )
+
+    def test_start_remapped(self, graph, sorted_graph):
+        assert sorted_graph.graph.start == int(
+            sorted_graph.old_to_new[graph.start]
+        )

@@ -1,0 +1,81 @@
+"""Tests for the Kaldi-like random graph generator."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.datasets import SyntheticGraphConfig, generate_kaldi_like_graph
+from repro.wfst import EPSILON
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SyntheticGraphConfig(num_states=5000, num_phones=40, seed=9)
+
+
+@pytest.fixture(scope="module")
+def graph(config):
+    return generate_kaldi_like_graph(config)
+
+
+class TestStatistics:
+    def test_state_count(self, graph, config):
+        assert graph.num_states == config.num_states
+
+    def test_arc_state_ratio_near_kaldi(self, graph, config):
+        """Paper: 34.8M arcs / 13.7M states = 2.55."""
+        ratio = graph.num_arcs / graph.num_states
+        assert 2.0 < ratio < 3.2
+
+    def test_epsilon_fraction_near_kaldi(self, graph, config):
+        """Paper: 11.5% of Kaldi's arcs are epsilon."""
+        assert abs(graph.epsilon_fraction() - 0.115) < 0.03
+
+    def test_degree_tail_bounded(self, graph, config):
+        degrees = [graph.out_degree(s) for s in range(graph.num_states)]
+        assert max(degrees) <= config.max_arcs_per_state
+
+    def test_most_states_have_few_arcs(self, graph):
+        """Figure 7: ~97% of states have 15 or fewer arcs."""
+        degrees = np.array([graph.out_degree(s) for s in range(graph.num_states)])
+        assert (degrees <= 15).mean() > 0.9
+
+    def test_phone_labels_in_range(self, graph, config):
+        non_eps = graph.arc_ilabel[graph.arc_ilabel != EPSILON]
+        assert non_eps.min() >= 1
+        assert non_eps.max() <= config.num_phones
+
+    def test_weights_are_log_probs(self, graph):
+        assert (graph.arc_weight <= 0).all()
+
+    def test_final_states_exist(self, graph):
+        assert len(graph.final_states()) >= 1
+
+
+class TestStructure:
+    def test_epsilon_subgraph_is_acyclic(self, graph):
+        """Epsilon arcs must point strictly forward (decodability)."""
+        for s in range(graph.num_states):
+            first, n_non_eps, n_eps = graph.arc_range(s)
+            for a in range(first + n_non_eps, first + n_non_eps + n_eps):
+                if graph.arc_ilabel[a] == EPSILON:
+                    assert int(graph.arc_dest[a]) > s
+
+    def test_non_epsilon_arcs_first(self, graph):
+        for s in range(0, graph.num_states, 97):
+            first, n_non_eps, n_eps = graph.arc_range(s)
+            labels = graph.arc_ilabel[first : first + n_non_eps + n_eps]
+            assert (labels[:n_non_eps] != EPSILON).all()
+            assert (labels[n_non_eps:] == EPSILON).all()
+
+    def test_deterministic(self, config):
+        a = generate_kaldi_like_graph(config)
+        b = generate_kaldi_like_graph(config)
+        assert (a.states_packed == b.states_packed).all()
+        assert (a.arc_dest == b.arc_dest).all()
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            SyntheticGraphConfig(num_states=1)
+        with pytest.raises(ConfigError):
+            SyntheticGraphConfig(num_states=10, epsilon_fraction=1.5)

@@ -1,0 +1,76 @@
+"""Tests for the pipeline trace facility and the streaming simulation."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.accel import AcceleratorSimulator
+from repro.accel.trace import frame_traces, summarize
+from repro.system.stream import StreamConfig, simulate_stream
+
+
+class TestFrameTraces:
+    @pytest.fixture(scope="class")
+    def result(self, small_task):
+        sim = AcceleratorSimulator(small_task.graph, beam=14.0)
+        return sim.decode(small_task.utterances[0].scores)
+
+    def test_one_trace_per_frame(self, result):
+        traces = frame_traces(result)
+        assert len(traces) == result.stats.frames
+
+    def test_cycles_sum_close_to_total(self, result):
+        traces = frame_traces(result)
+        total = sum(t.cycles for t in traces)
+        # Initial epsilon closure and final flush live outside frames.
+        assert 0.5 * result.stats.cycles <= total <= result.stats.cycles
+
+    def test_active_tokens_recorded(self, result):
+        traces = frame_traces(result)
+        assert any(t.active_tokens > 0 for t in traces)
+
+    def test_summary_contains_key_counters(self, result):
+        text = summarize(result)
+        assert "frames=" in text
+        assert "miss:" in text
+        assert "hash:" in text
+        assert "worst frame" in text
+
+
+class TestStreaming:
+    def test_sustains_realtime_when_stages_fast(self):
+        config = StreamConfig(
+            batch_frames=50,
+            dnn_seconds_per_frame=2e-3,
+            search_seconds_per_frame=1e-3,
+        )
+        report = simulate_stream(1000, config)
+        assert report.keeps_up
+        assert report.max_latency_s < 1.0
+
+    def test_latency_grows_when_search_too_slow(self):
+        config = StreamConfig(
+            batch_frames=50,
+            dnn_seconds_per_frame=2e-3,
+            search_seconds_per_frame=25e-3,  # 2.5x slower than real time
+        )
+        report = simulate_stream(2000, config)
+        assert not report.keeps_up
+
+    def test_batch_timeline_ordered(self):
+        report = simulate_stream(325, StreamConfig(batch_frames=50))
+        assert len(report.batches) == 7  # 6 full + 1 remainder
+        for b in report.batches:
+            assert b.audio_complete_s <= b.dnn_done_s
+            assert b.dnn_done_s <= b.transfer_done_s
+            assert b.transfer_done_s <= b.search_done_s
+
+    def test_latency_positive(self):
+        report = simulate_stream(100)
+        assert report.mean_latency_s > 0
+        assert report.max_latency_s >= report.mean_latency_s
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            StreamConfig(batch_frames=0)
+        with pytest.raises(ConfigError):
+            simulate_stream(0)

@@ -1,0 +1,51 @@
+"""Tests for WER scoring."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.decoder import levenshtein, word_error_rate
+
+seqs = st.lists(st.integers(1, 5), max_size=12)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein([1, 2, 3], [1, 2, 3]) == 0
+
+    def test_substitution(self):
+        assert levenshtein([1, 2, 3], [1, 9, 3]) == 1
+
+    def test_insertion_and_deletion(self):
+        assert levenshtein([1, 2], [1, 2, 3]) == 1
+        assert levenshtein([1, 2, 3], [1, 3]) == 1
+
+    def test_empty(self):
+        assert levenshtein([], [1, 2]) == 2
+        assert levenshtein([1], []) == 1
+        assert levenshtein([], []) == 0
+
+    @given(seqs, seqs)
+    def test_symmetric(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(seqs, seqs, seqs)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(seqs)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+
+class TestWer:
+    def test_perfect(self):
+        assert word_error_rate([1, 2], [1, 2]) == 0.0
+
+    def test_empty_ref_nonempty_hyp(self):
+        assert word_error_rate([], [1]) == 1.0
+
+    def test_both_empty(self):
+        assert word_error_rate([], []) == 0.0
+
+    def test_normalised_by_ref_length(self):
+        assert word_error_rate([1, 2, 3, 4], [1, 2, 3, 9]) == pytest.approx(0.25)

@@ -1,0 +1,31 @@
+"""Tests for WFST serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.wfst import load_wfst, save_wfst
+
+
+def test_round_trip_is_bit_exact(tmp_path, small_graph):
+    path = str(tmp_path / "graph.npz")
+    save_wfst(small_graph, path)
+    loaded = load_wfst(path)
+    assert loaded.start == small_graph.start
+    assert (loaded.states_packed == small_graph.states_packed).all()
+    assert (loaded.arc_dest == small_graph.arc_dest).all()
+    assert (loaded.arc_weight == small_graph.arc_weight).all()
+    assert (loaded.arc_ilabel == small_graph.arc_ilabel).all()
+    assert (loaded.arc_olabel == small_graph.arc_olabel).all()
+    assert np.allclose(loaded.final_weights, small_graph.final_weights)
+
+
+def test_load_appends_npz_suffix(tmp_path, small_graph):
+    path = str(tmp_path / "graph2")
+    save_wfst(small_graph, path)
+    loaded = load_wfst(path)  # without .npz
+    assert loaded.num_states == small_graph.num_states
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_wfst(str(tmp_path / "nope.npz"))

@@ -1,0 +1,170 @@
+"""Tests for WFST graph operations: compose, connect, arcsort, epsilon checks."""
+
+import pytest
+
+from repro.common.errors import GraphError
+from repro.wfst import EPSILON, Fst, arcsort, compose, connect, remove_epsilon_cycles
+
+
+def acceptor(labels, weight_per_arc=0.0):
+    """Linear acceptor over the given label sequence (ilabel == olabel)."""
+    fst = Fst()
+    prev = fst.add_state()
+    fst.set_start(prev)
+    for lab in labels:
+        nxt = fst.add_state()
+        fst.add_arc(prev, lab, lab, weight_per_arc, nxt)
+        prev = nxt
+    fst.set_final(prev, 0.0)
+    return fst
+
+
+def transducer(pairs):
+    """Linear transducer over (ilabel, olabel) pairs."""
+    fst = Fst()
+    prev = fst.add_state()
+    fst.set_start(prev)
+    for ilab, olab in pairs:
+        nxt = fst.add_state()
+        fst.add_arc(prev, ilab, olab, 0.0, nxt)
+        prev = nxt
+    fst.set_final(prev, 0.0)
+    return fst
+
+
+class TestCompose:
+    def test_chain_composition_relabels(self):
+        # 1:2 composed with 2:3 accepts input 1 and outputs 3.
+        left = transducer([(1, 2)])
+        right = transducer([(2, 3)])
+        out = compose(left, right)
+        arcs = out.arcs(out.start)
+        assert len(arcs) == 1
+        assert (arcs[0].ilabel, arcs[0].olabel) == (1, 3)
+
+    def test_mismatched_labels_rejected(self):
+        left = transducer([(1, 2)])
+        right = transducer([(5, 3)])
+        with pytest.raises(GraphError):
+            compose(left, right)  # connect() finds no accepting path
+
+    def test_weights_multiply(self):
+        left = acceptor([1], weight_per_arc=-0.5)
+        right = acceptor([1], weight_per_arc=-0.25)
+        out = compose(left, right)
+        assert out.arcs(out.start)[0].weight == pytest.approx(-0.75)
+
+    def test_left_epsilon_output_advances_alone(self):
+        # Left: 1:eps then 2:3 ; right accepts 3.
+        left = transducer([(1, EPSILON), (2, 3)])
+        right = acceptor([3])
+        out = compose(left, right)
+        # The composed machine should accept input sequence [1, 2].
+        state = out.start
+        seen = []
+        while out.out_degree(state):
+            arc = out.arcs(state)[0]
+            seen.append(arc.ilabel)
+            state = arc.dest
+        assert seen == [1, 2]
+        assert out.is_final(state)
+
+    def test_right_epsilon_input_advances_alone(self):
+        left = acceptor([1])
+        # Right: eps:9 then 1:1.
+        right = transducer([(EPSILON, 9), (1, 1)])
+        out = compose(left, right)
+        olabels = set()
+        stack = [out.start]
+        visited = set()
+        while stack:
+            s = stack.pop()
+            if s in visited:
+                continue
+            visited.add(s)
+            for arc in out.arcs(s):
+                olabels.add(arc.olabel)
+                stack.append(arc.dest)
+        assert 9 in olabels
+
+    def test_final_weights_multiply(self):
+        left = acceptor([1])
+        left.set_final(left.num_states - 1, -0.5)
+        right = acceptor([1])
+        right.set_final(right.num_states - 1, -0.25)
+        out = compose(left, right)
+        final_states = [s for s in out.states() if out.is_final(s)]
+        assert len(final_states) == 1
+        assert out.final_weight(final_states[0]) == pytest.approx(-0.75)
+
+
+class TestConnect:
+    def test_removes_unreachable_states(self):
+        fst = acceptor([1, 2])
+        orphan = fst.add_state()
+        fst.add_arc(orphan, 3, 3, 0.0, orphan)
+        out = connect(fst)
+        assert out.num_states == 3
+
+    def test_removes_dead_end_states(self):
+        fst = acceptor([1])
+        dead = fst.add_state()
+        fst.add_arc(fst.start, 7, 7, 0.0, dead)  # dead never reaches final
+        out = connect(fst)
+        assert out.num_states == 2
+        assert all(a.ilabel != 7 for a in out.arcs(out.start))
+
+    def test_no_accepting_path_raises(self):
+        fst = Fst()
+        s = fst.add_state()
+        fst.set_start(s)  # no final state anywhere
+        with pytest.raises(GraphError):
+            connect(fst)
+
+
+class TestArcsort:
+    def test_non_epsilon_first(self):
+        fst = Fst()
+        s0, s1 = fst.add_states(2)
+        fst.set_start(s0)
+        fst.add_arc(s0, EPSILON, 0, 0.0, s1)
+        fst.add_arc(s0, 2, 0, 0.0, s1)
+        fst.add_arc(s0, 1, 0, 0.0, s1)
+        fst.set_final(s1)
+        arcsort(fst)
+        labels = [a.ilabel for a in fst.arcs(s0)]
+        assert labels == [1, 2, EPSILON]
+
+
+class TestEpsilonCycleCheck:
+    def test_acyclic_passes(self):
+        fst = transducer([(EPSILON, 0), (1, 1)])
+        remove_epsilon_cycles(fst)  # should not raise
+
+    def test_self_loop_detected(self):
+        fst = Fst()
+        s = fst.add_state()
+        fst.set_start(s)
+        fst.set_final(s)
+        fst.add_arc(s, EPSILON, 0, 0.0, s)
+        with pytest.raises(GraphError):
+            remove_epsilon_cycles(fst)
+
+    def test_two_state_cycle_detected(self):
+        fst = Fst()
+        s0, s1 = fst.add_states(2)
+        fst.set_start(s0)
+        fst.set_final(s1)
+        fst.add_arc(s0, EPSILON, 0, 0.0, s1)
+        fst.add_arc(s1, EPSILON, 0, 0.0, s0)
+        with pytest.raises(GraphError):
+            remove_epsilon_cycles(fst)
+
+    def test_non_epsilon_cycle_is_fine(self):
+        fst = Fst()
+        s0, s1 = fst.add_states(2)
+        fst.set_start(s0)
+        fst.set_final(s1)
+        fst.add_arc(s0, 1, 0, 0.0, s1)
+        fst.add_arc(s1, 2, 0, 0.0, s0)
+        remove_epsilon_cycles(fst)  # should not raise
