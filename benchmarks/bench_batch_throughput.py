@@ -1,0 +1,136 @@
+"""Benchmark: vectorized batch engine vs scalar token passing.
+
+Decodes the same memory-system workload with the reference
+``ViterbiDecoder`` (one utterance at a time, per-token dict operations)
+and with ``BatchDecoder`` (all utterances in lockstep, array sweeps), and
+reports frames/second for both.  The engines must agree word for word --
+any mismatch fails the benchmark, which is the decoder-consistency gate CI
+runs in ``--quick`` mode.  Acceptance target: the batch engine sustains at
+least 3x the scalar frames/second.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import format_table, report, write_json
+from repro.datasets import SyntheticGraphConfig
+from repro.decoder import BatchDecoder, BeamSearchConfig, ViterbiDecoder
+from repro.system import make_memory_workload
+
+#: Standard-size workload: the active-set regime of the evaluation figures.
+FULL_SHAPE = dict(num_states=20_000, utterances=4, frames=30, max_active=2000)
+#: Tiny workload for the CI smoke gate: seconds, not minutes.
+QUICK_SHAPE = dict(num_states=3_000, utterances=2, frames=12, max_active=600)
+
+SPEEDUP_TARGET = 3.0
+
+
+def _best_of(rounds: int, func):
+    """Best wall-clock of ``rounds`` runs (robust to noisy CI runners)."""
+    best_seconds, result = None, None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = func()
+        elapsed = time.perf_counter() - t0
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+    return best_seconds, result
+
+
+def run_batch_throughput(quick: bool = False, seed: int = 3) -> dict:
+    """Measure both engines on one workload; returns the JSON payload."""
+    shape = QUICK_SHAPE if quick else FULL_SHAPE
+    workload = make_memory_workload(
+        num_utterances=shape["utterances"],
+        frames_per_utterance=shape["frames"],
+        beam=8.0,
+        max_active=shape["max_active"],
+        seed=seed,
+        graph_config=SyntheticGraphConfig(
+            num_states=shape["num_states"], num_phones=50, seed=seed
+        ),
+    )
+    config = BeamSearchConfig(beam=workload.beam, max_active=workload.max_active)
+    # The quick workload decodes in milliseconds, so one-shot timings are
+    # at the mercy of scheduler noise: take the best of a few rounds.
+    rounds = 3 if quick else 1
+
+    reference = ViterbiDecoder(workload.graph, config)
+    ref_seconds, ref_results = _best_of(
+        rounds, lambda: [reference.decode(s) for s in workload.scores]
+    )
+
+    batch = BatchDecoder(workload.graph, config)
+    batch.decode_batch(workload.scores)  # warm the flat layout + caches
+    batch_seconds, batch_results = _best_of(
+        rounds, lambda: batch.decode_batch(workload.scores)
+    )
+
+    mismatches = [
+        i
+        for i, (r, b) in enumerate(zip(ref_results, batch_results))
+        if r.words != b.words
+    ]
+    if mismatches:
+        raise AssertionError(
+            f"batch engine diverged from the reference on utterances "
+            f"{mismatches}"
+        )
+
+    frames = workload.total_frames
+    ref_fps = frames / ref_seconds
+    batch_fps = frames / batch_seconds
+    return {
+        "workload": {**shape, "beam": workload.beam, "seed": seed,
+                     "quick": quick},
+        "total_frames": frames,
+        "mean_active_tokens": ref_results[0].stats.mean_active_tokens,
+        "reference_seconds": ref_seconds,
+        "batch_seconds": batch_seconds,
+        "reference_frames_per_second": ref_fps,
+        "batch_frames_per_second": batch_fps,
+        "speedup": batch_fps / ref_fps,
+        "words_match": True,
+        "speedup_target": SPEEDUP_TARGET,
+    }
+
+
+def _report(result: dict) -> None:
+    name = (
+        "batch_throughput_quick"
+        if result["workload"]["quick"]
+        else "batch_throughput"
+    )
+    rows = [
+        ["reference (token passing)", result["total_frames"],
+         result["reference_seconds"], result["reference_frames_per_second"]],
+        ["batch (vectorized)", result["total_frames"],
+         result["batch_seconds"], result["batch_frames_per_second"]],
+    ]
+    text = format_table(
+        f"Batch decoding throughput -- speedup {result['speedup']:.1f}x "
+        f"(target >= {result['speedup_target']:.0f}x), word output identical",
+        ["engine", "frames", "seconds", "frames/s"],
+        rows,
+    )
+    report(name, text)
+    write_json(name, result)
+
+
+def test_batch_throughput(benchmark):
+    result = benchmark.pedantic(run_batch_throughput, rounds=1, iterations=1)
+    _report(result)
+    assert result["words_match"]
+    assert result["speedup"] >= SPEEDUP_TARGET
+
+
+@pytest.mark.parametrize("quick", [True])
+def test_batch_throughput_quick(benchmark, quick):
+    """The CI smoke-gate shape: tiny graph, still must agree and win."""
+    result = benchmark.pedantic(
+        run_batch_throughput, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    _report(result)
+    assert result["words_match"]
+    assert result["speedup"] >= SPEEDUP_TARGET

@@ -11,6 +11,7 @@ experiment.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Dict, List, Sequence
 
@@ -92,6 +93,16 @@ def report(name: str, text: str) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as fh:
         fh.write(text + "\n")
+
+
+def write_json(name: str, payload: Dict) -> str:
+    """Persist machine-readable results (the CI benchmark artifact)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name + ".json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def _fmt(value) -> str:

@@ -11,6 +11,12 @@ from benchmarks.common import base_config, standard_workload, sweep_workload
 from repro.system import run_platform_comparison
 
 
+def pytest_collection_modifyitems(items):
+    """Every benchmark carries the ``bench`` marker (nightly tier)."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def std_workload():
     return standard_workload()

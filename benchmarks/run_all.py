@@ -4,10 +4,16 @@
 Equivalent to ``pytest benchmarks/ --benchmark-only`` but with the
 paper-vs-measured tables on stdout, for quick inspection:
 
-    python benchmarks/run_all.py [--fast]
+    python benchmarks/run_all.py [--fast | --quick]
 
 ``--fast`` skips the expensive sweeps (Figures 4/5, ablations) and runs
 only the benches that share the cached standard comparison.
+
+``--quick`` is the CI smoke gate: tiny configurations that finish in
+seconds, a decoder-consistency check across every platform, and the batch
+vs reference engine benchmark.  Results land in
+``benchmarks/results/quick_summary.json`` (uploaded as a CI artifact); the
+process exits non-zero on any crash or decoder mismatch.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import traceback
 
 sys.path.insert(0, __file__.rsplit("/", 2)[0])
 
@@ -29,11 +36,87 @@ class _NullBenchmark:
         return func(*args, **(kwargs or {}))
 
 
+def run_quick() -> int:
+    """CI smoke gate: small, fast, and strict about consistency."""
+    from benchmarks import bench_batch_throughput as bench_batch
+    from repro.datasets import SyntheticGraphConfig
+    from repro.system import make_memory_workload
+
+    summary: dict = {"mode": "quick", "steps": {}}
+    failed = False
+
+    def step(name, func):
+        nonlocal failed
+        t0 = time.time()
+        try:
+            payload = func()
+            summary["steps"][name] = {
+                "status": "ok",
+                "seconds": round(time.time() - t0, 3),
+                **({"result": payload} if payload is not None else {}),
+            }
+            print(f"[quick] {name}: ok ({time.time() - t0:.1f}s)")
+        except Exception as exc:  # the gate reports, then fails the job
+            failed = True
+            summary["steps"][name] = {
+                "status": "failed",
+                "seconds": round(time.time() - t0, 3),
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+            print(f"[quick] {name}: FAILED ({exc})")
+            traceback.print_exc()
+
+    def platform_consistency():
+        """All six platforms on a tiny workload; raises on any decoder
+        mismatch (``check_consistency=True``)."""
+        workload = make_memory_workload(
+            num_utterances=1,
+            frames_per_utterance=10,
+            beam=8.0,
+            max_active=400,
+            seed=3,
+            graph_config=SyntheticGraphConfig(
+                num_states=3000, num_phones=40, seed=3
+            ),
+        )
+        comparison = run_platform_comparison(
+            workload, base_config=common.base_config(), check_consistency=True
+        )
+        return {
+            name: {"decode_seconds": run.decode_seconds,
+                   "energy_j": run.energy_j}
+            for name, run in comparison.runs.items()
+        }
+
+    def batch_throughput():
+        result = bench_batch.run_batch_throughput(quick=True)
+        bench_batch._report(result)
+        if result["speedup"] < bench_batch.SPEEDUP_TARGET:
+            raise AssertionError(
+                f"batch speedup {result['speedup']:.2f}x below the "
+                f"{bench_batch.SPEEDUP_TARGET:.0f}x gate"
+            )
+        return result
+
+    step("platform_consistency", platform_consistency)
+    step("batch_throughput_quick", batch_throughput)
+
+    summary["status"] = "failed" if failed else "ok"
+    path = common.write_json("quick_summary", summary)
+    print(f"[quick] summary written to {path}: {summary['status']}")
+    return 1 if failed else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--fast", action="store_true",
                         help="skip the slow parameter sweeps")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke gate: tiny configs, JSON summary, "
+                             "non-zero exit on mismatch or crash")
     options = parser.parse_args()
+    if options.quick:
+        return run_quick()
 
     t0 = time.time()
     print("Building the standard workload and running all six platforms ...")
@@ -45,6 +128,7 @@ def main() -> int:
     print(f"  done in {time.time() - t0:.1f}s")
 
     from benchmarks import (
+        bench_batch_throughput as batch_tp,
         bench_fig01_pipeline_breakdown as fig01,
         bench_fig04_cache_miss_ratio as fig04,
         bench_fig05_hash_entries as fig05,
@@ -79,6 +163,7 @@ def main() -> int:
     fig14.test_fig14_energy_vs_time(bench, std_comparison)
     area.test_intext_area_and_overheads(bench)
     pipeline.test_intext_full_pipeline(bench, std_comparison)
+    batch_tp.test_batch_throughput(bench)
 
     if not options.fast:
         fig04.test_fig04_cache_miss_ratio(bench, std_workload)

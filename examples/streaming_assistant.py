@@ -18,7 +18,6 @@ from repro.datasets import SyntheticGraphConfig
 from repro.gpu import GpuDnnModel
 from repro.gpu.model import dnn_flops_per_frame
 from repro.system import StreamConfig, make_memory_workload, simulate_stream
-from repro.wfst import sort_states_by_arc_count
 
 DNN = dict(input_dim=440, hidden_dims=(2048,) * 6, num_classes=3500)
 

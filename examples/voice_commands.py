@@ -120,7 +120,6 @@ def main() -> None:
     )
 
     print("Decoding spoken commands ...")
-    rng = make_rng(99, "voice-commands-test")
     total_wer = 0.0
     tests = [["open", "camera"], ["play", "music"], ["stop", "timer"],
              ["call", "message"], ["open", "weather"]]

@@ -15,7 +15,7 @@ still honours the fill completion.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.accel.config import CacheConfig
 from repro.accel.memory import MemoryController

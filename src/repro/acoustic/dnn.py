@@ -7,7 +7,7 @@ passes needed by the trainer are implemented; no autograd framework is used.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 import numpy as np

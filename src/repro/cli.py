@@ -18,11 +18,17 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.accel import AcceleratorConfig, AcceleratorSimulator
 from repro.datasets import SyntheticGraphConfig, TaskConfig, generate_task
-from repro.decoder import BeamSearchConfig, ViterbiDecoder, word_error_rate
+from repro.decoder import (
+    BatchDecoder,
+    BeamSearchConfig,
+    ViterbiDecoder,
+    word_error_rate,
+)
 from repro.energy import AcceleratorEnergyModel
 from repro.system import make_memory_workload, run_platform_comparison
 from repro.wfst import save_wfst, sort_states_by_arc_count
@@ -68,16 +74,27 @@ def cmd_decode(args: argparse.Namespace) -> int:
         TaskConfig(vocab_size=args.vocab, num_utterances=args.utterances,
                    seed=args.seed)
     )
-    decoder = ViterbiDecoder(task.graph, BeamSearchConfig(beam=args.beam))
+    config = BeamSearchConfig(beam=args.beam)
+    t0 = time.perf_counter()
+    if args.engine == "batch":
+        decoder = BatchDecoder(task.graph, config)
+        results = decoder.decode_batch([u.scores for u in task.utterances])
+    else:
+        reference = ViterbiDecoder(task.graph, config)
+        results = [reference.decode(u.scores) for u in task.utterances]
+    elapsed = time.perf_counter() - t0
+
     total = 0.0
-    for i, utt in enumerate(task.utterances):
-        result = decoder.decode(utt.scores)
+    for i, (utt, result) in enumerate(zip(task.utterances, results)):
         wer = word_error_rate(utt.words, result.words)
         total += wer
         print(f"utt {i}: WER {wer:.2f}  "
               f"({result.stats.arcs_processed} arcs, "
               f"{result.stats.mean_active_tokens:.0f} active tokens/frame)  "
               f"{' '.join(task.transcript(result))}")
+    frames = sum(u.num_frames for u in task.utterances)
+    print(f"engine '{args.engine}': {frames} frames in {elapsed * 1e3:.1f} ms "
+          f"({frames / elapsed:.0f} frames/s)")
     print(f"mean WER {total / len(task.utterances):.3f}")
     return 0
 
@@ -158,6 +175,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("decode", help="decode with the software decoder")
     _add_task_args(p)
+    p.add_argument("--engine", choices=("reference", "batch"),
+                   default="reference",
+                   help="scalar token passing or the vectorized batch "
+                        "engine (default: reference)")
     p.set_defaults(func=cmd_decode)
 
     p = sub.add_parser("simulate", help="decode on the accelerator simulator")

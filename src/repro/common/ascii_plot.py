@@ -7,7 +7,7 @@ visible directly in the terminal and in ``benchmarks/results/``.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.common.errors import ConfigError
 

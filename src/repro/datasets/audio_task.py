@@ -25,7 +25,6 @@ from repro.frontend import (
     AudioSynthesizer,
     MfccConfig,
     MfccExtractor,
-    PhoneAlignment,
     cmvn,
     splice,
 )

@@ -96,7 +96,6 @@ def generate_kaldi_like_graph(config: SyntheticGraphConfig) -> CompiledWfst:
     dest, weight, ilabel, olabel = (
         dest[order], weight[order], ilabel[order], olabel[order]
     )
-    eps_sorted = ilabel == EPSILON
     n_eps_per_state = np.zeros(n, dtype=np.int64)
     np.add.at(n_eps_per_state, src_of_arc, eps_mask)
     for s in range(n):

@@ -9,9 +9,7 @@ acoustic score matrices.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import List, Sequence, Tuple
 
 from repro.common.errors import ConfigError
 from repro.common.rng import make_rng
@@ -22,7 +20,6 @@ from repro.lexicon.lexicon import Lexicon, generate_lexicon
 from repro.lexicon.lexicon_fst import build_lexicon_fst
 from repro.lm.grammar_fst import build_grammar_fst
 from repro.lm.ngram import NGramModel, train_ngram
-from repro.wfst.fst import Fst
 from repro.wfst.layout import CompiledWfst
 from repro.wfst.ops import compose, remove_epsilon_cycles
 

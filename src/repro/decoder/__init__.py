@@ -9,11 +9,13 @@ hardware form; its output must match this decoder exactly (tested).
 """
 
 from repro.decoder.viterbi import BeamSearchConfig, ViterbiDecoder
+from repro.decoder.batch import BatchDecoder
 from repro.decoder.result import DecodeResult, SearchStats
 from repro.decoder.lattice import Lattice, LatticeDecoder, NBestEntry
 from repro.decoder.wer import word_error_rate, levenshtein
 
 __all__ = [
+    "BatchDecoder",
     "BeamSearchConfig",
     "ViterbiDecoder",
     "DecodeResult",

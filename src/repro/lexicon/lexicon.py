@@ -10,9 +10,7 @@ output-label space.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
-
-import numpy as np
+from typing import Dict, List, Tuple
 
 from repro.common.errors import ConfigError
 from repro.common.rng import make_rng

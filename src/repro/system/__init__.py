@@ -2,9 +2,12 @@
 
 from repro.system.pipeline import AsrSystemModel, PipelineTimes
 from repro.system.stream import (
+    BatchedStreamConfig,
     BatchTiming,
     StreamConfig,
     StreamReport,
+    max_realtime_streams,
+    simulate_batched_stream,
     simulate_stream,
 )
 from repro.system.experiment import (
@@ -23,8 +26,11 @@ __all__ = [
     "PlatformRun",
     "make_memory_workload",
     "run_platform_comparison",
+    "BatchedStreamConfig",
     "BatchTiming",
     "StreamConfig",
     "StreamReport",
+    "max_realtime_streams",
+    "simulate_batched_stream",
     "simulate_stream",
 ]

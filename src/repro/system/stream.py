@@ -14,7 +14,7 @@ assistant actually cares about.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List
 
 from repro.common.errors import ConfigError
@@ -88,6 +88,108 @@ class StreamReport:
             len(self.batches) - half
         )
         return late <= early * 1.5 + 1e-9
+
+
+@dataclass(frozen=True)
+class BatchedStreamConfig:
+    """Multi-user serving setup: one engine advances all streams in lockstep.
+
+    Models the serving shape of :class:`repro.decoder.batch.BatchDecoder`:
+    ``num_streams`` concurrent users, every stream's batch searched in one
+    vectorized sweep.  The marginal cost of each extra stream is a fraction
+    of the single-stream cost (``*_batch_efficiency``; 1.0 = no benefit,
+    0.0 = free), the regime measured by
+    ``benchmarks/bench_batch_throughput.py``.
+    """
+
+    num_streams: int = 8
+    batch_frames: int = 50
+    frame_period_s: float = 0.01
+    dnn_seconds_per_frame: float = 4e-5
+    search_seconds_per_frame: float = 3e-5
+    transfer_seconds_per_batch: float = 1e-4
+    dnn_batch_efficiency: float = 0.5
+    search_batch_efficiency: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.num_streams < 1:
+            raise ConfigError("num_streams must be >= 1")
+        if self.batch_frames < 1:
+            raise ConfigError("batch_frames must be >= 1")
+        if min(
+            self.frame_period_s,
+            self.dnn_seconds_per_frame,
+            self.search_seconds_per_frame,
+            self.transfer_seconds_per_batch,
+        ) < 0:
+            raise ConfigError("times must be non-negative")
+        for eff in (self.dnn_batch_efficiency, self.search_batch_efficiency):
+            if not 0.0 <= eff <= 1.0:
+                raise ConfigError("batch efficiencies must be in [0, 1]")
+
+    def _cost_factor(self, efficiency: float) -> float:
+        """Batched cost relative to a single stream."""
+        return 1.0 + efficiency * (self.num_streams - 1)
+
+    @property
+    def dnn_seconds_per_batch_frame(self) -> float:
+        """GPU seconds per frame slot with all streams batched."""
+        return self.dnn_seconds_per_frame * self._cost_factor(
+            self.dnn_batch_efficiency
+        )
+
+    @property
+    def search_seconds_per_batch_frame(self) -> float:
+        """Search seconds per frame slot with all streams batched."""
+        return self.search_seconds_per_frame * self._cost_factor(
+            self.search_batch_efficiency
+        )
+
+
+def simulate_batched_stream(
+    total_frames: int, config: BatchedStreamConfig = BatchedStreamConfig()
+) -> StreamReport:
+    """Simulate ``num_streams`` synchronized real-time streams.
+
+    All streams speak simultaneously, so every batch carries one chunk per
+    stream; the reported latency is what each individual user observes.
+    Reuses :class:`StreamReport` -- ``keeps_up`` answers whether the shared
+    engine sustains this many users in real time.
+    """
+    single = StreamConfig(
+        batch_frames=config.batch_frames,
+        frame_period_s=config.frame_period_s,
+        dnn_seconds_per_frame=config.dnn_seconds_per_batch_frame,
+        search_seconds_per_frame=config.search_seconds_per_batch_frame,
+        transfer_seconds_per_batch=config.transfer_seconds_per_batch,
+    )
+    return simulate_stream(total_frames, single)
+
+
+def max_realtime_streams(
+    config: BatchedStreamConfig = BatchedStreamConfig(),
+    limit: int = 4096,
+) -> int:
+    """Largest stream count the pipeline sustains in real time.
+
+    A stage keeps up when its busy time per batch fits inside the batch's
+    audio window, i.e. its per-batch-frame cost stays below
+    ``frame_period_s``; the bottleneck stage bounds the fleet.  With both
+    batch efficiencies at 0 extra streams are free and no bottleneck ever
+    appears, so the answer is unbounded: the search is capped at ``limit``
+    and returns it (a floor, not a measured capacity, in that case).
+    """
+    best = 0
+    for n in range(1, limit + 1):
+        candidate = replace(config, num_streams=n)
+        busiest = max(
+            candidate.dnn_seconds_per_batch_frame,
+            candidate.search_seconds_per_batch_frame,
+        )
+        if busiest > config.frame_period_s:
+            break
+        best = n
+    return best
 
 
 def simulate_stream(

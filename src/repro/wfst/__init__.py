@@ -13,7 +13,13 @@ word ids, and label ``0`` (EPSILON) marks an epsilon transition.
 from repro.wfst.fst import Arc, Fst, EPSILON
 from repro.wfst.semiring import LogProbSemiring, TropicalSemiring
 from repro.wfst.ops import compose, connect, arcsort, remove_epsilon_cycles
-from repro.wfst.layout import CompiledWfst, StateRecord, ARC_BYTES, STATE_BYTES
+from repro.wfst.layout import (
+    ARC_BYTES,
+    STATE_BYTES,
+    CompiledWfst,
+    FlatLayout,
+    StateRecord,
+)
 from repro.wfst.sorted_layout import SortedWfst, sort_states_by_arc_count
 from repro.wfst.io import save_wfst, load_wfst
 from repro.wfst.shortest import best_complete_path_score, shortest_distance
@@ -30,6 +36,7 @@ __all__ = [
     "arcsort",
     "remove_epsilon_cycles",
     "CompiledWfst",
+    "FlatLayout",
     "StateRecord",
     "ARC_BYTES",
     "STATE_BYTES",

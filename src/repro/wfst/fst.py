@@ -11,7 +11,7 @@ Weights are log probabilities (see :mod:`repro.wfst.semiring`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional
 
 from repro.common.errors import GraphError
 from repro.common.logmath import LOG_ZERO

@@ -18,7 +18,7 @@ kept byte-exact: :data:`STATE_BYTES` = 8 and :data:`ARC_BYTES` = 16.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -49,6 +49,74 @@ class StateRecord:
         return self.num_non_eps + self.num_eps
 
 
+@dataclass(frozen=True)
+class FlatLayout:
+    """Structure-of-Arrays view of a compiled graph for vectorized decoding.
+
+    The packed 64-bit state records are great for modelling the hardware but
+    force per-state Python unpacking in the software decoders.  This view
+    unpacks them once into parallel CSR-style arrays so a whole frontier of
+    active states can be expanded with numpy gathers:
+
+    * ``first_arc[s]`` / ``num_non_eps[s]`` / ``num_eps[s]`` -- the CSR
+      offsets of state ``s``'s contiguous arc block (non-epsilon arcs first,
+      exactly as stored in the packed layout);
+    * ``eps_first[s]`` -- ``first_arc[s] + num_non_eps[s]``, the start of the
+      epsilon sub-block;
+    * ``arc_dest`` / ``arc_ilabel`` / ``arc_olabel`` -- the arc columns
+      widened to ``int64`` so they can index numpy arrays directly;
+    * ``arc_weight64`` -- arc weights widened ``float32 -> float64``, making
+      vectorized score accumulation bit-identical to the scalar decoder's
+      ``float(arc_weight[a])`` arithmetic.
+
+    All arrays are read-only views shared by every decoder on the graph.
+    """
+
+    first_arc: np.ndarray
+    num_non_eps: np.ndarray
+    num_eps: np.ndarray
+    eps_first: np.ndarray
+    out_degree: np.ndarray
+    arc_dest: np.ndarray
+    arc_ilabel: np.ndarray
+    arc_olabel: np.ndarray
+    arc_weight64: np.ndarray
+    final_weights: np.ndarray
+
+    @property
+    def num_states(self) -> int:
+        return len(self.first_arc)
+
+    @property
+    def num_arcs(self) -> int:
+        return len(self.arc_dest)
+
+    @classmethod
+    def from_compiled(cls, graph: "CompiledWfst") -> "FlatLayout":
+        """Unpack a compiled graph's state records into SoA form."""
+        packed = graph.states_packed
+        first_arc = (packed & np.uint64(_MAX_U32)).astype(np.int64)
+        num_non_eps = (
+            (packed >> np.uint64(32)) & np.uint64(_MAX_U16)
+        ).astype(np.int64)
+        num_eps = (packed >> np.uint64(48)).astype(np.int64)
+        arrays = dict(
+            first_arc=first_arc,
+            num_non_eps=num_non_eps,
+            num_eps=num_eps,
+            eps_first=first_arc + num_non_eps,
+            out_degree=num_non_eps + num_eps,
+            arc_dest=graph.arc_dest.astype(np.int64),
+            arc_ilabel=graph.arc_ilabel.astype(np.int64),
+            arc_olabel=graph.arc_olabel.astype(np.int64),
+            arc_weight64=graph.arc_weight.astype(np.float64),
+            final_weights=graph.final_weights.copy(),
+        )
+        for arr in arrays.values():
+            arr.setflags(write=False)
+        return cls(**arrays)
+
+
 class CompiledWfst:
     """Immutable, array-backed decoding graph.
 
@@ -75,6 +143,7 @@ class CompiledWfst:
         self.arc_ilabel = arc_ilabel
         self.arc_olabel = arc_olabel
         self.final_weights = final_weights
+        self._flat: Optional[FlatLayout] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -194,6 +263,12 @@ class CompiledWfst:
     @property
     def total_size_bytes(self) -> int:
         return self.states_size_bytes + self.arcs_size_bytes
+
+    def flat(self) -> FlatLayout:
+        """The Structure-of-Arrays view, built lazily and cached."""
+        if self._flat is None:
+            self._flat = FlatLayout.from_compiled(self)
+        return self._flat
 
     def state_record(self, state: int) -> StateRecord:
         """The unpacked 64-bit record for ``state``."""

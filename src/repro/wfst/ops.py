@@ -13,8 +13,7 @@ from collections import deque
 from typing import Dict, List, Tuple
 
 from repro.common.errors import GraphError
-from repro.common.logmath import LOG_ZERO
-from repro.wfst.fst import Arc, EPSILON, Fst
+from repro.wfst.fst import EPSILON, Fst
 from repro.wfst.semiring import LogProbSemiring
 
 

@@ -14,7 +14,7 @@ state on it.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, List
 
 import numpy as np
 

@@ -1,0 +1,213 @@
+"""Tests for the vectorized batch decoding engine.
+
+The contract under test: :class:`BatchDecoder` produces the same word
+sequences as :class:`ViterbiDecoder` -- across beams, ``max_active``
+caps, epsilon-heavy graphs and ragged multi-utterance batches -- with
+bit-identical path likelihoods (the vectorized arithmetic associates
+per-path additions in the same order as the scalar decoder).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DecodeError
+from repro.acoustic.scorer import AcousticScores
+from repro.decoder import BatchDecoder, BeamSearchConfig, ViterbiDecoder
+from repro.wfst import CompiledWfst, EPSILON, Fst
+
+L, OW, EH, S = 1, 2, 3, 4
+LOW, LESS, MORE = 1, 2, 3
+
+
+def assert_equivalent(graph, config, scores_list):
+    """Both engines agree on every utterance; returns both result lists."""
+    reference = ViterbiDecoder(graph, config)
+    batch = BatchDecoder(graph, config)
+    ref_results = [reference.decode(s) for s in scores_list]
+    batch_results = batch.decode_batch(scores_list)
+    for ref, got in zip(ref_results, batch_results):
+        assert got.words == ref.words
+        assert got.log_likelihood == pytest.approx(
+            ref.log_likelihood, abs=1e-12
+        )
+        assert got.reached_final == ref.reached_final
+    return ref_results, batch_results
+
+
+def scores_for(rows, num_phones=4):
+    matrix = np.full((len(rows), num_phones + 1), -1e9)
+    for f, row in enumerate(rows):
+        for phone, prob in row.items():
+            matrix[f, phone] = math.log(prob)
+    return AcousticScores(matrix)
+
+
+def epsilon_heavy_graph():
+    """Competing epsilon paths, chains and word-emitting epsilons.
+
+    ``s1`` reaches ``s3`` through two epsilon routes of different length
+    and weight (the merge must pick the likelier one) and the longer route
+    emits a word on an epsilon arc; a depth-3 epsilon chain then leads to
+    the final state.
+    """
+    fst = Fst()
+    s0, s1, s2, s3, s4, s5, s6, s7 = fst.add_states(8)
+    fst.set_start(s0)
+    fst.add_arc(s0, L, LOW, 0.0, s1)
+    # Route A: one hop, cheap.
+    fst.add_arc(s1, EPSILON, EPSILON, math.log(0.3), s3)
+    # Route B: two hops through s2, jointly likelier, emits MORE.
+    fst.add_arc(s1, EPSILON, MORE, math.log(0.8), s2)
+    fst.add_arc(s2, EPSILON, EPSILON, math.log(0.9), s3)
+    fst.add_arc(s3, OW, LESS, 0.0, s4)
+    # Depth-3 epsilon chain to the final state.
+    fst.add_arc(s4, EPSILON, EPSILON, math.log(0.9), s5)
+    fst.add_arc(s5, EPSILON, EPSILON, math.log(0.9), s6)
+    fst.add_arc(s6, EPSILON, EPSILON, math.log(0.9), s7)
+    fst.set_final(s7, 0.0)
+    return CompiledWfst.from_fst(fst)
+
+
+class TestHandBuiltGraphs:
+    def test_epsilon_merge_picks_likelier_route(self):
+        graph = epsilon_heavy_graph()
+        scores = scores_for([{L: 0.9}, {OW: 0.9}])
+        result = BatchDecoder(graph, BeamSearchConfig(beam=30.0)).decode(scores)
+        # Route B (0.8 * 0.9 = 0.72) beats route A (0.3) and emits MORE.
+        assert result.words == (LOW, MORE, LESS)
+        assert result.log_likelihood == pytest.approx(
+            math.log(0.9 * 0.8 * 0.9 * 0.9 * 0.9 * 0.9 * 0.9)
+        )
+        assert result.reached_final
+
+    def test_epsilon_heavy_equivalence(self):
+        graph = epsilon_heavy_graph()
+        scores = scores_for([{L: 0.9, OW: 0.2}, {OW: 0.7, L: 0.1}])
+        assert_equivalent(graph, BeamSearchConfig(beam=30.0), [scores])
+
+    def test_multiple_arcs_one_destination(self):
+        """The segment-max merge keeps the best incoming arc."""
+        fst = Fst()
+        s0, s1, s2 = fst.add_states(3)
+        fst.set_start(s0)
+        fst.add_arc(s0, L, LOW, math.log(0.9), s1)
+        fst.add_arc(s0, L, LESS, math.log(0.1), s1)
+        fst.add_arc(s1, OW, EPSILON, 0.0, s2)
+        fst.set_final(s2)
+        graph = CompiledWfst.from_fst(fst)
+        scores = scores_for([{L: 0.5}, {OW: 0.5}])
+        result = BatchDecoder(graph, BeamSearchConfig(beam=30.0)).decode(scores)
+        assert result.words == (LOW,)
+
+    def test_no_final_token_fallback(self):
+        """Dead-end graphs fall back to the best live token, like scalar."""
+        fst = Fst()
+        s0, s1, s2 = fst.add_states(3)
+        fst.set_start(s0)
+        fst.add_arc(s0, L, LOW, 0.0, s1)
+        fst.add_arc(s1, OW, LESS, 0.0, s2)
+        fst.set_final(s2)
+        graph = CompiledWfst.from_fst(fst)
+        # One frame only: the final state is unreachable.
+        scores = scores_for([{L: 0.8}])
+        assert_equivalent(graph, BeamSearchConfig(beam=30.0), [scores])
+        result = BatchDecoder(graph, BeamSearchConfig(beam=30.0)).decode(scores)
+        assert not result.reached_final
+
+
+class TestTaskEquivalence:
+    @pytest.mark.parametrize("beam", [4.0, 8.0, 14.0, 20.0])
+    def test_beam_sweep(self, small_task, beam):
+        assert_equivalent(
+            small_task.graph,
+            BeamSearchConfig(beam=beam),
+            [u.scores for u in small_task.utterances],
+        )
+
+    @pytest.mark.parametrize("max_active", [10, 25, 100])
+    def test_max_active_sweep(self, small_task, max_active):
+        assert_equivalent(
+            small_task.graph,
+            BeamSearchConfig(beam=14.0, max_active=max_active),
+            [u.scores for u in small_task.utterances],
+        )
+
+    def test_epsilon_rich_task(self):
+        """High silence probability densifies the epsilon subgraph."""
+        from repro.datasets import TaskConfig, generate_task
+
+        task = generate_task(
+            TaskConfig(vocab_size=40, corpus_sentences=200,
+                       num_utterances=3, silence_prob=0.6, seed=19)
+        )
+        assert task.graph.epsilon_fraction() > 0.05
+        assert_equivalent(
+            task.graph,
+            BeamSearchConfig(beam=12.0),
+            [u.scores for u in task.utterances],
+        )
+
+    def test_core_counters_match_reference(self, small_task):
+        """Same frontier per frame => same pruning/expansion counters."""
+        config = BeamSearchConfig(beam=12.0, max_active=50)
+        ref_results, batch_results = assert_equivalent(
+            small_task.graph,
+            config,
+            [u.scores for u in small_task.utterances],
+        )
+        for ref, got in zip(ref_results, batch_results):
+            assert got.stats.frames == ref.stats.frames
+            assert (
+                got.stats.active_tokens_per_frame
+                == ref.stats.active_tokens_per_frame
+            )
+            assert got.stats.states_expanded == ref.stats.states_expanded
+            assert got.stats.arcs_processed == ref.stats.arcs_processed
+            assert got.stats.tokens_pruned == ref.stats.tokens_pruned
+            assert sorted(got.stats.visited_state_degrees) == sorted(
+                ref.stats.visited_state_degrees
+            )
+
+
+class TestRaggedBatches:
+    def test_ragged_batch_matches_singles(self, small_task):
+        """Mixed-length batch == decoding each utterance alone."""
+        base = small_task.utterances[0].scores
+        ragged = [
+            AcousticScores(base.matrix[:k])
+            for k in (3, base.num_frames, 7, 1)
+        ] + [u.scores for u in small_task.utterances]
+        decoder = BatchDecoder(small_task.graph, BeamSearchConfig(beam=14.0))
+        together = decoder.decode_batch(ragged)
+        alone = [decoder.decode(s) for s in ragged]
+        for one, many in zip(alone, together):
+            assert many.words == one.words
+            assert many.log_likelihood == one.log_likelihood
+        assert_equivalent(
+            small_task.graph, BeamSearchConfig(beam=14.0), ragged
+        )
+
+    def test_empty_batch(self, small_graph):
+        assert BatchDecoder(small_graph).decode_batch([]) == []
+
+    def test_empty_scores_rejected(self, small_graph):
+        decoder = BatchDecoder(small_graph)
+        with pytest.raises(DecodeError):
+            decoder.decode(AcousticScores(np.zeros((0, 5))))
+        with pytest.raises(DecodeError):
+            decoder.decode_batch(
+                [AcousticScores(np.full((2, 5), -1.0)),
+                 AcousticScores(np.zeros((0, 5)))]
+            )
+
+    def test_decoder_reusable_across_batches(self, small_task):
+        """One decoder instance serves many decode_batch calls."""
+        decoder = BatchDecoder(small_task.graph, BeamSearchConfig(beam=14.0))
+        scores = [u.scores for u in small_task.utterances]
+        first = decoder.decode_batch(scores)
+        second = decoder.decode_batch(scores)
+        for a, b in zip(first, second):
+            assert a.words == b.words
+            assert a.log_likelihood == b.log_likelihood

@@ -2,7 +2,6 @@
 
 from collections import OrderedDict
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.accel import Cache, MemoryController, Region

@@ -38,7 +38,28 @@ class TestCommands:
         code = main(["decode", "--vocab", "40", "--utterances", "2",
                      "--seed", "4"])
         assert code == 0
-        assert "mean WER" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "mean WER" in out
+        assert "engine 'reference'" in out
+
+    def test_decode_batch_engine_matches_reference(self, capsys):
+        argv = ["decode", "--vocab", "40", "--utterances", "2", "--seed", "4"]
+        assert main(argv) == 0
+        ref_out = capsys.readouterr().out
+        assert main(argv + ["--engine", "batch"]) == 0
+        batch_out = capsys.readouterr().out
+        assert "engine 'batch'" in batch_out
+        # Same word output => identical per-utterance WER lines.
+        ref_utts = [ln for ln in ref_out.splitlines() if ln.startswith("utt")]
+        batch_utts = [ln for ln in batch_out.splitlines()
+                      if ln.startswith("utt")]
+        assert ref_utts == batch_utts
+
+    def test_decode_engine_choices(self):
+        parser = build_parser()
+        assert parser.parse_args(["decode"]).engine == "reference"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["decode", "--engine", "nonsense"])
 
     def test_simulate_all_configs(self, capsys):
         for config in ("base", "state", "arc", "both"):

@@ -29,6 +29,13 @@ def test_streaming_assistant_runs(monkeypatch, capsys):
     assert "keeps up: True" in out
 
 
+def test_batch_serving_runs(monkeypatch, capsys):
+    _run_example("batch_serving.py", monkeypatch)
+    out = capsys.readouterr().out
+    assert "word-identical output" in out
+    assert "concurrent real-time streams" in out
+
+
 def test_voice_commands_helpers(monkeypatch):
     """Exercise the voice-command pipeline pieces at reduced size."""
     sys.path.insert(0, "examples")

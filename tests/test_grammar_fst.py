@@ -3,7 +3,6 @@
 import pytest
 
 from repro.lm import build_grammar_fst, train_ngram
-from repro.wfst import EPSILON
 from repro.wfst.ops import remove_epsilon_cycles
 
 

@@ -55,6 +55,7 @@ class TestLattice:
         words = [e.words for e in entries]
         assert len(set(words)) == len(words)
 
+    @pytest.mark.slow
     def test_oracle_wer_at_most_onebest(self, decoded):
         lattice, viterbi_result, utt = decoded
         onebest = word_error_rate(utt.words, viterbi_result.words)

@@ -109,3 +109,51 @@ class TestCompiledLayout:
 
     def test_paper_state_record_is_64_bits(self):
         assert STATE_BYTES * 8 == 64
+
+
+class TestFlatLayout:
+    def test_matches_packed_records(self):
+        g = small_compiled()
+        flat = g.flat()
+        for s in range(g.num_states):
+            first, n_non_eps, n_eps = g.arc_range(s)
+            assert flat.first_arc[s] == first
+            assert flat.num_non_eps[s] == n_non_eps
+            assert flat.num_eps[s] == n_eps
+            assert flat.eps_first[s] == first + n_non_eps
+            assert flat.out_degree[s] == g.out_degree(s)
+
+    def test_arc_columns_match(self):
+        g = small_compiled()
+        flat = g.flat()
+        assert np.array_equal(flat.arc_dest, g.arc_dest)
+        assert np.array_equal(flat.arc_ilabel, g.arc_ilabel)
+        assert np.array_equal(flat.arc_olabel, g.arc_olabel)
+        # float32 -> float64 widening is exact.
+        assert np.array_equal(
+            flat.arc_weight64, g.arc_weight.astype(np.float64)
+        )
+        assert flat.arc_weight64.dtype == np.float64
+        assert flat.arc_dest.dtype == np.int64
+
+    def test_cached_and_shared(self):
+        g = small_compiled()
+        assert g.flat() is g.flat()
+
+    def test_arrays_read_only(self):
+        g = small_compiled()
+        flat = g.flat()
+        with pytest.raises(ValueError):
+            flat.first_arc[0] = 1
+        with pytest.raises(ValueError):
+            flat.arc_weight64[0] = 0.0
+        with pytest.raises(ValueError):
+            flat.final_weights[0] = 0.0
+        # The flat view must not alias the graph's own (mutable) array.
+        assert flat.final_weights is not g.final_weights
+
+    def test_sizes(self):
+        g = small_compiled()
+        flat = g.flat()
+        assert flat.num_states == g.num_states
+        assert flat.num_arcs == g.num_arcs

@@ -5,7 +5,6 @@ import pytest
 from repro.common.errors import ConfigError
 from repro.lexicon import (
     DEFAULT_PHONES,
-    Lexicon,
     PhoneSet,
     SILENCE_PHONE,
     generate_lexicon,

@@ -11,7 +11,6 @@ from repro.common.errors import (
     ReproError,
     SimulationError,
 )
-from repro.common.logmath import LOG_ZERO
 from repro.wfst import LogProbSemiring, TropicalSemiring
 
 logs = st.floats(min_value=-50.0, max_value=0.0)

@@ -2,13 +2,12 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.common.ascii_plot import bar_chart, line_chart
 from repro.common.errors import ConfigError
 from repro.common.logmath import LOG_ZERO
-from repro.wfst import CompiledWfst, EPSILON, Fst
+from repro.wfst import CompiledWfst, Fst
 from repro.wfst.shortest import best_complete_path_score, shortest_distance
 
 

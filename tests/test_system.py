@@ -3,7 +3,6 @@
 import pytest
 
 from repro.common.errors import ConfigError
-from repro.accel import AcceleratorConfig
 from repro.datasets import SyntheticGraphConfig
 from repro.energy.report import EnergyReport, PlatformResult
 from repro.system import (

@@ -5,7 +5,13 @@ import pytest
 from repro.common.errors import ConfigError
 from repro.accel import AcceleratorSimulator
 from repro.accel.trace import frame_traces, summarize
-from repro.system.stream import StreamConfig, simulate_stream
+from repro.system.stream import (
+    BatchedStreamConfig,
+    StreamConfig,
+    max_realtime_streams,
+    simulate_batched_stream,
+    simulate_stream,
+)
 
 
 class TestFrameTraces:
@@ -74,3 +80,59 @@ class TestStreaming:
             StreamConfig(batch_frames=0)
         with pytest.raises(ConfigError):
             simulate_stream(0)
+
+
+class TestBatchedStreaming:
+    def test_one_stream_matches_single_stream_model(self):
+        batched = BatchedStreamConfig(num_streams=1)
+        single = StreamConfig()
+        a = simulate_batched_stream(1000, batched)
+        b = simulate_stream(1000, single)
+        assert a.mean_latency_s == pytest.approx(b.mean_latency_s)
+        assert a.max_latency_s == pytest.approx(b.max_latency_s)
+
+    def test_more_streams_cost_more_latency(self):
+        few = simulate_batched_stream(
+            1000, BatchedStreamConfig(num_streams=2)
+        )
+        many = simulate_batched_stream(
+            1000, BatchedStreamConfig(num_streams=64)
+        )
+        assert many.mean_latency_s >= few.mean_latency_s
+
+    def test_efficiency_zero_makes_streams_free(self):
+        config = BatchedStreamConfig(
+            num_streams=100,
+            dnn_batch_efficiency=0.0,
+            search_batch_efficiency=0.0,
+        )
+        assert config.dnn_seconds_per_batch_frame == pytest.approx(
+            config.dnn_seconds_per_frame
+        )
+        assert config.search_seconds_per_batch_frame == pytest.approx(
+            config.search_seconds_per_frame
+        )
+
+    def test_max_realtime_streams_monotonic_in_engine_speed(self):
+        slow = BatchedStreamConfig(search_seconds_per_frame=3e-3)
+        fast = BatchedStreamConfig(search_seconds_per_frame=3e-5)
+        assert max_realtime_streams(fast) >= max_realtime_streams(slow)
+
+    def test_max_realtime_streams_keeps_up(self):
+        config = BatchedStreamConfig(search_seconds_per_frame=1e-3)
+        capacity = max_realtime_streams(config)
+        assert capacity >= 1
+        from dataclasses import replace
+
+        report = simulate_batched_stream(
+            2000, replace(config, num_streams=capacity)
+        )
+        assert report.keeps_up
+
+    def test_invalid_batched_config_rejected(self):
+        with pytest.raises(ConfigError):
+            BatchedStreamConfig(num_streams=0)
+        with pytest.raises(ConfigError):
+            BatchedStreamConfig(search_batch_efficiency=1.5)
+        with pytest.raises(ConfigError):
+            BatchedStreamConfig(dnn_batch_efficiency=-0.1)
