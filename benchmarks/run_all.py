@@ -10,8 +10,9 @@ paper-vs-measured tables on stdout, for quick inspection:
 only the benches that share the cached standard comparison.
 
 ``--quick`` is the CI smoke gate: tiny configurations that finish in
-seconds, a decoder-consistency check across every platform, and the batch
-vs reference engine benchmark.  Results land in
+seconds, a decoder-consistency check across every platform, the batch
+vs reference engine benchmark, and the continuous-batching streaming
+session benchmark.  Results land in
 ``benchmarks/results/quick_summary.json`` (uploaded as a CI artifact); the
 process exits non-zero on any crash or decoder mismatch.
 """
@@ -39,6 +40,7 @@ class _NullBenchmark:
 def run_quick() -> int:
     """CI smoke gate: small, fast, and strict about consistency."""
     from benchmarks import bench_batch_throughput as bench_batch
+    from benchmarks import bench_streaming_sessions as bench_stream
     from repro.datasets import SyntheticGraphConfig
     from repro.system import make_memory_workload
 
@@ -98,8 +100,19 @@ def run_quick() -> int:
             )
         return result
 
+    def streaming_sessions():
+        result = bench_stream.run_streaming_sessions(quick=True)
+        bench_stream._report(result)
+        if result["speedup"] < bench_stream.SPEEDUP_TARGET:
+            raise AssertionError(
+                f"continuous-batching speedup {result['speedup']:.2f}x "
+                f"below the {bench_stream.SPEEDUP_TARGET:.2f}x gate"
+            )
+        return result
+
     step("platform_consistency", platform_consistency)
     step("batch_throughput_quick", batch_throughput)
+    step("streaming_sessions_quick", streaming_sessions)
 
     summary["status"] = "failed" if failed else "ok"
     path = common.write_json("quick_summary", summary)
@@ -129,6 +142,7 @@ def main() -> int:
 
     from benchmarks import (
         bench_batch_throughput as batch_tp,
+        bench_streaming_sessions as stream_tp,
         bench_fig01_pipeline_breakdown as fig01,
         bench_fig04_cache_miss_ratio as fig04,
         bench_fig05_hash_entries as fig05,
@@ -164,6 +178,7 @@ def main() -> int:
     area.test_intext_area_and_overheads(bench)
     pipeline.test_intext_full_pipeline(bench, std_comparison)
     batch_tp.test_batch_throughput(bench)
+    stream_tp.test_streaming_sessions(bench)
 
     if not options.fast:
         fig04.test_fig04_cache_miss_ratio(bench, std_workload)

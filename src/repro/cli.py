@@ -1,11 +1,14 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows:
+Five subcommands cover the common workflows:
 
 * ``repro-asr build-task``   -- generate a synthetic ASR task and save its
   decoding graph.
 * ``repro-asr decode``       -- decode a task's utterances with the
-  reference software decoder.
+  reference software decoder (``--engine batch`` for the vectorized
+  engine, ``--streaming`` for chunked live sessions).
+* ``repro-asr serve``        -- continuous-batching serving demo: live
+  sessions join mid-flight and stream chunks through one fused engine.
 * ``repro-asr simulate``     -- decode on the cycle-accurate accelerator
   simulator in any of the paper's four configurations.
 * ``repro-asr compare``      -- run the six-platform comparison on a
@@ -22,6 +25,7 @@ import time
 from typing import List, Optional
 
 from repro.accel import AcceleratorConfig, AcceleratorSimulator
+from repro.common.errors import ConfigError
 from repro.datasets import SyntheticGraphConfig, TaskConfig, generate_task
 from repro.decoder import (
     BatchDecoder,
@@ -30,7 +34,12 @@ from repro.decoder import (
     word_error_rate,
 )
 from repro.energy import AcceleratorEnergyModel
-from repro.system import make_memory_workload, run_platform_comparison
+from repro.system import (
+    ServerConfig,
+    StreamingServer,
+    make_memory_workload,
+    run_platform_comparison,
+)
 from repro.wfst import save_wfst, sort_states_by_arc_count
 
 CONFIG_NAMES = ("base", "state", "arc", "both")
@@ -75,10 +84,17 @@ def cmd_decode(args: argparse.Namespace) -> int:
                    seed=args.seed)
     )
     config = BeamSearchConfig(beam=args.beam)
+    scores = [u.scores for u in task.utterances]
+    server = None
     t0 = time.perf_counter()
-    if args.engine == "batch":
+    if args.streaming:
+        server = StreamingServer(task.graph, config)
+        results = server.decode_streaming(
+            scores, chunk_frames=args.chunk_frames
+        )
+    elif args.engine == "batch":
         decoder = BatchDecoder(task.graph, config)
-        results = decoder.decode_batch([u.scores for u in task.utterances])
+        results = decoder.decode_batch(scores)
     else:
         reference = ViterbiDecoder(task.graph, config)
         results = [reference.decode(u.scores) for u in task.utterances]
@@ -93,10 +109,71 @@ def cmd_decode(args: argparse.Namespace) -> int:
               f"{result.stats.mean_active_tokens:.0f} active tokens/frame)  "
               f"{' '.join(task.transcript(result))}")
     frames = sum(u.num_frames for u in task.utterances)
-    print(f"engine '{args.engine}': {frames} frames in {elapsed * 1e3:.1f} ms "
+    engine = "streaming" if args.streaming else args.engine
+    print(f"engine '{engine}': {frames} frames in {elapsed * 1e3:.1f} ms "
           f"({frames / elapsed:.0f} frames/s)")
+    if server is not None:
+        stats = server.stats
+        print(f"streaming: {stats.sweeps} sweeps, mean occupancy "
+              f"{stats.mean_occupancy:.1f} sessions/sweep, "
+              f"{stats.aggregate_frames_per_second:.0f} frames/s of "
+              f"engine busy time")
     print(f"mean WER {total / len(task.utterances):.3f}")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Continuous-batching demo: staggered live sessions, chunked input."""
+    if args.chunk_frames < 1:
+        raise ConfigError("--chunk-frames must be >= 1")
+    if args.stagger < 0:
+        raise ConfigError("--stagger must be >= 0")
+    task = generate_task(
+        TaskConfig(vocab_size=args.vocab, num_utterances=args.utterances,
+                   seed=args.seed)
+    )
+    server = StreamingServer(
+        task.graph,
+        BeamSearchConfig(beam=args.beam),
+        ServerConfig(max_batch=args.max_batch),
+    )
+
+    def announce_join(round_no: int, i: int, sid: int) -> None:
+        print(f"[round {round_no:3d}] session {sid} joined "
+              f"({task.utterances[i].num_frames} frames)")
+
+    records = server.serve_staggered(
+        [u.scores for u in task.utterances],
+        chunk_frames=args.chunk_frames,
+        stagger=args.stagger,
+        on_join=announce_join,
+    )
+
+    total_wer = 0.0
+    decoded = 0
+    for i, record in enumerate(records):
+        if record.error is not None:
+            print(f"session {record.session_id}: FAILED ({record.error})")
+            continue
+        utt = task.utterances[i]
+        wer = word_error_rate(utt.words, record.result.words)
+        total_wer += wer
+        decoded += 1
+        s = record.stats
+        print(f"session {record.session_id}: WER {wer:.2f}  "
+              f"{s.frames_decoded} frames in "
+              f"{s.sweeps} sweeps, {s.frames_per_second:.0f} frames/s, "
+              f"mean wait {s.mean_wait_s * 1e3:.2f} ms  "
+              f"{' '.join(task.transcript(record.result))}")
+    stats = server.stats
+    print(f"served {stats.sessions_finalized} sessions / "
+          f"{stats.frames_decoded} frames in {stats.sweeps} sweeps "
+          f"(mean occupancy {stats.mean_occupancy:.1f}, "
+          f"max {stats.max_occupancy}); aggregate "
+          f"{stats.aggregate_frames_per_second:.0f} frames/s")
+    if decoded:
+        print(f"mean WER {total_wer / decoded:.3f}")
+    return 0 if decoded == len(records) else 1
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -179,7 +256,27 @@ def build_parser() -> argparse.ArgumentParser:
                    default="reference",
                    help="scalar token passing or the vectorized batch "
                         "engine (default: reference)")
+    p.add_argument("--streaming", action="store_true",
+                   help="decode through chunked live sessions on the "
+                        "continuous-batching server (word-identical to "
+                        "the offline engines)")
+    p.add_argument("--chunk-frames", type=int, default=10,
+                   dest="chunk_frames",
+                   help="frames per streamed chunk (default 10)")
     p.set_defaults(func=cmd_decode)
+
+    p = sub.add_parser("serve",
+                       help="continuous-batching live serving demo")
+    _add_task_args(p)
+    p.add_argument("--chunk-frames", type=int, default=10,
+                   dest="chunk_frames",
+                   help="frames per streamed chunk (default 10)")
+    p.add_argument("--stagger", type=int, default=3,
+                   help="rounds between session arrivals; 0 admits every "
+                        "session up front (default 3)")
+    p.add_argument("--max-batch", type=int, default=64, dest="max_batch",
+                   help="max sessions per lockstep sweep (default 64)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("simulate", help="decode on the accelerator simulator")
     _add_task_args(p)

@@ -10,6 +10,7 @@ hardware form; its output must match this decoder exactly (tested).
 
 from repro.decoder.viterbi import BeamSearchConfig, ViterbiDecoder
 from repro.decoder.batch import BatchDecoder
+from repro.decoder.session import DecodeSession, advance_sessions
 from repro.decoder.result import DecodeResult, SearchStats
 from repro.decoder.lattice import Lattice, LatticeDecoder, NBestEntry
 from repro.decoder.wer import word_error_rate, levenshtein
@@ -17,6 +18,8 @@ from repro.decoder.wer import word_error_rate, levenshtein
 __all__ = [
     "BatchDecoder",
     "BeamSearchConfig",
+    "DecodeSession",
+    "advance_sessions",
     "ViterbiDecoder",
     "DecodeResult",
     "SearchStats",

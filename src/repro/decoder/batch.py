@@ -36,9 +36,12 @@ reference semantics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.decoder.session import DecodeSession
 
 from repro.common.errors import DecodeError
 from repro.common.logmath import LOG_ZERO
@@ -85,33 +88,37 @@ class _BulkTrace:
 
     Same contract as the scalar decoder's ``_TokenTrace`` -- one
     ``(predecessor index, word)`` record per token write -- but records
-    arrive a frame's worth at a time and are only concatenated when the
-    first backtrack needs them.
+    arrive a frame's worth at a time into capacity-doubling arrays, so
+    appends are amortized O(1) and backtracking is O(path length) at any
+    point (streaming sessions backtrack repeatedly for partials).
     """
 
     def __init__(self) -> None:
-        self._prev_chunks: List[np.ndarray] = []
-        self._word_chunks: List[np.ndarray] = []
+        self._prev = np.empty(64, dtype=np.int64)
+        self._word = np.empty(64, dtype=np.int64)
         self._size = 0
-        self._flat: Tuple[np.ndarray, np.ndarray] | None = None
 
     def append_bulk(self, prev: np.ndarray, word: np.ndarray) -> np.ndarray:
         """Append records; returns their trace indices."""
-        n = len(prev)
-        indices = np.arange(self._size, self._size + n, dtype=np.int64)
-        self._prev_chunks.append(np.asarray(prev, dtype=np.int64))
-        self._word_chunks.append(np.asarray(word, dtype=np.int64))
-        self._size += n
-        self._flat = None
+        new_size = self._size + len(prev)
+        if new_size > len(self._prev):
+            capacity = max(new_size, 2 * len(self._prev))
+            self._prev = np.concatenate(
+                [self._prev[: self._size],
+                 np.empty(capacity - self._size, dtype=np.int64)]
+            )
+            self._word = np.concatenate(
+                [self._word[: self._size],
+                 np.empty(capacity - self._size, dtype=np.int64)]
+            )
+        indices = np.arange(self._size, new_size, dtype=np.int64)
+        self._prev[self._size: new_size] = prev
+        self._word[self._size: new_size] = word
+        self._size = new_size
         return indices
 
     def backtrack(self, index: int) -> List[int]:
-        if self._flat is None:
-            self._flat = (
-                np.concatenate(self._prev_chunks),
-                np.concatenate(self._word_chunks),
-            )
-        prev, word = self._flat
+        prev, word = self._prev, self._word
         words: List[int] = []
         i = int(index)
         while i >= 0:
@@ -132,7 +139,8 @@ class _Frontier:
 
     ``states`` is kept sorted ascending; ``scores`` / ``bps`` are parallel
     to it.  The invariant makes the epsilon-closure merges a sorted-array
-    merge instead of a hash probe.
+    merge instead of a hash probe.  ``num_frames`` counts the frames
+    consumed so far (sessions grow it one push at a time).
     """
 
     states: np.ndarray
@@ -159,8 +167,23 @@ class BatchDecoder:
         self.graph = graph
         self.config = config
         self.flat: FlatLayout = graph.flat()
+        #: Shortest score row that every arc's ilabel can index safely.
+        self.min_score_width: int = (
+            int(self.flat.arc_ilabel.max()) + 1 if self.flat.num_arcs else 1
+        )
 
     # ------------------------------------------------------------------
+    def open_session(self) -> "DecodeSession":
+        """Open a resumable streaming decode session on this engine.
+
+        The session accepts acoustic-score chunks of any size and can
+        report partial hypotheses between chunks; see
+        :class:`repro.decoder.session.DecodeSession`.
+        """
+        from repro.decoder.session import DecodeSession
+
+        return DecodeSession(self)
+
     def decode(self, scores: AcousticScores) -> DecodeResult:
         """Decode one utterance; returns the best word sequence."""
         return self.decode_batch([scores])[0]
@@ -172,24 +195,33 @@ class BatchDecoder:
 
         Utterances may be ragged (different frame counts); each one is
         finalized after its own last frame.  Results come back in input
-        order and match per-utterance :meth:`decode` exactly.
+        order and match per-utterance :meth:`decode` exactly.  Each
+        utterance runs as a :class:`DecodeSession`; frames advance through
+        the fused multi-session sweep, one numpy pass per frame for the
+        whole batch.
         """
+        from repro.decoder.session import advance_sessions
+
         if not scores_batch:
             return []
         for scores in scores_batch:
             if scores.num_frames == 0:
                 raise DecodeError("no frames to decode")
 
-        frontiers = [self._init_frontier(s.num_frames) for s in scores_batch]
+        sessions = [self.open_session() for _ in scores_batch]
         max_frames = max(s.num_frames for s in scores_batch)
         for frame in range(max_frames):
-            for frontier, scores in zip(frontiers, scores_batch):
-                if frame < scores.num_frames:
-                    self._advance(frontier, frame, scores.frame(frame))
-        return [self._finalize(frontier) for frontier in frontiers]
+            advance_sessions(
+                [
+                    (session, scores.frame(frame))
+                    for session, scores in zip(sessions, scores_batch)
+                    if frame < scores.num_frames
+                ]
+            )
+        return [session.finalize() for session in sessions]
 
     # ------------------------------------------------------------------
-    def _init_frontier(self, num_frames: int) -> _Frontier:
+    def _init_frontier(self) -> _Frontier:
         trace = _BulkTrace()
         root = trace.append_bulk(
             np.array([-1], dtype=np.int64), np.array([0], dtype=np.int64)
@@ -199,8 +231,8 @@ class BatchDecoder:
             scores=np.array([0.0], dtype=np.float64),
             bps=root,
             trace=trace,
-            stats=SearchStats(frames=num_frames),
-            num_frames=num_frames,
+            stats=SearchStats(),
+            num_frames=0,
         )
         self._epsilon_closure(frontier)
         return frontier

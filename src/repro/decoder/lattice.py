@@ -16,7 +16,7 @@ to main memory.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
@@ -61,7 +61,7 @@ class Lattice:
             raise DecodeError("lattice contains no complete path")
         return entries[0]
 
-    def nbest(self, k: int, max_paths: int = None) -> List[NBestEntry]:
+    def nbest(self, k: int, max_paths: Optional[int] = None) -> List[NBestEntry]:
         """Up to ``k`` highest-likelihood distinct word sequences.
 
         Distinct paths can share a word sequence (the same words with a
@@ -72,6 +72,8 @@ class Lattice:
             raise ConfigError("k must be >= 1")
         if max_paths is None:
             max_paths = 50 * k
+        elif max_paths < 1:
+            raise ConfigError("max_paths must be >= 1")
         entries: List[NBestEntry] = []
         seen_words = set()
         paths = nx.shortest_simple_paths(
@@ -186,15 +188,23 @@ class LatticeDecoder:
             for s, score in tokens.items()
             if graph.is_final(s)
         }
-        if not finals:
-            raise DecodeError("no final token at the end of the utterance")
-        for state in finals:
-            lat.add_edge(
-                node(scores.num_frames, state),
-                _SINK,
-                cost=-graph.final_weight(state),
-                word=0,
-            )
+        if finals:
+            for state in finals:
+                lat.add_edge(
+                    node(scores.num_frames, state),
+                    _SINK,
+                    cost=-graph.final_weight(state),
+                    word=0,
+                )
+        else:
+            # No token reached a final state: fall back to the live tokens
+            # with zero final weight, mirroring ``ViterbiDecoder._finalize``
+            # (and ``BatchDecoder``) -- the 1-best lattice path is then the
+            # reference decoder's best-live-token hypothesis.
+            for state in tokens:
+                lat.add_edge(
+                    node(scores.num_frames, state), _SINK, cost=0.0, word=0
+                )
 
         lattice = Lattice(lat, scores.num_frames)
         self._prune(lattice)

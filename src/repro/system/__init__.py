@@ -10,6 +10,13 @@ from repro.system.stream import (
     simulate_batched_stream,
     simulate_stream,
 )
+from repro.system.server import (
+    ServerConfig,
+    ServerStats,
+    SessionRecord,
+    SessionStats,
+    StreamingServer,
+)
 from repro.system.experiment import (
     ComparisonResult,
     MemoryWorkload,
@@ -33,4 +40,9 @@ __all__ = [
     "max_realtime_streams",
     "simulate_batched_stream",
     "simulate_stream",
+    "ServerConfig",
+    "ServerStats",
+    "SessionRecord",
+    "SessionStats",
+    "StreamingServer",
 ]

@@ -37,6 +37,7 @@ class StreamConfig:
             self.frame_period_s,
             self.dnn_seconds_per_frame,
             self.search_seconds_per_frame,
+            self.transfer_seconds_per_batch,
         ) < 0:
             raise ConfigError("times must be non-negative")
 

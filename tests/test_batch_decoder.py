@@ -116,6 +116,86 @@ class TestHandBuiltGraphs:
         result = BatchDecoder(graph, BeamSearchConfig(beam=30.0)).decode(scores)
         assert not result.reached_final
 
+    def test_multi_round_epsilon_improvement(self):
+        """An improvement must propagate through several closure rounds.
+
+        The direct epsilon arc from ``s1`` to each chain state is beaten by
+        the chain route discovered on a later round, so the closure's
+        "improved last round" frontier must be re-relaxed repeatedly; both
+        engines agree round for round.
+        """
+        cheap, step = math.log(0.1), math.log(0.95)
+        fst = Fst()
+        s0, s1, c1, c2, c3, s5 = fst.add_states(6)
+        fst.set_start(s0)
+        fst.add_arc(s0, L, LOW, 0.0, s1)
+        # Direct (weak) epsilon shortcuts to every chain state...
+        fst.add_arc(s1, EPSILON, EPSILON, 3 * cheap, c3)
+        fst.add_arc(s1, EPSILON, EPSILON, 2 * cheap, c2)
+        fst.add_arc(s1, EPSILON, EPSILON, cheap, c1)
+        # ...all beaten by the chain, one extra round at a time.
+        fst.add_arc(c1, EPSILON, MORE, step, c2)
+        fst.add_arc(c2, EPSILON, EPSILON, step, c3)
+        fst.add_arc(c3, OW, LESS, 0.0, s5)
+        fst.set_final(s5, 0.0)
+        graph = CompiledWfst.from_fst(fst)
+        scores = scores_for([{L: 0.9}, {OW: 0.9}])
+        config = BeamSearchConfig(beam=50.0)
+        assert_equivalent(graph, config, [scores])
+        result = BatchDecoder(graph, config).decode(scores)
+        # The winning path runs through the whole chain (emitting MORE).
+        assert result.words == (LOW, MORE, LESS)
+        assert result.log_likelihood == pytest.approx(
+            math.log(0.9) + cheap + 2 * step + math.log(0.9)
+        )
+
+    def test_frontier_empties_on_epsilon_only_survivors(self):
+        """Survivors with only epsilon arcs empty the next frontier (the
+        empty-gather path); both engines then fail the same way."""
+        fst = Fst()
+        s0, s1, s2 = fst.add_states(3)
+        fst.set_start(s0)
+        fst.add_arc(s0, L, LOW, 0.0, s1)
+        fst.add_arc(s1, EPSILON, EPSILON, math.log(0.9), s2)
+        fst.set_final(s2, 0.0)
+        graph = CompiledWfst.from_fst(fst)
+        # Frame 1 finds only epsilon arcs out of {s1, s2}: no token can
+        # consume it.
+        scores = scores_for([{L: 0.8}, {L: 0.8}])
+        config = BeamSearchConfig(beam=30.0)
+        with pytest.raises(DecodeError):
+            ViterbiDecoder(graph, config).decode(scores)
+        with pytest.raises(DecodeError):
+            BatchDecoder(graph, config).decode(scores)
+        # One frame decodes fine (and reaches the final state via epsilon).
+        one = scores_for([{L: 0.8}])
+        assert_equivalent(graph, config, [one])
+        # A streaming session hits the same wall mid-stream: the frame
+        # that finds only epsilon arcs empties the frontier silently, and
+        # the next push raises.
+        session = BatchDecoder(graph, config).open_session()
+        session.push_frame(one.matrix[0])
+        assert session.alive
+        session.push_frame(one.matrix[0])
+        assert not session.alive
+        with pytest.raises(DecodeError):
+            session.push_frame(one.matrix[0])
+
+    def test_mixed_epsilon_only_and_productive_survivors(self):
+        """A frontier mixing zero-non-epsilon states with productive ones
+        exercises the partially-empty gather; engines stay equivalent."""
+        fst = Fst()
+        s0, s1, s2, s3 = fst.add_states(4)
+        fst.set_start(s0)
+        fst.add_arc(s0, L, LOW, math.log(0.5), s1)   # s1: only eps out
+        fst.add_arc(s0, L, LESS, math.log(0.5), s3)  # s3: productive
+        fst.add_arc(s1, EPSILON, EPSILON, math.log(0.9), s2)
+        fst.add_arc(s3, OW, MORE, 0.0, s2)
+        fst.set_final(s2, 0.0)
+        graph = CompiledWfst.from_fst(fst)
+        scores = scores_for([{L: 0.8}, {OW: 0.8}])
+        assert_equivalent(graph, BeamSearchConfig(beam=30.0), [scores])
+
 
 class TestTaskEquivalence:
     @pytest.mark.parametrize("beam", [4.0, 8.0, 14.0, 20.0])

@@ -12,7 +12,7 @@ class TestParser:
 
     def test_known_subcommands(self):
         parser = build_parser()
-        for cmd in ("build-task", "decode", "simulate", "compare"):
+        for cmd in ("build-task", "decode", "serve", "simulate", "compare"):
             args = parser.parse_args([cmd] if cmd != "simulate" else [cmd])
             assert hasattr(args, "func")
 
@@ -58,8 +58,48 @@ class TestCommands:
     def test_decode_engine_choices(self):
         parser = build_parser()
         assert parser.parse_args(["decode"]).engine == "reference"
+        assert not parser.parse_args(["decode"]).streaming
         with pytest.raises(SystemExit):
             parser.parse_args(["decode", "--engine", "nonsense"])
+
+    def test_decode_streaming_matches_reference(self, capsys):
+        argv = ["decode", "--vocab", "40", "--utterances", "2", "--seed", "4"]
+        assert main(argv) == 0
+        ref_out = capsys.readouterr().out
+        assert main(argv + ["--streaming", "--chunk-frames", "7"]) == 0
+        stream_out = capsys.readouterr().out
+        assert "engine 'streaming'" in stream_out
+        assert "mean occupancy" in stream_out
+        ref_utts = [ln for ln in ref_out.splitlines() if ln.startswith("utt")]
+        stream_utts = [ln for ln in stream_out.splitlines()
+                       if ln.startswith("utt")]
+        assert ref_utts == stream_utts
+
+    def test_serve(self, capsys):
+        code = main(["serve", "--vocab", "40", "--utterances", "3",
+                     "--seed", "4", "--stagger", "2", "--chunk-frames", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("joined") == 3
+        assert "served 3 sessions" in out
+        assert "mean WER" in out
+
+    def test_serve_rejects_bad_knobs(self):
+        from repro.common.errors import ConfigError
+
+        for argv in (["serve", "--chunk-frames", "0"],
+                     ["serve", "--stagger", "-1"]):
+            with pytest.raises(ConfigError):
+                main(argv + ["--vocab", "40", "--utterances", "1"])
+
+    def test_serve_stagger_zero_admits_all_up_front(self, capsys):
+        code = main(["serve", "--vocab", "40", "--utterances", "2",
+                     "--seed", "4", "--stagger", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        joins = [ln for ln in out.splitlines() if "joined" in ln]
+        assert len(joins) == 2
+        assert all(ln.startswith("[round   0]") for ln in joins)
 
     def test_simulate_all_configs(self, capsys):
         for config in ("base", "state", "arc", "both"):

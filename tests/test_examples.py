@@ -36,6 +36,14 @@ def test_batch_serving_runs(monkeypatch, capsys):
     assert "concurrent real-time streams" in out
 
 
+def test_live_sessions_runs(monkeypatch, capsys):
+    _run_example("live_sessions.py", monkeypatch)
+    out = capsys.readouterr().out
+    assert "joined" in out
+    assert "so far" in out  # partial hypotheses were emitted
+    assert "streamed == one-shot offline" in out
+
+
 def test_voice_commands_helpers(monkeypatch):
     """Exercise the voice-command pipeline pieces at reduced size."""
     sys.path.insert(0, "examples")

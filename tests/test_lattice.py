@@ -78,3 +78,43 @@ class TestLattice:
     def test_invalid_params_rejected(self, small_graph):
         with pytest.raises(ConfigError):
             LatticeDecoder(small_graph, lattice_beam=0.0)
+
+    def test_nbest_max_paths_validated(self, decoded):
+        lattice, _vit, _utt = decoded
+        for bad in (0, -1):
+            with pytest.raises(ConfigError):
+                lattice.nbest(1, max_paths=bad)
+        # Valid explicit caps still work (1 path => at most 1 hypothesis).
+        assert len(lattice.nbest(5, max_paths=1)) <= 1
+
+    def test_no_final_token_falls_back_like_viterbi(self):
+        """A dead-end search yields the reference decoders' best-live-token
+        hypothesis instead of raising."""
+        import math
+
+        import numpy as np
+
+        from repro.acoustic.scorer import AcousticScores
+        from repro.wfst import CompiledWfst, Fst
+
+        fst = Fst()
+        s0, s1, s2 = fst.add_states(3)
+        fst.set_start(s0)
+        fst.add_arc(s0, 1, 1, 0.0, s1)
+        fst.add_arc(s1, 2, 2, 0.0, s2)
+        fst.set_final(s2)
+        graph = CompiledWfst.from_fst(fst)
+        # One frame only: the final state is unreachable.
+        matrix = np.full((1, 3), -1e9)
+        matrix[0, 1] = math.log(0.8)
+        scores = AcousticScores(matrix)
+
+        config = BeamSearchConfig(beam=30.0)
+        reference = ViterbiDecoder(graph, config).decode(scores)
+        assert not reference.reached_final
+        lattice = LatticeDecoder(graph, config).decode(scores)
+        best = lattice.best_path()
+        assert best.words == reference.words
+        assert best.log_likelihood == pytest.approx(
+            reference.log_likelihood
+        )

@@ -81,6 +81,18 @@ class TestStreaming:
         with pytest.raises(ConfigError):
             simulate_stream(0)
 
+    def test_negative_times_rejected(self):
+        """Every stage time is validated -- including the batch transfer,
+        which used to slip through unchecked."""
+        with pytest.raises(ConfigError):
+            StreamConfig(frame_period_s=-0.01)
+        with pytest.raises(ConfigError):
+            StreamConfig(dnn_seconds_per_frame=-1e-5)
+        with pytest.raises(ConfigError):
+            StreamConfig(search_seconds_per_frame=-1e-5)
+        with pytest.raises(ConfigError):
+            StreamConfig(transfer_seconds_per_batch=-1e-4)
+
 
 class TestBatchedStreaming:
     def test_one_stream_matches_single_stream_model(self):
