@@ -4,16 +4,17 @@ The beam is the knob that trades accuracy for work (Section II's pruning).
 This sweep decodes a ground-truth task at several beam widths on the full
 accelerator and reports WER, mean active tokens, arcs and cycles -- the
 classic operating curve that sits behind every fixed-beam number in the
-paper's evaluation.
+paper's evaluation.  The beam changes the *search*, so the shared runner
+records one trace per beam (its ``"beam"`` workload axis) and prices each
+on the ASIC+State&Arc configuration.
 """
 
 import pytest
 
-from benchmarks.common import base_config, format_table, report
-from repro.accel import AcceleratorSimulator
+from benchmarks.common import base_config, format_table, report, sweep_runner
 from repro.datasets import TaskConfig, generate_task
 from repro.decoder import word_error_rate
-from repro.wfst import sort_states_by_arc_count
+from repro.explore import SweepWorkload
 
 BEAMS = (2.0, 4.0, 8.0, 16.0)
 
@@ -27,25 +28,26 @@ def task():
 
 
 def run(task):
-    sorted_graph = sort_states_by_arc_count(task.graph)
+    workload = SweepWorkload.from_task(task, beam=BEAMS[0])
+    runner = sweep_runner(workload, base=base_config().with_both())
+    result = runner.run([{"beam": beam} for beam in BEAMS])
+
     rows = []
-    for beam in BEAMS:
-        sim = AcceleratorSimulator(
-            task.graph, base_config().with_both(), beam=beam,
-            sorted_graph=sorted_graph,
-        )
-        wer = 0.0
-        cycles = 0
-        arcs = 0
-        active = 0.0
-        for utt in task.utterances:
-            result = sim.decode(utt.scores)
-            wer += word_error_rate(utt.words, result.words)
-            cycles += result.stats.cycles
-            arcs += result.search.arcs_processed
-            active += result.search.mean_active_tokens
+    for beam, point in zip(BEAMS, result.points):
         n = len(task.utterances)
-        rows.append([beam, wer / n, active / n, arcs, cycles])
+        wer = sum(
+            word_error_rate(utt.words, words)
+            for utt, words in zip(task.utterances, point.words)
+        )
+        rows.append(
+            [
+                beam,
+                wer / n,
+                point.search.mean_active_tokens,
+                point.search.arcs_processed,
+                point.cycles,
+            ]
+        )
     return rows
 
 

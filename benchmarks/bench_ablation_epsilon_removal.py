@@ -4,14 +4,16 @@ The paper keeps epsilon arcs (11.5% of Kaldi's graph) because removal
 blows the graph up; each epsilon arc costs the accelerator a second
 intra-frame pipeline pass (Section III-B).  This ablation folds the
 output-free epsilon arcs of a composed task graph and measures both sides
-of the trade: graph size against epsilon-pass work and cycles.
+of the trade: graph size against epsilon-pass work and cycles.  Each
+graph is a distinct *workload* (removal changes the search), so the
+shared runner prices one single-point sweep per graph.
 """
 
 import pytest
 
-from benchmarks.common import base_config, format_table, report
-from repro.accel import AcceleratorSimulator
+from benchmarks.common import format_table, report, sweep_runner
 from repro.datasets import TaskConfig, generate_task
+from repro.explore import SweepWorkload
 from repro.wfst import CompiledWfst, remove_epsilons
 from tests.test_epsilon_removal import _to_mutable
 
@@ -32,21 +34,19 @@ def run(task):
     likelihoods = {}
     for name, graph in [("with epsilons", original),
                         ("epsilon-free", epsfree)]:
-        sim = AcceleratorSimulator(graph, base_config(), beam=16.0)
-        cycles = 0
-        eps_arcs = 0
-        arcs = 0
-        lls = []
-        for utt in task.utterances:
-            result = sim.decode(utt.scores)
-            cycles += result.stats.cycles
-            eps_arcs += result.stats.epsilon_arcs_processed
-            arcs += result.stats.arcs_processed
-            lls.append(result.log_likelihood)
-        likelihoods[name] = lls
+        workload = SweepWorkload(
+            graph=graph,
+            scores=[u.scores for u in task.utterances],
+            beam=16.0,
+        )
+        point = sweep_runner(workload).run([{}], labels=[name]).points[0]
+        likelihoods[name] = list(point.log_likelihoods)
         rows.append(
             [name, graph.num_states, graph.num_arcs,
-             f"{100 * graph.epsilon_fraction():.1f}%", arcs, eps_arcs, cycles]
+             f"{100 * graph.epsilon_fraction():.1f}%",
+             point.stats.arcs_processed,
+             point.stats.epsilon_arcs_processed,
+             point.cycles]
         )
     return rows, likelihoods
 

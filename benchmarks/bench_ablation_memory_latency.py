@@ -3,41 +3,39 @@
 The paper's Section IV argues the design is latency-bound (2.11x from
 perfect caches) and that the prefetching architecture exists to tolerate
 that latency.  This ablation sweeps the DRAM latency around the modelled
-50 cycles: the base design degrades steeply while the prefetching design
-stays nearly flat -- the latency-tolerance claim in one table.
+50 cycles as one 8-point grid (latency x prefetch) on the shared runner:
+the base design degrades steeply while the prefetching design stays
+nearly flat -- the latency-tolerance claim in one table.
 """
 
-from dataclasses import replace
-
-from benchmarks.common import base_config, format_table, report
-from repro.accel import AcceleratorSimulator
+from benchmarks.common import format_table, report, sweep_runner
+from repro.explore import ParameterGrid
 
 LATENCIES = (25, 50, 100, 200)
 
 
 def run(workload):
-    rows = []
-    for latency in LATENCIES:
-        cycles = {}
-        for name, cfg in [
-            ("base", replace(base_config(), mem_latency_cycles=latency)),
-            (
-                "prefetch",
-                replace(
-                    base_config().with_prefetch(), mem_latency_cycles=latency
-                ),
-            ),
-        ]:
-            sim = AcceleratorSimulator(
-                workload.graph, cfg, beam=workload.beam,
-                max_active=workload.max_active,
-            )
-            cycles[name] = sim.decode(workload.scores[0]).stats.cycles
-        rows.append(
-            [latency, cycles["base"], cycles["prefetch"],
-             cycles["base"] / cycles["prefetch"]]
-        )
-    return rows
+    grid = ParameterGrid(
+        [
+            ("mem_latency_cycles", LATENCIES),
+            ("prefetch_enabled", (False, True)),
+        ]
+    )
+    result = sweep_runner(workload).run(grid)
+    cycles = {
+        (p.overrides["mem_latency_cycles"], p.overrides["prefetch_enabled"]):
+            p.cycles
+        for p in result.points
+    }
+    return [
+        [
+            latency,
+            cycles[(latency, False)],
+            cycles[(latency, True)],
+            cycles[(latency, False)] / cycles[(latency, True)],
+        ]
+        for latency in LATENCIES
+    ]
 
 
 def test_ablation_memory_latency(benchmark, swp_workload):

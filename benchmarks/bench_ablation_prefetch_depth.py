@@ -2,35 +2,28 @@
 
 The paper chooses 64 entries for the Arc FIFO / Request FIFO / Reorder
 Buffer "in order to hide most of the memory latency".  This ablation sweeps
-the depth and shows the saturation: with a 50-cycle DRAM and a 32-deep
-memory controller, depths beyond ~32-64 buy nothing -- exactly why the
-paper's choice is where it is.
+the depth through the shared runner and shows the saturation: with a
+50-cycle DRAM and a 32-deep memory controller, depths beyond ~32-64 buy
+nothing -- exactly why the paper's choice is where it is.
 """
 
-from dataclasses import replace
-
-from benchmarks.common import base_config, format_table, report
-from repro.accel import AcceleratorSimulator
+from benchmarks.common import format_table, report, sweep_runner
 
 DEPTHS = (4, 8, 16, 32, 64, 128, 256)
 
 
 def run(workload):
-    rows = []
-    base_cycles = None
-    for depth in DEPTHS:
-        cfg = replace(
-            base_config(), prefetch_enabled=True, prefetch_fifo_entries=depth
-        )
-        sim = AcceleratorSimulator(
-            workload.graph, cfg, beam=workload.beam,
-            max_active=workload.max_active,
-        )
-        cycles = sim.decode(workload.scores[0]).stats.cycles
-        if base_cycles is None:
-            base_cycles = cycles
-        rows.append([depth, cycles, base_cycles / cycles])
-    return rows
+    result = sweep_runner(workload).run(
+        [
+            {"prefetch_enabled": True, "prefetch_fifo_entries": depth}
+            for depth in DEPTHS
+        ]
+    )
+    base_cycles = result.points[0].cycles
+    return [
+        [depth, point.cycles, base_cycles / point.cycles]
+        for depth, point in zip(DEPTHS, result.points)
+    ]
 
 
 def test_ablation_prefetch_depth(benchmark, swp_workload):

@@ -2,41 +2,35 @@
 
 Section IV-B picks N = 16 comparators: with the paper's out-degree
 distribution this covers >95% of static states and >97% of dynamic
-fetches.  This ablation sweeps N and reports static coverage, dynamic
-direct-lookup rate, and the off-chip traffic saving -- showing the
-diminishing returns past N = 16 that justify the paper's choice.
+fetches.  This ablation sweeps N through the shared runner (each N is its
+own sorted layout, so the runner records one trace per N plus the
+baseline) and reports static coverage, dynamic direct-lookup rate, and
+the off-chip traffic saving -- showing the diminishing returns past
+N = 16 that justify the paper's choice.
 """
 
-from dataclasses import replace
-
-from benchmarks.common import base_config, format_table, report
-from repro.accel import AcceleratorSimulator
-from repro.wfst import sort_states_by_arc_count
+from benchmarks.common import format_table, report, sweep_runner
 
 N_VALUES = (2, 4, 8, 16, 32)
 
 
 def run(workload):
-    # Baseline traffic without the technique.
-    base_sim = AcceleratorSimulator(
-        workload.graph, base_config(), beam=workload.beam,
-        max_active=workload.max_active,
-    )
-    base_traffic = base_sim.decode(workload.scores[0]).stats.traffic.total_bytes()
+    runner = sweep_runner(workload)
+    points = [{}]  # baseline traffic without the technique
+    for n in N_VALUES:
+        points.append(
+            {
+                "state_direct_enabled": True,
+                "state_direct_max_arcs": n,
+                "sorted.max_direct_arcs": n,
+            }
+        )
+    result = runner.run(points)
+    base_traffic = result.points[0].stats.traffic.total_bytes()
 
     rows = []
-    for n in N_VALUES:
-        sorted_graph = sort_states_by_arc_count(
-            workload.graph, max_direct_arcs=n
-        )
-        cfg = replace(
-            base_config(), state_direct_enabled=True, state_direct_max_arcs=n
-        )
-        sim = AcceleratorSimulator(
-            workload.graph, cfg, beam=workload.beam,
-            sorted_graph=sorted_graph, max_active=workload.max_active,
-        )
-        stats = sim.decode(workload.scores[0]).stats
+    for n, point in zip(N_VALUES, result.points[1:]):
+        stats = point.stats
         direct_rate = stats.states_direct / max(
             stats.states_direct + stats.states_fetched, 1
         )
@@ -44,7 +38,7 @@ def run(workload):
         rows.append(
             [
                 n,
-                100.0 * sorted_graph.covered_state_fraction(),
+                100.0 * runner.sorted_layout(n).covered_state_fraction(),
                 100.0 * direct_rate,
                 100.0 * saving,
             ]

@@ -4,14 +4,12 @@ Paper: even 1-2 MB caches show large miss ratios for States and Arcs
 (sparse, low-locality accesses over a huge dataset), while the Token cache
 is comfortable at 256-512 KB thanks to its sequential writes.  We sweep
 the three cache capacities together, scaled around the Table I operating
-point, and report per-cache miss ratios.
+point, and report per-cache miss ratios (one recorded trace, one replay
+per capacity point -- the sweep runner's trace-once/replay-many split).
 """
 
-from dataclasses import replace
-
-from benchmarks.common import base_config, format_table, report
+from benchmarks.common import base_config, format_table, report, sweep_runner
 from repro.common.ascii_plot import line_chart
-from repro.accel import AcceleratorSimulator
 
 #: Capacity scale factors relative to Table I (state 512K / arc 1M / token
 #: 512K) -- spanning the paper's 256K..4M x-axis.
@@ -19,28 +17,19 @@ SCALES = (0.25, 0.5, 1.0, 2.0, 4.0)
 
 
 def run_sweep(workload):
+    cfg = base_config()
+    points = [
+        {
+            "state_cache.size_bytes": int(cfg.state_cache.size_bytes * scale),
+            "arc_cache.size_bytes": int(cfg.arc_cache.size_bytes * scale),
+            "token_cache.size_bytes": int(cfg.token_cache.size_bytes * scale),
+        }
+        for scale in SCALES
+    ]
+    result = sweep_runner(workload).run(points)
     rows = []
-    for scale in SCALES:
-        cfg = base_config()
-        cfg = replace(
-            cfg,
-            state_cache=replace(
-                cfg.state_cache,
-                size_bytes=int(cfg.state_cache.size_bytes * scale),
-            ),
-            arc_cache=replace(
-                cfg.arc_cache, size_bytes=int(cfg.arc_cache.size_bytes * scale)
-            ),
-            token_cache=replace(
-                cfg.token_cache,
-                size_bytes=int(cfg.token_cache.size_bytes * scale),
-            ),
-        )
-        sim = AcceleratorSimulator(
-            workload.graph, cfg, beam=workload.beam,
-            max_active=workload.max_active,
-        )
-        stats = sim.decode(workload.scores[0]).stats
+    for scale, point in zip(SCALES, result.points):
+        stats = point.stats
         rows.append(
             [
                 f"{int(512 * scale)}K/{int(1024 * scale)}K/{int(512 * scale)}K",

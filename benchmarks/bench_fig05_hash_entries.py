@@ -2,34 +2,27 @@
 
 Paper: average cycles per hash request falls toward 1.0 as the table grows
 from 8K to 64K entries, and overall speedup saturates by 32K entries --
-which is why Table I picks 32K.
+which is why Table I picks 32K.  One recorded trace prices all seven
+table sizes through the shared sweep runner.
 """
 
-from dataclasses import replace
-
-from benchmarks.common import base_config, format_table, report
-from repro.accel import AcceleratorSimulator
+from benchmarks.common import format_table, report, sweep_runner
 
 ENTRY_COUNTS = (1024, 2 * 1024, 4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024)
 
 
 def run_sweep(workload):
-    raw = []
-    for entries in ENTRY_COUNTS:
-        cfg = base_config()
-        cfg = replace(
-            cfg, hash_table=replace(cfg.hash_table, num_entries=entries)
-        )
-        sim = AcceleratorSimulator(
-            workload.graph, cfg, beam=workload.beam,
-            max_active=workload.max_active,
-        )
-        stats = sim.decode(workload.scores[0]).stats
-        raw.append((entries, stats.hash.avg_cycles_per_request, stats.cycles))
-    base_cycles = raw[0][2]
+    result = sweep_runner(workload).run(
+        [{"hash_table.num_entries": entries} for entries in ENTRY_COUNTS]
+    )
+    base_cycles = result.points[0].cycles
     return [
-        [f"{entries // 1024}K", avg, base_cycles / cycles]
-        for entries, avg, cycles in raw
+        [
+            f"{entries // 1024}K",
+            point.stats.hash.avg_cycles_per_request,
+            base_cycles / point.cycles,
+        ]
+        for entries, point in zip(ENTRY_COUNTS, result.points)
     ]
 
 

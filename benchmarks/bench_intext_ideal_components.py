@@ -3,13 +3,11 @@
 Paper: perfect caches speed the baseline up by 2.11x, while a perfect
 (collision-free) hash adds only 2.8% -- which is why the memory system,
 not the hash, is where the optimisation effort goes.  Per cache: a perfect
-Arc cache is worth 1.95x, State 1.09x, Token 1.02x.
+Arc cache is worth 1.95x, State 1.09x, Token 1.02x.  All six variants
+replay one recorded trace through the shared sweep runner.
 """
 
-from dataclasses import replace
-
-from benchmarks.common import base_config, format_table, report
-from repro.accel import AcceleratorSimulator
+from benchmarks.common import format_table, report, sweep_runner
 
 PAPER = {
     "perfect caches": 2.11,
@@ -19,38 +17,27 @@ PAPER = {
     "perfect Token cache": 1.02,
 }
 
-
-def _config(perfect_caches=(), perfect_hash=False):
-    cfg = base_config()
-    kwargs = {}
-    for name in perfect_caches:
-        kwargs[name] = replace(getattr(cfg, name), perfect=True)
-    if perfect_hash:
-        kwargs["hash_table"] = replace(cfg.hash_table, perfect=True)
-    return replace(cfg, **kwargs)
+VARIANTS = {
+    "baseline": {},
+    "perfect caches": {
+        "state_cache.perfect": True,
+        "arc_cache.perfect": True,
+        "token_cache.perfect": True,
+    },
+    "perfect hash": {"hash_table.perfect": True},
+    "perfect Arc cache": {"arc_cache.perfect": True},
+    "perfect State cache": {"state_cache.perfect": True},
+    "perfect Token cache": {"token_cache.perfect": True},
+}
 
 
 def run_all(workload):
-    variants = {
-        "baseline": _config(),
-        "perfect caches": _config(
-            ("state_cache", "arc_cache", "token_cache")
-        ),
-        "perfect hash": _config(perfect_hash=True),
-        "perfect Arc cache": _config(("arc_cache",)),
-        "perfect State cache": _config(("state_cache",)),
-        "perfect Token cache": _config(("token_cache",)),
-    }
-    cycles = {}
-    for name, cfg in variants.items():
-        sim = AcceleratorSimulator(
-            workload.graph, cfg, beam=workload.beam,
-            max_active=workload.max_active,
-        )
-        cycles[name] = sim.decode(workload.scores[0]).stats.cycles
-    base = cycles["baseline"]
+    result = sweep_runner(workload).run(
+        list(VARIANTS.values()), labels=list(VARIANTS)
+    )
+    base = result.point("baseline").cycles
     return [
-        [name, PAPER[name], base / cycles[name]]
+        [name, PAPER[name], base / result.point(name).cycles]
         for name in PAPER
     ]
 

@@ -3,34 +3,25 @@
 Paper: the decoupled access/execute prefetcher gives 1.87x over the base
 design (1.94x together with the state technique) and reaches 97% of the
 performance of a perfect Arc cache.  Because its addresses are computed,
-it issues no useless prefetches -- DRAM traffic is unchanged.
+it issues no useless prefetches -- DRAM traffic is unchanged.  The three
+variants replay one recorded trace through the shared sweep runner.
 """
 
-from dataclasses import replace
-
-from benchmarks.common import base_config, format_table, report
-from repro.accel import AcceleratorSimulator
+from benchmarks.common import format_table, report, sweep_runner
 
 PAPER_PREFETCH_SPEEDUP = 1.87
 PAPER_PCT_OF_PERFECT = 97.0
 
 
 def run(workload):
-    cfg = base_config()
-    perfect_arc = replace(cfg, arc_cache=replace(cfg.arc_cache, perfect=True))
-    results = {}
-    for name, config in [
-        ("baseline", cfg),
-        ("prefetch", cfg.with_prefetch()),
-        ("perfect Arc cache", perfect_arc),
-    ]:
-        sim = AcceleratorSimulator(
-            workload.graph, config, beam=workload.beam,
-            max_active=workload.max_active,
-        )
-        r = sim.decode(workload.scores[0])
-        results[name] = (r.stats.cycles, r.stats.traffic.total_bytes())
-    return results
+    result = sweep_runner(workload).run(
+        [{}, {"prefetch_enabled": True}, {"arc_cache.perfect": True}],
+        labels=["baseline", "prefetch", "perfect Arc cache"],
+    )
+    return {
+        p.label: (p.cycles, p.stats.traffic.total_bytes())
+        for p in result.points
+    }
 
 
 def test_intext_prefetch(benchmark, swp_workload):

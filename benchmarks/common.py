@@ -13,13 +13,18 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.accel import AcceleratorConfig
 from repro.datasets import SyntheticGraphConfig
+from repro.explore import SweepRunner, TraceCache
 from repro.system import MemoryWorkload, make_memory_workload
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: One in-memory trace store for the whole benchmark session: every sweep
+#: over the same (workload, layout, beam) reuses a single functional search.
+_TRACE_CACHE = TraceCache()
 
 #: The paper's four accelerator configurations plus the two baselines.
 PLATFORM_ORDER = ("CPU", "GPU", "ASIC", "ASIC+State", "ASIC+Arc", "ASIC+State&Arc")
@@ -70,6 +75,24 @@ def sweep_workload(seed: int = 5) -> MemoryWorkload:
 def base_config() -> AcceleratorConfig:
     """Table I configuration."""
     return AcceleratorConfig()
+
+
+def sweep_runner(
+    workload,
+    base: Optional[AcceleratorConfig] = None,
+    processes: Optional[int] = 1,
+) -> SweepRunner:
+    """The shared design-space runner every parameter-sweep bench uses.
+
+    Serial by default (figure benches are small once traces are cached);
+    the throughput gate passes ``processes=None`` to exercise the fan-out.
+    """
+    return SweepRunner(
+        workload,
+        base_config=base or base_config(),
+        trace_cache=_TRACE_CACHE,
+        processes=processes,
+    )
 
 
 def format_table(title: str, header: Sequence[str], rows: List[Sequence]) -> str:

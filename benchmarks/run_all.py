@@ -11,8 +11,9 @@ only the benches that share the cached standard comparison.
 
 ``--quick`` is the CI smoke gate: tiny configurations that finish in
 seconds, a decoder-consistency check across every platform, the batch
-vs reference engine benchmark, and the continuous-batching streaming
-session benchmark.  Results land in
+vs reference engine benchmark, the continuous-batching streaming
+session benchmark, and a 10-point design-space sweep gated against
+independent simulator runs (cycle-identical, >= 3x).  Results land in
 ``benchmarks/results/quick_summary.json`` (uploaded as a CI artifact); the
 process exits non-zero on any crash or decoder mismatch.
 """
@@ -110,9 +111,27 @@ def run_quick() -> int:
             )
         return result
 
+    def sweep_throughput():
+        from benchmarks import bench_sweep_throughput as bench_sweep
+
+        result = bench_sweep.run_sweep_throughput(quick=True)
+        bench_sweep._report(result)
+        if result["cycle_mismatches"]:
+            raise AssertionError(
+                f"{result['cycle_mismatches']} sweep points diverged from "
+                f"the monolithic simulator"
+            )
+        if result["speedup"] < bench_sweep.QUICK_SPEEDUP_TARGET:
+            raise AssertionError(
+                f"sweep speedup {result['speedup']:.2f}x below the "
+                f"{bench_sweep.QUICK_SPEEDUP_TARGET:.1f}x quick gate"
+            )
+        return result
+
     step("platform_consistency", platform_consistency)
     step("batch_throughput_quick", batch_throughput)
     step("streaming_sessions_quick", streaming_sessions)
+    step("sweep_throughput_quick", sweep_throughput)
 
     summary["status"] = "failed" if failed else "ok"
     path = common.write_json("quick_summary", summary)
@@ -143,6 +162,7 @@ def main() -> int:
     from benchmarks import (
         bench_batch_throughput as batch_tp,
         bench_streaming_sessions as stream_tp,
+        bench_sweep_throughput as sweep_tp,
         bench_fig01_pipeline_breakdown as fig01,
         bench_fig04_cache_miss_ratio as fig04,
         bench_fig05_hash_entries as fig05,
@@ -179,6 +199,7 @@ def main() -> int:
     pipeline.test_intext_full_pipeline(bench, std_comparison)
     batch_tp.test_batch_throughput(bench)
     stream_tp.test_streaming_sessions(bench)
+    sweep_tp.test_sweep_throughput(bench)
 
     if not options.fast:
         fig04.test_fig04_cache_miss_ratio(bench, std_workload)

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Architecture design-space exploration with the accelerator simulator.
+"""Architecture design-space exploration with the shared sweep runner.
 
 Sweeps the knobs an architect would turn -- Arc-cache capacity, prefetch
 FIFO depth, and hash-table size -- on a large-vocabulary workload, and
@@ -8,37 +8,30 @@ This reproduces the style of analysis behind the paper's Figures 4 and 5
 and shows how the two Section IV techniques move the design across the
 performance/power space.
 
+The whole exploration runs the functional beam search exactly *once* per
+graph layout: every configuration is priced by replaying the recorded
+trace (`repro.explore.SweepRunner`), so adding sweep points costs
+milliseconds, not full simulations.
+
 Run:  python examples/design_space.py
 """
 
-from dataclasses import replace
-
-from repro.accel import AcceleratorConfig, AcceleratorSimulator
 from repro.datasets import SyntheticGraphConfig
-from repro.energy import AcceleratorEnergyModel
+from repro.explore import SweepRunner
 from repro.system import make_memory_workload
 
 
-def evaluate(workload, config, label, energy_model):
-    sim = AcceleratorSimulator(
-        workload.graph,
-        config,
-        beam=workload.beam,
-        sorted_graph=(
-            workload.sorted_graph if config.state_direct_enabled else None
-        ),
-        max_active=workload.max_active,
-    )
-    stats = sim.decode(workload.scores[0]).stats
-    arcs = stats.arcs_processed + stats.epsilon_arcs_processed
-    power = energy_model.avg_power_w(config, stats)
-    energy = energy_model.energy(config, stats).total_j
-    print(
-        f"  {label:34s} {stats.cycles / arcs:6.2f} cyc/arc  "
-        f"arc-miss {100 * stats.arc_cache.miss_ratio:5.1f}%  "
-        f"hash {stats.hash.avg_cycles_per_request:5.2f} cyc/req  "
-        f"{power * 1e3:6.0f} mW  {energy * 1e3:7.3f} mJ"
-    )
+def show(result):
+    for point in result.points:
+        stats = point.stats
+        arcs = stats.arcs_processed + stats.epsilon_arcs_processed
+        print(
+            f"  {point.label:34s} {stats.cycles / arcs:6.2f} cyc/arc  "
+            f"arc-miss {100 * stats.arc_cache.miss_ratio:5.1f}%  "
+            f"hash {stats.hash.avg_cycles_per_request:5.2f} cyc/req  "
+            f"{point.avg_power_w * 1e3:6.0f} mW  "
+            f"{point.energy_j * 1e3:7.3f} mJ"
+        )
 
 
 def main() -> None:
@@ -53,36 +46,41 @@ def main() -> None:
             num_states=40_000, num_phones=50, seed=11
         ),
     )
-    energy_model = AcceleratorEnergyModel()
-    base = AcceleratorConfig()
+    runner = SweepRunner(workload)
 
     print("\nArc cache capacity (base design):")
-    for kb in (256, 512, 1024, 2048):
-        cfg = replace(
-            base, arc_cache=replace(base.arc_cache, size_bytes=kb * 1024)
-        )
-        evaluate(workload, cfg, f"arc cache {kb} KB", energy_model)
+    show(runner.run(
+        [{"arc_cache.size_bytes": kb * 1024} for kb in (256, 512, 1024, 2048)],
+        labels=[f"arc cache {kb} KB" for kb in (256, 512, 1024, 2048)],
+    ))
 
     print("\nPrefetch FIFO depth (ASIC+Arc):")
-    for depth in (8, 16, 32, 64, 128):
-        cfg = replace(base, prefetch_enabled=True, prefetch_fifo_entries=depth)
-        evaluate(workload, cfg, f"Arc FIFO {depth} entries", energy_model)
+    depths = (8, 16, 32, 64, 128)
+    show(runner.run(
+        [
+            {"prefetch_enabled": True, "prefetch_fifo_entries": d}
+            for d in depths
+        ],
+        labels=[f"Arc FIFO {d} entries" for d in depths],
+    ))
 
     print("\nHash table entries (base design):")
-    for entries in (4096, 8192, 16384, 32768):
-        cfg = replace(
-            base, hash_table=replace(base.hash_table, num_entries=entries)
-        )
-        evaluate(workload, cfg, f"hash {entries // 1024}K entries", energy_model)
+    entry_counts = (4096, 8192, 16384, 32768)
+    show(runner.run(
+        [{"hash_table.num_entries": e} for e in entry_counts],
+        labels=[f"hash {e // 1024}K entries" for e in entry_counts],
+    ))
 
     print("\nThe paper's four configurations:")
-    for label, cfg in [
-        ("ASIC (base)", base),
-        ("ASIC+State", base.with_state_direct()),
-        ("ASIC+Arc", base.with_prefetch()),
-        ("ASIC+State&Arc", base.with_both()),
-    ]:
-        evaluate(workload, cfg, label, energy_model)
+    show(runner.run(
+        [
+            {},
+            {"state_direct_enabled": True},
+            {"prefetch_enabled": True},
+            {"state_direct_enabled": True, "prefetch_enabled": True},
+        ],
+        labels=["ASIC (base)", "ASIC+State", "ASIC+Arc", "ASIC+State&Arc"],
+    ))
 
 
 if __name__ == "__main__":

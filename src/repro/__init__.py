@@ -14,7 +14,9 @@ The package builds the paper's entire system in Python:
   with the prefetching architecture and the bandwidth-saving state layout
   (:mod:`repro.accel`);
 * area/power/energy models and the whole-pipeline system model
-  (:mod:`repro.energy`, :mod:`repro.system`).
+  (:mod:`repro.energy`, :mod:`repro.system`);
+* the trace-once/replay-many design-space sweep engine behind the
+  paper's Figures 4-14 parameter studies (:mod:`repro.explore`).
 
 Quickstart::
 

@@ -23,8 +23,16 @@ from repro.accel.memory import MemoryController, Region
 from repro.accel.cache import Cache
 from repro.accel.hashtable import TokenHashTable
 from repro.accel.prefetch import PrefetchConfig
+from repro.accel.replay import TraceReplayer, replay_decode
 from repro.accel.simulator import AcceleratorResult, AcceleratorSimulator
-from repro.accel.trace import FrameTrace, frame_traces, summarize
+from repro.accel.trace import (
+    DecodeTrace,
+    FrameTrace,
+    TraceRecorder,
+    frame_traces,
+    record_decode_trace,
+    summarize,
+)
 
 __all__ = [
     "AcceleratorConfig",
@@ -39,6 +47,11 @@ __all__ = [
     "PrefetchConfig",
     "AcceleratorResult",
     "AcceleratorSimulator",
+    "DecodeTrace",
+    "TraceRecorder",
+    "TraceReplayer",
+    "record_decode_trace",
+    "replay_decode",
     "FrameTrace",
     "frame_traces",
     "summarize",

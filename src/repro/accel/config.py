@@ -30,11 +30,16 @@ from repro.common.errors import ConfigError
 
 @dataclass(frozen=True)
 class CacheConfig:
-    """One set-associative cache."""
+    """One set-associative cache (LRU replacement)."""
 
+    #: Total data capacity, in bytes.
     size_bytes: int
+    #: Ways per set (1 = direct-mapped).
     assoc: int
+    #: Line (fill granularity) size, in bytes.
     line_bytes: int = 64
+    #: Idealisation switch: every access hits in one cycle (Section IV's
+    #: "perfect cache" experiments).
     perfect: bool = False
 
     def __post_init__(self) -> None:
@@ -59,14 +64,22 @@ class HashConfig:
     likelihood, backpointer address, next pointer).
     """
 
+    #: Direct-mapped entries per table (Table I: 32K).
     num_entries: int = 32 * 1024
+    #: Storage per entry, in bytes (state id, likelihood, backpointer
+    #: address, next pointer).
     entry_bytes: int = 24
+    #: On-chip backup-buffer entries for collision chains; chains beyond
+    #: this spill to the Overflow Buffer in main memory.
     backup_entries: int = 8 * 1024
+    #: Idealisation switch: every access takes one cycle, no collisions.
     perfect: bool = False
 
     def __post_init__(self) -> None:
         if self.num_entries <= 0:
             raise ConfigError("hash table needs at least one entry")
+        if self.entry_bytes <= 0:
+            raise ConfigError("hash entry_bytes must be positive")
         if self.backup_entries < 0:
             raise ConfigError("backup_entries must be >= 0")
 
@@ -77,9 +90,16 @@ class HashConfig:
 
 @dataclass(frozen=True)
 class AcceleratorConfig:
-    """Full accelerator configuration with Table I defaults."""
+    """Full accelerator configuration with Table I defaults.
 
+    Every field is range-validated at construction; invalid values raise
+    :class:`~repro.common.errors.ConfigError` rather than producing a
+    simulator that silently misbehaves.
+    """
+
+    #: Pipeline clock, in Hz (Table I: 600 MHz).
     frequency_hz: float = 600e6
+    #: Process node, in nanometres (feeds the area/power model).
     technology_nm: int = 28
 
     state_cache: CacheConfig = field(
@@ -91,27 +111,39 @@ class AcceleratorConfig:
     token_cache: CacheConfig = field(
         default_factory=lambda: CacheConfig(512 * 1024, 2)
     )
+    #: Double-buffered Acoustic Likelihood Buffer capacity, in bytes; two
+    #: frames of float32 scores must fit.
     acoustic_buffer_bytes: int = 64 * 1024
     hash_table: HashConfig = field(default_factory=HashConfig)
 
+    #: Fixed DRAM access latency, in cycles (CACTI model: 83 ns at 600 MHz).
     mem_latency_cycles: int = 50
+    #: Memory-controller in-flight request window, in requests.
     mem_max_inflight: int = 32
+    #: Controller issue spacing, in cycles.  Recorded but not modelled:
+    #: the latency-centric controller deliberately does not serialise
+    #: issues from different units (see :mod:`repro.accel.memory`), so
+    #: this knob has no timing effect.
     mem_issue_interval: int = 1
 
+    #: In-flight operations per issuer, in transactions (Table I).
     state_issuer_inflight: int = 8
     arc_issuer_inflight: int = 8
     token_issuer_inflight: int = 32
     acoustic_issuer_inflight: int = 1
 
+    #: Likelihood Evaluation Unit resources, in functional units.
     fp_adders: int = 4
     fp_comparators: int = 2
 
     #: Section IV-A -- decoupled access/execute prefetching for the Arc cache.
     prefetch_enabled: bool = False
+    #: Request FIFO / Arc FIFO / Reorder Buffer depth, in entries.
     prefetch_fifo_entries: int = 64
 
     #: Section IV-B -- direct arc-index computation from sorted state layout.
     state_direct_enabled: bool = False
+    #: Comparator count N: largest out-degree served without a state fetch.
     state_direct_max_arcs: int = 16
 
     #: Extra per-frame fixed overhead (hash swap, control), in cycles.
@@ -120,8 +152,20 @@ class AcceleratorConfig:
     def __post_init__(self) -> None:
         if self.frequency_hz <= 0:
             raise ConfigError("frequency must be positive")
+        if self.technology_nm <= 0:
+            raise ConfigError("technology node must be positive")
+        if self.acoustic_buffer_bytes <= 0:
+            raise ConfigError(
+                "the Acoustic Likelihood Buffer needs a positive capacity"
+            )
         if self.mem_latency_cycles < 1:
             raise ConfigError("memory latency must be >= 1 cycle")
+        if self.mem_max_inflight < 1:
+            raise ConfigError(
+                "the memory controller needs >= 1 in-flight request"
+            )
+        if self.mem_issue_interval < 1:
+            raise ConfigError("memory issue interval must be >= 1 cycle")
         if min(
             self.state_issuer_inflight,
             self.arc_issuer_inflight,
@@ -129,8 +173,20 @@ class AcceleratorConfig:
             self.acoustic_issuer_inflight,
         ) < 1:
             raise ConfigError("issuer in-flight limits must be >= 1")
+        if min(self.fp_adders, self.fp_comparators) < 1:
+            raise ConfigError(
+                "the Likelihood Evaluation Unit needs >= 1 adder and "
+                ">= 1 comparator"
+            )
         if self.prefetch_fifo_entries < 1:
             raise ConfigError("prefetch FIFO needs at least one entry")
+        if self.state_direct_max_arcs < 1:
+            raise ConfigError(
+                "state_direct_max_arcs (the Section IV-B comparator "
+                "count N) must be >= 1"
+            )
+        if self.frame_overhead_cycles < 0:
+            raise ConfigError("frame overhead must be >= 0 cycles")
 
     # Convenience constructors for the paper's four configurations --------
     def with_prefetch(self) -> "AcceleratorConfig":

@@ -21,7 +21,13 @@ from repro.accel.config import HashConfig
 from repro.accel.memory import MemoryController, Region
 from repro.accel.stats import HashStats
 
-_OVERFLOW_ENTRY_BYTES = 24
+#: Knuth's multiplicative hashing constant; shared with the trace replayer
+#: so both models place states in identical buckets.
+HASH_MULTIPLIER = 2654435761
+
+#: Bytes per Overflow Buffer entry in main memory (state id, likelihood,
+#: backpointer address, next pointer -- same 24-byte record as on chip).
+OVERFLOW_ENTRY_BYTES = 24
 
 
 class TokenHashTable:
@@ -58,7 +64,7 @@ class TokenHashTable:
 
     def _bucket(self, state: int) -> int:
         # Multiplicative hashing spreads sequential state ids.
-        return (state * 2654435761) % self.config.num_entries
+        return (state * HASH_MULTIPLIER) % self.config.num_entries
 
     def access(self, time: int, state: int) -> Tuple[int, int]:
         """Look up or insert the token of ``state`` at cycle ``time``.
@@ -88,7 +94,7 @@ class TokenHashTable:
             # The chain spilled to the Overflow Buffer in main memory.
             self.stats.overflows += 1
             done = self.memory.request(
-                time, Region.OVERFLOW, _OVERFLOW_ENTRY_BYTES
+                time, Region.OVERFLOW, OVERFLOW_ENTRY_BYTES
             )
             cycles = done - time
 
@@ -107,7 +113,7 @@ class TokenHashTable:
         pos = self._chain_pos.get(state, 0)
         if pos > 0 and self._backup_used > self.config.backup_entries:
             done = self.memory.request(
-                time, Region.OVERFLOW, _OVERFLOW_ENTRY_BYTES
+                time, Region.OVERFLOW, OVERFLOW_ENTRY_BYTES
             )
             return done, done - time
         return time + 1, 1

@@ -1,4 +1,4 @@
-"""Pipeline timing primitives.
+"""Pipeline timing primitives for the Figure 3 pipeline (paper, Section III).
 
 The simulator uses *timestamp algebra*: every transaction carries the cycle
 at which it completes, and structural hazards are expressed as gates on

@@ -1,0 +1,735 @@
+"""Timed replay of recorded decode traces (the replay half of
+trace-once/replay-many).
+
+A :class:`~repro.accel.trace.DecodeTrace` fixes everything the beam search
+decided -- which tokens were walked, which survived, which arcs were
+fetched, which relaxations won.  :class:`TraceReplayer` re-prices that
+event stream under an arbitrary
+:class:`~repro.accel.config.AcceleratorConfig`: cache geometry, prefetch
+decoupling depth, hash sizing, DRAM latency and the Section IV techniques
+can all change without re-running the search.  The result is asserted
+cycle-identical (and statistics-identical) to
+:class:`~repro.accel.simulator.AcceleratorSimulator` in
+``tests/test_trace_replay.py``.
+
+Why it is fast: the replay splits the timing model into
+
+* a **vectorized prologue** -- cache line/set streams for every recorded
+  address, token-record addresses, direct-lookup eligibility and the full
+  hash-table chain behaviour (positions, collisions, overflow points) are
+  computed with numpy per configuration, and the State Issuer's token walk
+  collapses to arithmetic whenever the frame's hash table never spilled to
+  the Overflow Buffer (the common case); and
+* a **sequential core** that carries only what is genuinely
+  order-dependent -- LRU tag state, the memory controller's in-flight
+  window and the pipeline timestamp recurrences -- in one tight loop.
+
+A multi-point design-space sweep then costs one functional search plus one
+cheap replay per configuration; :mod:`repro.explore` builds on this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.accel.config import AcceleratorConfig
+from repro.accel.hashtable import HASH_MULTIPLIER, OVERFLOW_ENTRY_BYTES
+from repro.accel.simulator import (
+    TOKEN_RECORD_BYTES,
+    AcceleratorResult,
+    address_map,
+)
+from repro.accel.stats import SimStats
+from repro.accel.trace import DecodeTrace, layout_fingerprint
+from repro.decoder.result import SearchStats
+from repro.wfst.layout import ARC_BYTES, STATE_BYTES, CompiledWfst
+from repro.wfst.sorted_layout import SortedWfst
+
+
+class TraceReplayer:
+    """Re-time a recorded decode under one accelerator configuration.
+
+    Mirrors the :class:`~repro.accel.simulator.AcceleratorSimulator`
+    constructor contract: configurations with ``state_direct_enabled``
+    require the Section IV-B ``sorted_graph`` and walk its re-ordered
+    layout, so they must replay traces recorded on ``sorted_graph.graph``;
+    all other configurations replay traces recorded on ``graph``.
+
+    Args:
+        graph: baseline compiled graph.
+        config: the accelerator configuration to price the trace under.
+        sorted_graph: arc-count-sorted layout (required iff the config
+            enables the Section IV-B direct state lookup).
+    """
+
+    def __init__(
+        self,
+        graph: CompiledWfst,
+        config: AcceleratorConfig = AcceleratorConfig(),
+        sorted_graph: Optional[SortedWfst] = None,
+    ) -> None:
+        if config.state_direct_enabled and sorted_graph is None:
+            raise ConfigError(
+                "state_direct_enabled requires a sorted_graph "
+                "(see repro.wfst.sort_states_by_arc_count)"
+            )
+        self.graph = sorted_graph.graph if config.state_direct_enabled else graph
+        self.sorted_graph = sorted_graph if config.state_direct_enabled else None
+        self.config = config
+        self._states_base, self._arcs_base, self._tokens_base = address_map(
+            self.graph
+        )
+        self._layout_key = layout_fingerprint(self.graph)
+        if self.sorted_graph is not None and self.sorted_graph.tables.boundaries:
+            self._direct_boundary = self.sorted_graph.tables.boundaries[-1]
+        else:
+            self._direct_boundary = 0
+
+    # ------------------------------------------------------------------
+    def replay(self, trace: DecodeTrace) -> AcceleratorResult:
+        """Price one recorded decode; cycle-identical to the simulator."""
+        cfg = self.config
+        graph = self.graph
+        if (
+            trace.num_states != graph.num_states
+            or trace.num_arcs != graph.num_arcs
+            or trace.layout_key != self._layout_key
+        ):
+            raise SimulationError(
+                "trace/layout mismatch: the trace was recorded on a "
+                "different graph layout than the one being replayed "
+                "(baseline vs Section IV-B sorted layouts need separate "
+                "traces)"
+            )
+        if 2 * trace.frame_bytes > cfg.acoustic_buffer_bytes:
+            raise ConfigError(
+                f"acoustic scores need 2 x {trace.frame_bytes} bytes but the "
+                f"Acoustic Likelihood Buffer holds only "
+                f"{cfg.acoustic_buffer_bytes}"
+            )
+
+        F = trace.num_frames
+        ne = len(trace.emit_arc_idx)
+        nz = len(trace.eps_arc_idx)
+
+        # Vectorized prologue.  Every product is keyed by the config
+        # parameters it depends on and memoized on the trace, so a sweep
+        # that replays the trace under many configurations pays each
+        # distinct precomputation once (e.g. the state-cache stream is
+        # shared by every point that only varies the arc cache).
+        memo = getattr(trace, "_replay_memo", None)
+        if memo is None:
+            memo = {}
+            trace._replay_memo = memo
+
+        # --- address streams -------------------------------------------
+        acc, scc, tcc = cfg.arc_cache, cfg.state_cache, cfg.token_cache
+        if acc.perfect:
+            ealine = easet = zaline = zaset = None
+        else:
+            key = ("arc", acc.line_bytes, acc.num_sets)
+            cached = memo.get(key)
+            if cached is None:
+                lines = (self._arcs_base + trace.emit_arc_idx * ARC_BYTES) // acc.line_bytes
+                ealine = lines.tolist()
+                easet = (lines % acc.num_sets).tolist()
+                lines = (self._arcs_base + trace.eps_arc_idx * ARC_BYTES) // acc.line_bytes
+                zaline = lines.tolist()
+                zaset = (lines % acc.num_sets).tolist()
+                memo[key] = (ealine, easet, zaline, zaset)
+            else:
+                ealine, easet, zaline, zaset = cached
+        if scc.perfect:
+            esline = esset = zsline = zsset = None
+        else:
+            key = ("state", scc.line_bytes, scc.num_sets)
+            cached = memo.get(key)
+            if cached is None:
+                lines = (self._states_base + trace.emit_states * STATE_BYTES) // scc.line_bytes
+                esline = lines.tolist()
+                esset = (lines % scc.num_sets).tolist()
+                lines = (self._states_base + trace.eps_states * STATE_BYTES) // scc.line_bytes
+                zsline = lines.tolist()
+                zsset = (lines % scc.num_sets).tolist()
+                memo[key] = (esline, esset, zsline, zsset)
+            else:
+                esline, esset, zsline, zsset = cached
+        n_improve = trace.search.tokens_created + trace.search.tokens_updated
+        if tcc.perfect:
+            tline = tset = None
+        else:
+            key = ("token", tcc.line_bytes, tcc.num_sets)
+            cached = memo.get(key)
+            if cached is None:
+                lines = (
+                    self._tokens_base
+                    + np.arange(n_improve, dtype=np.int64) * TOKEN_RECORD_BYTES
+                ) // tcc.line_bytes
+                tline = lines.tolist()
+                tset = (lines % tcc.num_sets).tolist()
+                memo[key] = (tline, tset)
+            else:
+                tline, tset = cached
+
+        # --- direct-lookup eligibility (Section IV-B) ------------------
+        boundary = self._direct_boundary if self.sorted_graph else 0
+        key = ("direct", boundary)
+        cached = memo.get(key)
+        if cached is None:
+            if boundary > 0:
+                emit_mask = trace.emit_states < boundary
+                eps_mask = trace.eps_states < boundary
+                edirect = emit_mask.tolist()
+                zdirect = eps_mask.tolist()
+                direct_total = int(np.count_nonzero(emit_mask))
+                direct_total += int(np.count_nonzero(eps_mask))
+            else:
+                edirect = [False] * len(trace.emit_states)
+                zdirect = [False] * len(trace.eps_states)
+                direct_total = 0
+            memo[key] = (edirect, zdirect, direct_total)
+        else:
+            edirect, zdirect, direct_total = cached
+        fetched_total = (
+            len(trace.emit_states) + len(trace.eps_states) - direct_total
+        )
+
+        # --- hash-table chain behaviour --------------------------------
+        hcfg = cfg.hash_table
+        key = ("hash", hcfg.num_entries, hcfg.backup_entries, hcfg.perfect)
+        cached = memo.get(key)
+        if cached is None:
+            cached = self._hash_schedule(trace)
+            memo[key] = cached
+        (
+            ehc, zhc, end_backup, posmaps,
+            hash_collisions, hash_overflows, hash_base_cycles,
+        ) = cached
+
+        # --- per-event payload lists (config-independent) --------------
+        cached = memo.get("payload")
+        if cached is None:
+            cached = (
+                trace.emit_offsets.tolist(),
+                trace.eps_offsets.tolist(),
+                trace.read_offsets.tolist(),
+                trace.emit_n.tolist(),
+                trace.emit_read_idx.tolist(),
+                trace.emit_improved.tolist(),
+                trace.eps_n.tolist(),
+                trace.eps_src.tolist(),
+                trace.eps_improved.tolist(),
+            )
+            memo["payload"] = cached
+        (
+            emit_offsets, eps_offsets, read_offsets,
+            en, eridx, eimp, zn, zsrc, zimp,
+        ) = cached
+
+        # --- sequential core -------------------------------------------
+        aperfect, sperfect, tperfect = acc.perfect, scc.perfect, tcc.perfect
+        a_assoc, s_assoc, t_assoc = acc.assoc, scc.assoc, tcc.assoc
+        a_line, s_line, t_line = acc.line_bytes, scc.line_bytes, tcc.line_bytes
+        arc_sets: List[dict] = (
+            [] if aperfect else [dict() for _ in range(acc.num_sets)]
+        )
+        state_sets: List[dict] = (
+            [] if sperfect else [dict() for _ in range(scc.num_sets)]
+        )
+        token_sets: List[dict] = (
+            [] if tperfect else [dict() for _ in range(tcc.num_sets)]
+        )
+        hperfect = cfg.hash_table.perfect
+        backup_entries = cfg.hash_table.backup_entries
+
+        sw_depth = cfg.state_issuer_inflight
+        aw_depth = cfg.arc_issue_window
+        tw_depth = cfg.token_issuer_inflight
+
+        lat = cfg.mem_latency_cycles
+        mi = cfg.mem_max_inflight
+        # MemoryController.request's bounded in-flight window as a ring
+        # buffer.  Seeding with -inf sentinels makes the not-yet-full case
+        # indistinguishable from the full case (the queueing condition
+        # ``oldest + latency > t`` is always false for a sentinel), which
+        # keeps the hot loop free of length checks.
+        neg_inf = -(1 << 60)
+        recent: List[int] = [neg_inf] * mi
+        rpos = 0
+        ms_state = ms_arc = ms_token = wb_token = 0
+        r_states = r_arcs = r_tokens = r_overflow = w_tokens = 0
+        hash_extra_cycles = 0
+        jimp = 0  # global improvement (backpointer write) counter
+        ek = 0    # global emit-arc cursor
+        pk = 0    # global epsilon-arc cursor
+
+        def mem_req(t: int) -> int:
+            # MemoryController.request: bounded in-flight queueing window.
+            nonlocal rpos
+            oldest = recent[rpos]
+            if oldest + lat > t:
+                t = oldest + lat
+            recent[rpos] = t
+            rpos += 1
+            if rpos == mi:
+                rpos = 0
+            return t + lat
+
+        def run_emit(frame: int, cycle: int, fb: int, read_done) -> int:
+            # Issuer windows as zero-seeded rings: RollingWindow.gate()
+            # returns 0 until the window fills and completion times are
+            # never negative, so a pre-filled ring is indistinguishable
+            # from the growing deque while avoiding length checks.
+            nonlocal ek, jimp, rpos
+            nonlocal ms_state, ms_arc, ms_token, wb_token
+            nonlocal r_states, r_arcs, r_tokens, r_overflow, w_tokens
+            nonlocal hash_extra_cycles
+            s0 = emit_offsets[frame]
+            s1 = emit_offsets[frame + 1]
+            proc_time = cycle
+            hash_ready = cycle
+            sw = [0] * sw_depth
+            aw = [0] * aw_depth
+            tw = [0] * tw_depth
+            sw_pos = aw_pos = tw_pos = 0
+            arc_gate_last = -1
+            k = ek
+            for i in range(s0, s1):
+                ridx = eridx[i]
+                if read_done is None:
+                    t = fb + ridx + 1
+                else:
+                    t = read_done.get(ridx, fb + ridx + 1)
+                if t < cycle:
+                    t = cycle
+                if edirect[i]:
+                    state_done = t + 1
+                else:
+                    g = sw[sw_pos]
+                    start = t if t > g else g
+                    if sperfect:
+                        state_done = start + 1
+                    else:
+                        line = esline[i]
+                        ways = state_sets[esset[i]]
+                        ft = ways.pop(line, None)
+                        if ft is not None:
+                            ways[line] = ft
+                            state_done = start + 1 if start + 1 > ft else ft
+                        else:
+                            ms_state += 1
+                            if len(ways) >= s_assoc:
+                                del ways[next(iter(ways))]
+                            r_states += s_line
+                            ft = mem_req(start)
+                            ways[line] = ft
+                            state_done = ft
+                    sw[sw_pos] = state_done
+                    sw_pos += 1
+                    if sw_pos == sw_depth:
+                        sw_pos = 0
+                for _ in range(en[i]):
+                    g = aw[aw_pos]
+                    req = state_done if state_done > g else g
+                    if arc_gate_last >= req:
+                        req = arc_gate_last + 1
+                    arc_gate_last = req
+                    if aperfect:
+                        arc_data = req + 1
+                    else:
+                        line = ealine[k]
+                        ways = arc_sets[easet[k]]
+                        ft = ways.pop(line, None)
+                        if ft is not None:
+                            ways[line] = ft
+                            arc_data = req + 1 if req + 1 > ft else ft
+                        else:
+                            ms_arc += 1
+                            if len(ways) >= a_assoc:
+                                del ways[next(iter(ways))]
+                            r_arcs += a_line
+                            # Inlined mem_req (hottest miss path).
+                            oldest = recent[rpos]
+                            issue = req if oldest + lat <= req else oldest + lat
+                            recent[rpos] = issue
+                            rpos += 1
+                            if rpos == mi:
+                                rpos = 0
+                            ft = issue + lat
+                            ways[line] = ft
+                            arc_data = ft
+                    aw[aw_pos] = arc_data
+                    aw_pos += 1
+                    if aw_pos == aw_depth:
+                        aw_pos = 0
+                    pt = proc_time + 1
+                    ad = arc_data + 1
+                    proc_time = pt if pt > ad else ad
+                    hs = proc_time if proc_time > hash_ready else hash_ready
+                    hc = ehc[k]
+                    if hc > 0:
+                        hash_ready = hs + hc
+                    else:
+                        r_overflow += OVERFLOW_ENTRY_BYTES
+                        done = mem_req(hs)
+                        hash_extra_cycles += done - hs
+                        hash_ready = done
+                    if eimp[k]:
+                        g = tw[tw_pos]
+                        wslot = hash_ready if hash_ready > g else g
+                        if tperfect:
+                            tdone = wslot + 1
+                        else:
+                            line = tline[jimp]
+                            ways = token_sets[tset[jimp]]
+                            ft = ways.pop(line, None)
+                            if ft is not None:
+                                ways[line] = ft
+                                tdone = wslot + 1 if wslot + 1 > ft else ft
+                            else:
+                                ms_token += 1
+                                if len(ways) >= t_assoc:
+                                    del ways[next(iter(ways))]
+                                    wb_token += 1
+                                    w_tokens += t_line
+                                r_tokens += t_line
+                                ft = mem_req(wslot)
+                                ways[line] = ft
+                                tdone = ft
+                        jimp += 1
+                        tw[tw_pos] = tdone
+                        tw_pos += 1
+                        if tw_pos == tw_depth:
+                            tw_pos = 0
+                    k += 1
+            ek = k
+            end = proc_time
+            if hash_ready > end:
+                end = hash_ready
+            drain = max(tw)
+            if drain > end:
+                end = drain
+            if cycle > end:
+                end = cycle
+            return end
+
+        def run_eps(p: int, cycle: int) -> int:
+            nonlocal pk, jimp
+            nonlocal ms_state, ms_arc, ms_token, wb_token
+            nonlocal r_states, r_arcs, r_tokens, r_overflow, w_tokens
+            nonlocal hash_extra_cycles
+            e0 = eps_offsets[p]
+            e1 = eps_offsets[p + 1]
+            proc_time = cycle
+            hash_ready = cycle
+            sw = [0] * sw_depth
+            aw = [0] * aw_depth
+            tw = [0] * tw_depth
+            sw_pos = aw_pos = tw_pos = 0
+            arc_gate_last = -1
+            issue_last = -1
+            arc_avail: List[int] = []
+            k = pk
+            for i in range(e0, e1):
+                src = zsrc[i]
+                avail = cycle if src < 0 else arc_avail[src]
+                slot = avail if avail > issue_last else issue_last + 1
+                issue_last = slot
+                if zdirect[i]:
+                    state_done = slot + 1
+                else:
+                    g = sw[sw_pos]
+                    start = slot if slot > g else g
+                    if sperfect:
+                        state_done = start + 1
+                    else:
+                        line = zsline[i]
+                        ways = state_sets[zsset[i]]
+                        ft = ways.pop(line, None)
+                        if ft is not None:
+                            ways[line] = ft
+                            state_done = start + 1 if start + 1 > ft else ft
+                        else:
+                            ms_state += 1
+                            if len(ways) >= s_assoc:
+                                del ways[next(iter(ways))]
+                            r_states += s_line
+                            ft = mem_req(start)
+                            ways[line] = ft
+                            state_done = ft
+                    sw[sw_pos] = state_done
+                    sw_pos += 1
+                    if sw_pos == sw_depth:
+                        sw_pos = 0
+                for _ in range(zn[i]):
+                    g = aw[aw_pos]
+                    req = state_done if state_done > g else g
+                    if arc_gate_last >= req:
+                        req = arc_gate_last + 1
+                    arc_gate_last = req
+                    if aperfect:
+                        arc_data = req + 1
+                    else:
+                        line = zaline[k]
+                        ways = arc_sets[zaset[k]]
+                        ft = ways.pop(line, None)
+                        if ft is not None:
+                            ways[line] = ft
+                            arc_data = req + 1 if req + 1 > ft else ft
+                        else:
+                            ms_arc += 1
+                            if len(ways) >= a_assoc:
+                                del ways[next(iter(ways))]
+                            r_arcs += a_line
+                            ft = mem_req(req)
+                            ways[line] = ft
+                            arc_data = ft
+                    aw[aw_pos] = arc_data
+                    aw_pos += 1
+                    if aw_pos == aw_depth:
+                        aw_pos = 0
+                    pt = proc_time + 1
+                    ad = arc_data + 1
+                    proc_time = pt if pt > ad else ad
+                    arc_avail.append(proc_time)
+                    hs = proc_time if proc_time > hash_ready else hash_ready
+                    hc = zhc[k]
+                    if hc > 0:
+                        hash_ready = hs + hc
+                    else:
+                        r_overflow += OVERFLOW_ENTRY_BYTES
+                        done = mem_req(hs)
+                        hash_extra_cycles += done - hs
+                        hash_ready = done
+                    if zimp[k]:
+                        g = tw[tw_pos]
+                        wslot = hash_ready if hash_ready > g else g
+                        if tperfect:
+                            tdone = wslot + 1
+                        else:
+                            line = tline[jimp]
+                            ways = token_sets[tset[jimp]]
+                            ft = ways.pop(line, None)
+                            if ft is not None:
+                                ways[line] = ft
+                                tdone = wslot + 1 if wslot + 1 > ft else ft
+                            else:
+                                ms_token += 1
+                                if len(ways) >= t_assoc:
+                                    del ways[next(iter(ways))]
+                                    wb_token += 1
+                                    w_tokens += t_line
+                                r_tokens += t_line
+                                ft = mem_req(wslot)
+                                ways[line] = ft
+                                tdone = ft
+                        jimp += 1
+                        tw[tw_pos] = tdone
+                        tw_pos += 1
+                        if tw_pos == tw_depth:
+                            tw_pos = 0
+                    k += 1
+            pk = k
+            end = proc_time
+            if hash_ready > end:
+                end = hash_ready
+            drain = max(tw)
+            if drain > end:
+                end = drain
+            if cycle > end:
+                end = cycle
+            return end
+
+        # --- decode timeline -------------------------------------------
+        frame_overhead = cfg.frame_overhead_cycles
+        frame_cycles: List[int] = []
+        cycle = run_eps(0, 0)
+        for f in range(F):
+            cycle += frame_overhead
+            fb = cycle
+            read_done = None
+            if not hperfect and end_backup[f] > backup_entries:
+                # The frame's table spilled to the Overflow Buffer: walk
+                # the token reads to issue the DRAM round trips.
+                posmap = posmaps[f]
+                read_done = {}
+                m0 = read_offsets[f]
+                states = trace.read_states[m0:read_offsets[f + 1]].tolist()
+                for i, s in enumerate(states):
+                    if posmap.get(s, 0) > 0:
+                        r_overflow += OVERFLOW_ENTRY_BYTES
+                        read_done[i] = mem_req(fb + i)
+            cycle = run_emit(f, cycle, fb, read_done)
+            cycle = run_eps(f + 1, cycle)
+            frame_cycles.append(cycle - fb)
+
+        # Flush of dirty token-record lines (CPU reads them to backtrack).
+        if not tperfect:
+            for ways in token_sets:
+                n = len(ways)
+                if n:
+                    wb_token += n
+                    w_tokens += n * t_line
+
+        # --- assemble statistics ---------------------------------------
+        stats = SimStats(frames=F)
+        stats.cycles = cycle
+        stats.frame_cycles = frame_cycles
+        n_reads = len(trace.read_states)
+        stats.tokens_read = n_reads
+        stats.tokens_written = n_improve
+        stats.arcs_processed = ne
+        stats.epsilon_arcs_processed = nz
+        stats.states_fetched = fetched_total
+        stats.states_direct = direct_total
+        stats.fp_adds = 2 * ne + nz
+        stats.fp_compares = n_reads + ne + nz
+        stats.acoustic_lookups = ne
+        stats.state_cache.accesses = fetched_total
+        stats.state_cache.misses = ms_state
+        stats.arc_cache.accesses = ne + nz
+        stats.arc_cache.misses = ms_arc
+        stats.token_cache.accesses = n_improve
+        stats.token_cache.misses = ms_token
+        stats.token_cache.writebacks = wb_token
+        stats.hash.requests = ne + nz
+        stats.hash.total_cycles = hash_base_cycles + hash_extra_cycles
+        stats.hash.collisions = hash_collisions
+        stats.hash.overflows = hash_overflows
+        for region, nbytes in (
+            ("states", r_states), ("arcs", r_arcs),
+            ("tokens", r_tokens), ("overflow", r_overflow),
+        ):
+            if nbytes:
+                stats.traffic.add(region, nbytes, write=False)
+        if w_tokens:
+            stats.traffic.add("tokens", w_tokens, write=True)
+
+        return AcceleratorResult(
+            words=trace.words,
+            log_likelihood=trace.log_likelihood,
+            reached_final=trace.reached_final,
+            stats=stats,
+            search=_copy_search(trace.search),
+        )
+
+    # ------------------------------------------------------------------
+    def _hash_schedule(
+        self, trace: DecodeTrace
+    ) -> Tuple[List[int], List[int], List[int], List[Optional[Dict[int, int]]], int, int, int]:
+        """Precompute the hash tables' chain behaviour for this config.
+
+        The two per-frame tables alternate; "group" ``g`` is the insertion
+        sequence one table receives before being read: group 0 is the
+        initial epsilon closure, group ``g >= 1`` is frame ``g - 1``'s
+        non-epsilon arcs followed by its in-frame epsilon closure.  The
+        token walk of frame ``f`` reads group ``f``'s table.
+
+        Returns per-arc hash-access costs in cycles for the emit and
+        epsilon streams (-1 marks an access that spilled to the Overflow
+        Buffer and must be priced with a DRAM round trip), each group's
+        final backup-buffer occupancy, per-group ``state -> chain
+        position`` maps (built only for groups that overflowed), and the
+        aggregate collision / overflow / cycle counters.
+        """
+        hcfg = self.config.hash_table
+        ne = len(trace.emit_arc_idx)
+        nz = len(trace.eps_arc_idx)
+        F = trace.num_frames
+        if hcfg.perfect:
+            return [1] * ne, [1] * nz, [0] * (F + 1), [None] * (F + 1), 0, 0, ne + nz
+
+        entries = np.uint64(hcfg.num_entries)
+        mult = np.uint64(HASH_MULTIPLIER)
+        backup = hcfg.backup_entries
+        ehc = np.ones(ne, dtype=np.int64)
+        zhc = np.ones(nz, dtype=np.int64)
+        eao = trace.emit_arc_offsets
+        zao = trace.eps_arc_offsets
+        ed = trace.emit_arc_dest
+        zd = trace.eps_arc_dest
+        end_backup = [0] * (F + 1)
+        posmaps: List[Optional[Dict[int, int]]] = [None] * (F + 1)
+        collisions = overflows = base_cycles = 0
+
+        for g in range(F + 1):
+            if g >= 1:
+                emit_part = ed[eao[g - 1]:eao[g]]
+                eps_part = zd[zao[g]:zao[g + 1]]
+                accesses = np.concatenate((emit_part, eps_part))
+                n_emit_part = len(emit_part)
+            else:
+                accesses = zd[zao[0]:zao[1]]
+                n_emit_part = 0
+            m = len(accesses)
+            if m == 0:
+                continue
+            uniq, first_idx, inv = np.unique(
+                accesses, return_index=True, return_inverse=True
+            )
+            nu = len(uniq)
+            # Multiplicative hashing, exact in uint64 (state < 2**32).
+            buckets = (uniq.astype(np.uint64) * mult) % entries
+            order = np.lexsort((first_idx, buckets))
+            b_sorted = buckets[order]
+            run_start = np.empty(nu, dtype=bool)
+            run_start[0] = True
+            if nu > 1:
+                run_start[1:] = b_sorted[1:] != b_sorted[:-1]
+            idxs = np.arange(nu, dtype=np.int64)
+            run_anchor = np.maximum.accumulate(np.where(run_start, idxs, 0))
+            pos_u = np.empty(nu, dtype=np.int64)
+            pos_u[order] = idxs - run_anchor
+            collisions += int(np.count_nonzero(pos_u > 0))
+            claim_inc = np.zeros(m, dtype=np.int64)
+            claim_inc[first_idx[pos_u > 0]] = 1
+            backup_after = np.cumsum(claim_inc)
+            pos_acc = pos_u[inv]
+            over = (pos_acc > 0) & (backup_after > backup)
+            n_over = int(np.count_nonzero(over))
+            overflows += n_over
+            cost = 1 + pos_acc
+            base_cycles += int(cost.sum())
+            if n_over:
+                base_cycles -= int(cost[over].sum())
+                cost[over] = -1
+            if n_emit_part:
+                ehc[eao[g - 1]:eao[g]] = cost[:n_emit_part]
+            zhc[zao[g]:zao[g + 1]] = cost[n_emit_part:]
+            eb = int(backup_after[-1])
+            end_backup[g] = eb
+            if eb > backup and g < F:
+                posmaps[g] = dict(zip(uniq.tolist(), pos_u.tolist()))
+
+        return (
+            ehc.tolist(), zhc.tolist(), end_backup, posmaps,
+            collisions, overflows, base_cycles,
+        )
+
+
+def _copy_search(search: SearchStats) -> SearchStats:
+    """Fresh SearchStats so replay results never alias the trace's lists."""
+    return SearchStats(
+        frames=search.frames,
+        tokens_pruned=search.tokens_pruned,
+        states_expanded=search.states_expanded,
+        arcs_processed=search.arcs_processed,
+        epsilon_arcs_processed=search.epsilon_arcs_processed,
+        tokens_created=search.tokens_created,
+        tokens_updated=search.tokens_updated,
+        visited_state_degrees=list(search.visited_state_degrees),
+        active_tokens_per_frame=list(search.active_tokens_per_frame),
+    )
+
+
+def replay_decode(
+    graph: CompiledWfst,
+    trace: DecodeTrace,
+    config: AcceleratorConfig = AcceleratorConfig(),
+    sorted_graph: Optional[SortedWfst] = None,
+) -> AcceleratorResult:
+    """Convenience wrapper: replay one trace under one configuration."""
+    return TraceReplayer(graph, config, sorted_graph=sorted_graph).replay(trace)

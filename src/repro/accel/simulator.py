@@ -45,7 +45,23 @@ from repro.decoder.result import SearchStats
 from repro.wfst.layout import ARC_BYTES, STATE_BYTES, CompiledWfst
 from repro.wfst.sorted_layout import SortedWfst
 
-_TOKEN_RECORD_BYTES = 8  # backpointer: source token index + word index
+#: Bytes per backpointer record in the main-memory token trace region
+#: (source token index + word index, 32 bits each).
+TOKEN_RECORD_BYTES = 8
+
+
+def address_map(graph: CompiledWfst) -> Tuple[int, int, int]:
+    """Base byte addresses of the states, arcs and token-trace regions.
+
+    The accelerator's view of main memory: the states array at 0, the arcs
+    array after it, then the token backpointer region, each 64-byte
+    aligned.  Shared by the monolithic simulator and the trace replayer so
+    both compute identical DRAM addresses.
+    """
+    states_base = 0
+    arcs_base = _align(graph.states_size_bytes, 64)
+    tokens_base = _align(arcs_base + graph.arcs_size_bytes, 64)
+    return states_base, arcs_base, tokens_base
 
 
 @dataclass(frozen=True)
@@ -95,10 +111,8 @@ class AcceleratorSimulator:
         self.max_active = max_active
 
         # Address map: states, then arcs, then the token trace region.
-        self._states_base = 0
-        self._arcs_base = _align(self.graph.states_size_bytes, 64)
-        self._tokens_base = _align(
-            self._arcs_base + self.graph.arcs_size_bytes, 64
+        self._states_base, self._arcs_base, self._tokens_base = address_map(
+            self.graph
         )
 
     # ------------------------------------------------------------------
@@ -326,7 +340,7 @@ class AcceleratorSimulator:
                     rec_addr = (
                         self._tokens_base
                         + (search.tokens_created + search.tokens_updated - 1)
-                        * _TOKEN_RECORD_BYTES
+                        * TOKEN_RECORD_BYTES
                     )
                     done, _hit = token_cache.access(
                         write_slot, rec_addr, write=True
@@ -410,7 +424,7 @@ class AcceleratorSimulator:
                     rec_addr = (
                         self._tokens_base
                         + (search.tokens_created + search.tokens_updated - 1)
-                        * _TOKEN_RECORD_BYTES
+                        * TOKEN_RECORD_BYTES
                     )
                     done, _hit = token_cache.access(
                         write_slot, rec_addr, write=True

@@ -1,4 +1,13 @@
-"""Simulation statistics: cycle counts, cache behaviour, memory traffic."""
+"""Simulation statistics: cycle counts, cache behaviour, memory traffic.
+
+These counters are the simulator's observable output for the paper's
+evaluation: cycles drive the Figure 9/10 performance results, cache and
+hash counters the Figures 4-5 sweeps, and the traffic breakdown Figure
+13.  The energy model (:mod:`repro.energy.components`) prices a decode
+entirely from a :class:`SimStats` instance.  The trace replayer
+(:mod:`repro.accel.replay`) reproduces every field bit-for-bit, which the
+equivalence suite asserts.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +17,11 @@ from typing import Dict, List
 
 @dataclass
 class CacheStats:
-    """Access counters for one cache."""
+    """Access counters for one cache.
+
+    All fields are event counts (one access = one cache lookup of one
+    line; one writeback = one dirty-line eviction or flush).
+    """
 
     accesses: int = 0
     misses: int = 0
@@ -27,11 +40,16 @@ class CacheStats:
 
 @dataclass
 class HashStats:
-    """Access counters for the token hash tables."""
+    """Access counters for the token hash tables (both per-frame tables)."""
 
+    #: Insert/update lookups, in requests.
     requests: int = 0
+    #: Cycles spent across all requests (chained hops add cycles; spills
+    #: to the Overflow Buffer add DRAM round trips).
     total_cycles: int = 0
+    #: First-time bucket conflicts (entries placed on a backup chain).
     collisions: int = 0
+    #: Accesses served from the in-memory Overflow Buffer.
     overflows: int = 0
 
     @property
@@ -43,7 +61,7 @@ class HashStats:
 
 @dataclass
 class MemoryTraffic:
-    """Off-chip DRAM traffic in bytes, split by data type (Figure 13)."""
+    """Off-chip DRAM traffic, in bytes, split by data region (Figure 13)."""
 
     read_bytes: Dict[str, int] = field(default_factory=dict)
     write_bytes: Dict[str, int] = field(default_factory=dict)
@@ -67,24 +85,36 @@ class MemoryTraffic:
 class SimStats:
     """All counters produced by one accelerator decode."""
 
+    #: Total decode latency, in cycles at :attr:`AcceleratorConfig.frequency_hz`.
     cycles: int = 0
+    #: 10 ms acoustic frames decoded.
     frames: int = 0
+    #: Non-epsilon / epsilon arc records streamed, in arcs.
     arcs_processed: int = 0
     epsilon_arcs_processed: int = 0
+    #: Tokens walked from / inserted into the frame hash tables.
     tokens_read: int = 0
     tokens_written: int = 0
+    #: State records resolved through the State cache vs computed by the
+    #: Section IV-B comparator bank, in fetches.
     states_fetched: int = 0
     states_direct: int = 0
+    #: Likelihood Evaluation Unit operations (for the energy model, at
+    #: :attr:`~repro.energy.components.AcceleratorEnergyModel.fp_op_pj`
+    #: pJ per op).
     fp_adds: int = 0
     fp_compares: int = 0
+    #: Reads of the on-chip Acoustic Likelihood Buffer.
     acoustic_lookups: int = 0
 
     state_cache: CacheStats = field(default_factory=CacheStats)
     arc_cache: CacheStats = field(default_factory=CacheStats)
     token_cache: CacheStats = field(default_factory=CacheStats)
     hash: HashStats = field(default_factory=HashStats)
+    #: Off-chip traffic, in bytes (Figure 13's breakdown).
     traffic: MemoryTraffic = field(default_factory=MemoryTraffic)
 
+    #: Per-frame latency, in cycles (one entry per decoded frame).
     frame_cycles: List[int] = field(default_factory=list)
 
     def seconds(self, frequency_hz: float) -> float:

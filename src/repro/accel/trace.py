@@ -1,23 +1,76 @@
-"""Per-frame pipeline traces for analysis and debugging.
+"""Decode event traces: record the functional search once, re-time it many
+times (paper, Sections III-V).
 
-A :class:`FrameTrace` summarises what the accelerator did in each 10 ms
-frame -- cycles, active tokens, arcs, per-cache miss behaviour, DRAM
-traffic -- derived from a decode's statistics.  Useful for spotting
-pathological frames (hash overflow storms, beam explosions) and for the
-per-frame plots architecture papers live on.
+Two layers live here:
+
+* :class:`FrameTrace` / :func:`frame_traces` / :func:`summarize` -- per-frame
+  summaries of a *timed* decode (cycles, active tokens, DRAM behaviour),
+  for spotting pathological frames and the per-frame plots architecture
+  papers live on.
+
+* :class:`DecodeTrace` / :class:`TraceRecorder` -- the trace-once /
+  replay-many machinery behind the design-space sweeps.  The paper's
+  evaluation (Figures 4-14) varies only *timing* parameters -- cache
+  geometry, prefetch depth, hash sizing, DRAM latency -- under which the
+  beam search itself is invariant.  :class:`TraceRecorder` runs the
+  functional search of :class:`repro.accel.simulator.AcceleratorSimulator`
+  exactly once and records every event the timing model consumes as compact
+  numpy arrays:
+
+  - the State Issuer's per-frame token walk (hash reads),
+  - the surviving tokens issued per frame (state fetches),
+  - every non-epsilon arc fetch with its destination and whether the
+    relaxation improved the destination token (backpointer write),
+  - every epsilon-closure visit with the worklist provenance needed to
+    reconstruct when the State Issuer saw each discovered token.
+
+  :class:`repro.accel.replay.TraceReplayer` re-prices such a trace under
+  any :class:`~repro.accel.config.AcceleratorConfig`, cycle-identical to
+  the monolithic simulator (asserted in ``tests/test_trace_replay.py``).
+  Traces are tied to a graph *layout*: configurations using the Section
+  IV-B sorted layout replay a trace recorded on the sorted graph.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Tuple
 
+import numpy as np
+
+from repro.common.errors import ConfigError, DecodeError, SimulationError
+from repro.common.logmath import LOG_ZERO
+from repro.acoustic.scorer import AcousticScores
 from repro.accel.simulator import AcceleratorResult
+from repro.decoder.result import SearchStats
+from repro.wfst.layout import CompiledWfst
+
+#: Bump when the array schema changes; saved traces carry it so stale disk
+#: caches are rejected instead of misread.
+TRACE_FORMAT_VERSION = 1
 
 
+def layout_fingerprint(graph: CompiledWfst) -> int:
+    """A cheap content fingerprint of a graph layout.
+
+    Distinguishes layouts with equal state/arc counts -- in particular a
+    graph from its Section IV-B sorted permutation -- so a trace is never
+    replayed against the wrong address map.  Checksums the packed state
+    records (which encode every arc offset) plus the start state.
+    """
+    import zlib
+
+    digest = zlib.adler32(np.ascontiguousarray(graph.states_packed).tobytes())
+    return (digest << 32) ^ (graph.start << 8) ^ graph.num_arcs
+
+
+# ----------------------------------------------------------------------
+# Per-frame summaries of a timed decode
+# ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class FrameTrace:
-    """One frame's summary."""
+    """One frame's summary of a timed decode."""
 
     frame: int
     cycles: int
@@ -25,7 +78,7 @@ class FrameTrace:
 
     @property
     def microseconds_at(self) -> float:
-        """Frame decode time at the Table I clock (600 MHz)."""
+        """Frame decode time in microseconds at the Table I clock (600 MHz)."""
         return self.cycles / 600.0
 
 
@@ -68,3 +121,497 @@ def summarize(result: AcceleratorResult) -> str:
             f"({worst.active_tokens} active tokens)"
         )
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The recorded functional event trace
+# ----------------------------------------------------------------------
+@dataclass
+class DecodeTrace:
+    """Every timing-relevant event of one functional beam-search decode.
+
+    Array groups use CSR-style offsets.  With ``F`` frames there are
+    ``F + 1`` epsilon passes: pass 0 is the initial closure from the start
+    state, pass ``f + 1`` is the closure inside frame ``f``.
+
+    Attributes:
+        num_frames: frames decoded.
+        frame_bytes: on-chip footprint of one frame of scores, in bytes
+            (for the Acoustic Likelihood Buffer capacity check).
+        beam: beam width the search ran with (log-likelihood units).
+        max_active: histogram-pruning cap (0 = unlimited).
+        num_states / num_arcs / layout_key: identity of the graph layout
+            the trace was recorded on (guards against replaying on the
+            wrong layout; see :func:`layout_fingerprint`).
+        words / log_likelihood / reached_final: the decode's result.
+        search: functional search statistics (timing-independent).
+        read_states: state id of every token the State Issuer walks, frame
+            by frame (``read_offsets`` delimits frames).
+        emit_states: surviving state issued per frame, post pruning, in
+            issue order; ``emit_first`` / ``emit_n`` give its contiguous
+            non-epsilon arc block and ``emit_read_idx`` its position in the
+            frame's token walk (``emit_offsets`` delimits frames).
+        emit_arc_idx / emit_arc_dest / emit_improved: one entry per
+            non-epsilon arc processed, in issue order: arc index (for the
+            DRAM address), destination state (for the hash access) and
+            whether the relaxation won (a backpointer write).
+            ``emit_arc_offsets`` delimits frames.
+        eps_states: state visited by the epsilon worklist, pass by pass;
+            ``eps_first`` / ``eps_n`` give its epsilon arc block.
+        eps_src: provenance of each visit: index (within the pass's arc
+            stream) of the epsilon arc whose relaxation enqueued it, or -1
+            for a pass seed.  ``eps_offsets`` delimits passes.
+        eps_arc_idx / eps_arc_dest / eps_improved: one entry per epsilon
+            arc processed (``eps_arc_offsets`` delimits passes).
+    """
+
+    num_frames: int
+    frame_bytes: int
+    beam: float
+    max_active: int
+    num_states: int
+    num_arcs: int
+    layout_key: int
+
+    words: Tuple[int, ...]
+    log_likelihood: float
+    reached_final: bool
+    search: SearchStats
+
+    read_states: np.ndarray
+    read_offsets: np.ndarray
+    emit_states: np.ndarray
+    emit_first: np.ndarray
+    emit_n: np.ndarray
+    emit_read_idx: np.ndarray
+    emit_offsets: np.ndarray
+    emit_arc_idx: np.ndarray
+    emit_arc_dest: np.ndarray
+    emit_improved: np.ndarray
+    emit_arc_offsets: np.ndarray
+    eps_states: np.ndarray
+    eps_first: np.ndarray
+    eps_n: np.ndarray
+    eps_src: np.ndarray
+    eps_offsets: np.ndarray
+    eps_arc_idx: np.ndarray
+    eps_arc_dest: np.ndarray
+    eps_improved: np.ndarray
+    eps_arc_offsets: np.ndarray
+
+    _ARRAYS = (
+        "read_states", "read_offsets",
+        "emit_states", "emit_first", "emit_n", "emit_read_idx",
+        "emit_offsets",
+        "emit_arc_idx", "emit_arc_dest", "emit_improved", "emit_arc_offsets",
+        "eps_states", "eps_first", "eps_n", "eps_src", "eps_offsets",
+        "eps_arc_idx", "eps_arc_dest", "eps_improved", "eps_arc_offsets",
+    )
+
+    @property
+    def nbytes(self) -> int:
+        """Total storage of the event arrays, in bytes."""
+        return sum(getattr(self, name).nbytes for name in self._ARRAYS)
+
+    @property
+    def num_events(self) -> int:
+        """Total recorded events (reads + state issues + arc fetches)."""
+        return int(
+            len(self.read_states)
+            + len(self.emit_states) + len(self.emit_arc_idx)
+            + len(self.eps_states) + len(self.eps_arc_idx)
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Persist the trace as a compressed ``.npz`` archive."""
+        payload = {name: getattr(self, name) for name in self._ARRAYS}
+        payload["meta"] = np.array(
+            [
+                TRACE_FORMAT_VERSION, self.num_frames, self.frame_bytes,
+                self.max_active, self.num_states, self.num_arcs,
+                int(self.reached_final),
+            ],
+            dtype=np.int64,
+        )
+        payload["meta_f"] = np.array(
+            [self.beam, self.log_likelihood], dtype=np.float64
+        )
+        payload["layout_key"] = np.array([self.layout_key], dtype=np.uint64)
+        payload["words"] = np.asarray(self.words, dtype=np.int64)
+        s = self.search
+        payload["search_counters"] = np.array(
+            [
+                s.frames, s.tokens_pruned, s.states_expanded,
+                s.arcs_processed, s.epsilon_arcs_processed,
+                s.tokens_created, s.tokens_updated,
+            ],
+            dtype=np.int64,
+        )
+        payload["search_degrees"] = np.asarray(
+            s.visited_state_degrees, dtype=np.int32
+        )
+        payload["search_active"] = np.asarray(
+            s.active_tokens_per_frame, dtype=np.int64
+        )
+        np.savez_compressed(path, **payload)
+
+    @classmethod
+    def load(cls, path: str) -> "DecodeTrace":
+        """Load a trace written by :meth:`save`.
+
+        Raises :class:`~repro.common.errors.SimulationError` when the file
+        was written by an incompatible trace format version.
+        """
+        with np.load(path) as data:
+            meta = data["meta"]
+            if int(meta[0]) != TRACE_FORMAT_VERSION:
+                raise SimulationError(
+                    f"trace format v{int(meta[0])} in {path!r} does not "
+                    f"match the supported v{TRACE_FORMAT_VERSION}"
+                )
+            meta_f = data["meta_f"]
+            counters = data["search_counters"]
+            search = SearchStats(
+                frames=int(counters[0]),
+                tokens_pruned=int(counters[1]),
+                states_expanded=int(counters[2]),
+                arcs_processed=int(counters[3]),
+                epsilon_arcs_processed=int(counters[4]),
+                tokens_created=int(counters[5]),
+                tokens_updated=int(counters[6]),
+                visited_state_degrees=data["search_degrees"].tolist(),
+                active_tokens_per_frame=data["search_active"].tolist(),
+            )
+            arrays = {name: data[name] for name in cls._ARRAYS}
+            return cls(
+                num_frames=int(meta[1]),
+                frame_bytes=int(meta[2]),
+                beam=float(meta_f[0]),
+                max_active=int(meta[3]),
+                num_states=int(meta[4]),
+                num_arcs=int(meta[5]),
+                layout_key=int(data["layout_key"][0]),
+                words=tuple(int(w) for w in data["words"]),
+                log_likelihood=float(meta_f[1]),
+                reached_final=bool(meta[6]),
+                search=search,
+                **arrays,
+            )
+
+
+@dataclass
+class _TraceBuilder:
+    """Accumulates event lists during recording; frozen into numpy at the end."""
+
+    read_states: List[int] = field(default_factory=list)
+    read_offsets: List[int] = field(default_factory=lambda: [0])
+    emit_states: List[int] = field(default_factory=list)
+    emit_first: List[int] = field(default_factory=list)
+    emit_n: List[int] = field(default_factory=list)
+    emit_read_idx: List[int] = field(default_factory=list)
+    emit_offsets: List[int] = field(default_factory=lambda: [0])
+    emit_arc_idx: List[int] = field(default_factory=list)
+    emit_arc_dest: List[int] = field(default_factory=list)
+    emit_improved: List[bool] = field(default_factory=list)
+    emit_arc_offsets: List[int] = field(default_factory=lambda: [0])
+    eps_states: List[int] = field(default_factory=list)
+    eps_first: List[int] = field(default_factory=list)
+    eps_n: List[int] = field(default_factory=list)
+    eps_src: List[int] = field(default_factory=list)
+    eps_offsets: List[int] = field(default_factory=lambda: [0])
+    eps_arc_idx: List[int] = field(default_factory=list)
+    eps_arc_dest: List[int] = field(default_factory=list)
+    eps_improved: List[bool] = field(default_factory=list)
+    eps_arc_offsets: List[int] = field(default_factory=lambda: [0])
+
+
+class TraceRecorder:
+    """One-shot functional pass of the accelerator's beam search.
+
+    Runs the exact search of
+    :class:`~repro.accel.simulator.AcceleratorSimulator` -- same token
+    iteration order, pruning, relaxation arithmetic and epsilon worklist --
+    with all timing machinery stripped out, and records the event stream a
+    :class:`~repro.accel.replay.TraceReplayer` needs.
+
+    The recorder walks whatever graph it is given: pass the baseline
+    :class:`~repro.wfst.layout.CompiledWfst` for baseline-layout
+    configurations, or ``sorted_wfst.graph`` for Section IV-B sorted-layout
+    configurations (the two layouts visit different state ids and arc
+    addresses, so they need separate traces).
+
+    Args:
+        graph: compiled graph layout to search.
+        beam: beam width in log-likelihood units (must be positive).
+        max_active: histogram-pruning cap on tokens per frame (0 = off).
+    """
+
+    def __init__(
+        self, graph: CompiledWfst, beam: float = 12.0, max_active: int = 0
+    ) -> None:
+        if beam <= 0:
+            raise ConfigError("beam must be positive")
+        if max_active < 0:
+            raise ConfigError("max_active must be >= 0")
+        self.graph = graph
+        self.beam = beam
+        self.max_active = max_active
+        self._layout_key = layout_fingerprint(graph)
+        flat = graph.flat()
+        # Plain Python lists: scalar indexing is ~5x faster than numpy's
+        # and the recorder is all scalar indexing.
+        self._first = flat.first_arc.tolist()
+        self._n_non_eps = flat.num_non_eps.tolist()
+        self._n_eps = flat.num_eps.tolist()
+        self._dest = flat.arc_dest.tolist()
+        self._weight = flat.arc_weight64.tolist()
+        self._ilabel = flat.arc_ilabel.tolist()
+        self._olabel = flat.arc_olabel.tolist()
+        self._final = flat.final_weights.tolist()
+
+    # ------------------------------------------------------------------
+    def record(self, scores: AcousticScores) -> DecodeTrace:
+        """Search one utterance and return its event trace."""
+        if scores.num_frames == 0:
+            raise DecodeError("no frames to decode")
+        num_frames = scores.num_frames
+        search = SearchStats(frames=num_frames)
+        out = _TraceBuilder()
+
+        # Backpointer trace (host-side; identical to the simulator's).
+        trace_prev: List[int] = [-1]
+        trace_word: List[int] = [0]
+        # Live tokens: state -> (score, backpointer index).
+        tokens: Dict[int, Tuple[float, int]] = {self.graph.start: (0.0, 0)}
+
+        self._eps_pass(tokens, list(tokens.keys()), search, out,
+                       trace_prev, trace_word)
+
+        max_active = self.max_active
+        matrix = scores.matrix
+        for frame in range(num_frames):
+            frame_scores = matrix[frame].tolist()
+            if not tokens:
+                raise DecodeError(f"beam emptied the search at frame {frame}")
+            best = max(score for score, _ in tokens.values())
+            threshold = best - self.beam
+
+            read_states = out.read_states
+            survivors: List[Tuple[int, float, int, int]] = []
+            idx = 0
+            for state, (score, bp) in tokens.items():
+                read_states.append(state)
+                if score >= threshold:
+                    survivors.append((state, score, bp, idx))
+                else:
+                    search.tokens_pruned += 1
+                idx += 1
+            out.read_offsets.append(len(read_states))
+            if max_active and len(survivors) > max_active:
+                survivors.sort(key=lambda item: item[1], reverse=True)
+                search.tokens_pruned += len(survivors) - max_active
+                survivors = survivors[:max_active]
+
+            next_tokens: Dict[int, Tuple[float, int]] = {}
+            search.active_tokens_per_frame.append(len(survivors))
+
+            self._emit_pass(survivors, next_tokens, frame_scores, search,
+                            out, trace_prev, trace_word)
+
+            self._eps_pass(next_tokens, list(next_tokens.keys()), search,
+                           out, trace_prev, trace_word)
+            tokens = next_tokens
+
+        words, likelihood, reached_final = self._finalize(
+            tokens, trace_prev, trace_word
+        )
+        return DecodeTrace(
+            num_frames=num_frames,
+            frame_bytes=scores.size_bytes,
+            beam=self.beam,
+            max_active=self.max_active,
+            num_states=self.graph.num_states,
+            num_arcs=self.graph.num_arcs,
+            layout_key=self._layout_key,
+            words=words,
+            log_likelihood=likelihood,
+            reached_final=reached_final,
+            search=search,
+            read_states=np.asarray(out.read_states, dtype=np.int64),
+            read_offsets=np.asarray(out.read_offsets, dtype=np.int64),
+            emit_states=np.asarray(out.emit_states, dtype=np.int64),
+            emit_first=np.asarray(out.emit_first, dtype=np.int64),
+            emit_n=np.asarray(out.emit_n, dtype=np.int64),
+            emit_read_idx=np.asarray(out.emit_read_idx, dtype=np.int64),
+            emit_offsets=np.asarray(out.emit_offsets, dtype=np.int64),
+            emit_arc_idx=np.asarray(out.emit_arc_idx, dtype=np.int64),
+            emit_arc_dest=np.asarray(out.emit_arc_dest, dtype=np.int64),
+            emit_improved=np.asarray(out.emit_improved, dtype=np.bool_),
+            emit_arc_offsets=np.asarray(out.emit_arc_offsets, dtype=np.int64),
+            eps_states=np.asarray(out.eps_states, dtype=np.int64),
+            eps_first=np.asarray(out.eps_first, dtype=np.int64),
+            eps_n=np.asarray(out.eps_n, dtype=np.int64),
+            eps_src=np.asarray(out.eps_src, dtype=np.int64),
+            eps_offsets=np.asarray(out.eps_offsets, dtype=np.int64),
+            eps_arc_idx=np.asarray(out.eps_arc_idx, dtype=np.int64),
+            eps_arc_dest=np.asarray(out.eps_arc_dest, dtype=np.int64),
+            eps_improved=np.asarray(out.eps_improved, dtype=np.bool_),
+            eps_arc_offsets=np.asarray(out.eps_arc_offsets, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    def _emit_pass(
+        self,
+        survivors: List[Tuple[int, float, int, int]],
+        next_tokens: Dict[int, Tuple[float, int]],
+        frame_scores: List[float],
+        search: SearchStats,
+        out: _TraceBuilder,
+        trace_prev: List[int],
+        trace_word: List[int],
+    ) -> None:
+        first_l = self._first
+        n_non_l = self._n_non_eps
+        n_eps_l = self._n_eps
+        dest_l = self._dest
+        weight_l = self._weight
+        ilabel_l = self._ilabel
+        olabel_l = self._olabel
+        arc_idx = out.emit_arc_idx
+        arc_dest = out.emit_arc_dest
+        improved_out = out.emit_improved
+        degrees = search.visited_state_degrees
+        tokens_get = next_tokens.get
+
+        for state, score, bp, ridx in survivors:
+            first = first_l[state]
+            n_non_eps = n_non_l[state]
+            out.emit_states.append(state)
+            out.emit_first.append(first)
+            out.emit_n.append(n_non_eps)
+            out.emit_read_idx.append(ridx)
+            search.states_expanded += 1
+            degrees.append(n_non_eps + n_eps_l[state])
+
+            for a in range(first, first + n_non_eps):
+                dest = dest_l[a]
+                arc_idx.append(a)
+                arc_dest.append(dest)
+                search.arcs_processed += 1
+                new_score = score + weight_l[a] + frame_scores[ilabel_l[a]]
+                existing = tokens_get(dest)
+                if existing is not None and existing[0] >= new_score:
+                    improved_out.append(False)
+                    continue
+                trace_prev.append(bp)
+                trace_word.append(olabel_l[a])
+                if existing is None:
+                    search.tokens_created += 1
+                else:
+                    search.tokens_updated += 1
+                next_tokens[dest] = (new_score, len(trace_prev) - 1)
+                improved_out.append(True)
+
+        out.emit_offsets.append(len(out.emit_states))
+        out.emit_arc_offsets.append(len(arc_idx))
+
+    def _eps_pass(
+        self,
+        tokens: Dict[int, Tuple[float, int]],
+        seeds: List[int],
+        search: SearchStats,
+        out: _TraceBuilder,
+        trace_prev: List[int],
+        trace_word: List[int],
+    ) -> None:
+        first_l = self._first
+        n_non_l = self._n_non_eps
+        n_eps_l = self._n_eps
+        dest_l = self._dest
+        weight_l = self._weight
+        olabel_l = self._olabel
+        arc_idx = out.eps_arc_idx
+        arc_dest = out.eps_arc_dest
+        improved_out = out.eps_improved
+        tokens_get = tokens.get
+
+        worklist: Deque[Tuple[int, int]] = deque((s, -1) for s in seeds)
+        arc_event = 0
+        while worklist:
+            state, src = worklist.popleft()
+            score, bp = tokens[state]
+            n_eps = n_eps_l[state]
+            if n_eps == 0:
+                continue
+            eps_first = first_l[state] + n_non_l[state]
+            out.eps_states.append(state)
+            out.eps_first.append(eps_first)
+            out.eps_n.append(n_eps)
+            out.eps_src.append(src)
+            for a in range(eps_first, eps_first + n_eps):
+                dest = dest_l[a]
+                arc_idx.append(a)
+                arc_dest.append(dest)
+                search.epsilon_arcs_processed += 1
+                new_score = score + weight_l[a]
+                existing = tokens_get(dest)
+                if existing is not None and existing[0] >= new_score:
+                    improved_out.append(False)
+                    arc_event += 1
+                    continue
+                trace_prev.append(bp)
+                trace_word.append(olabel_l[a])
+                if existing is None:
+                    search.tokens_created += 1
+                else:
+                    search.tokens_updated += 1
+                tokens[dest] = (new_score, len(trace_prev) - 1)
+                improved_out.append(True)
+                worklist.append((dest, arc_event))
+                arc_event += 1
+
+        out.eps_offsets.append(len(out.eps_states))
+        out.eps_arc_offsets.append(len(arc_idx))
+
+    def _finalize(
+        self,
+        tokens: Dict[int, Tuple[float, int]],
+        trace_prev: List[int],
+        trace_word: List[int],
+    ) -> Tuple[Tuple[int, ...], float, bool]:
+        if not tokens:
+            raise DecodeError("no active tokens at the end of the utterance")
+        final_l = self._final
+        best = None
+        for state, (score, bp) in tokens.items():
+            final_weight = final_l[state]
+            if final_weight <= LOG_ZERO / 2:
+                continue
+            total = score + final_weight
+            if best is None or total > best[0]:
+                best = (total, bp)
+        reached_final = best is not None
+        if best is None:
+            state = max(tokens, key=lambda s: tokens[s][0])
+            best = tokens[state]
+
+        score, bp = best
+        words: List[int] = []
+        index = bp
+        while index >= 0:
+            if trace_word[index] != 0:
+                words.append(trace_word[index])
+            index = trace_prev[index]
+        words.reverse()
+        return tuple(words), score, reached_final
+
+
+def record_decode_trace(
+    graph: CompiledWfst,
+    scores: AcousticScores,
+    beam: float = 12.0,
+    max_active: int = 0,
+) -> DecodeTrace:
+    """Convenience wrapper: record one utterance's trace on ``graph``."""
+    return TraceRecorder(graph, beam=beam, max_active=max_active).record(scores)

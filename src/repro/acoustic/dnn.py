@@ -1,8 +1,10 @@
 """Feed-forward DNN in numpy.
 
 A plain MLP with ReLU hidden layers and a softmax output over phone ids --
-the acoustic model of the hybrid ASR system.  Only forward and backward
-passes needed by the trainer are implemented; no autograd framework is used.
+the acoustic model of the hybrid ASR system (paper, Section II; in the
+paper's Figure 1 pipeline the DNN runs on the GPU while the accelerator
+handles the Viterbi search).  Only forward and backward passes needed by
+the trainer are implemented; no autograd framework is used.
 """
 
 from __future__ import annotations

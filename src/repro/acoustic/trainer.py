@@ -1,4 +1,6 @@
-"""Minibatch SGD trainer for the acoustic DNN.
+"""Minibatch SGD trainer for the acoustic DNN (the Section II hybrid
+model's GPU-side half, trained here so decode experiments have realistic
+posteriors).
 
 Cross-entropy training of the MLP on (MFCC frame, phone id) pairs produced
 by the synthetic audio pipeline.  Deliberately simple -- constant learning

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the common workflows:
+Six subcommands cover the common workflows:
 
 * ``repro-asr build-task``   -- generate a synthetic ASR task and save its
   decoding graph.
@@ -13,6 +13,9 @@ Five subcommands cover the common workflows:
   simulator in any of the paper's four configurations.
 * ``repro-asr compare``      -- run the six-platform comparison on a
   memory-system workload and print the Figure 9/10/11 style table.
+* ``repro-asr sweep``        -- design-space sweep over accelerator
+  parameters (trace-once/replay-many with an on-disk trace cache),
+  with JSON/CSV artifacts; the engine behind the paper's Figures 4-5.
 
 Run ``python -m repro.cli --help`` for details.
 """
@@ -20,6 +23,7 @@ Run ``python -m repro.cli --help`` for details.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -238,6 +242,72 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default on-disk trace cache for ``repro sweep`` (content-addressed;
+#: safe to delete at any time -- see docs/ARCHITECTURE.md).
+DEFAULT_TRACE_CACHE = os.path.join(
+    os.path.expanduser("~"), ".cache", "repro-asr", "traces"
+)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Design-space sweep via the trace-once/replay-many runner."""
+    from repro.explore import ParameterGrid, SweepRunner, TraceCache
+
+    workload = make_memory_workload(
+        num_utterances=1,
+        frames_per_utterance=args.frames,
+        beam=8.0,
+        max_active=args.max_active,
+        seed=args.seed,
+        graph_config=SyntheticGraphConfig(
+            num_states=args.states, num_phones=50, seed=args.seed
+        ),
+    )
+    if args.param:
+        grid = ParameterGrid.from_specs(args.param)
+        points = grid.points()
+        labels = None
+    else:
+        # Default: the paper's four accelerator configurations.
+        points = [
+            {},
+            {"state_direct_enabled": True},
+            {"prefetch_enabled": True},
+            {"state_direct_enabled": True, "prefetch_enabled": True},
+        ]
+        labels = ["ASIC", "ASIC+State", "ASIC+Arc", "ASIC+State&Arc"]
+
+    cache_dir = None if args.trace_cache == "none" else args.trace_cache
+    runner = SweepRunner(
+        workload,
+        base_config=_accel_config(args.config),
+        trace_cache=TraceCache(cache_dir),
+        processes=args.processes,
+    )
+    result = runner.run(points, labels=labels)
+
+    print(f"{len(result)} points in {result.elapsed_seconds:.2f}s "
+          f"({result.trace_recordings} trace(s) recorded, "
+          f"{result.trace_cache_hits} cache hit(s), "
+          f"{result.processes} process(es))")
+    header = (f"{'point':40s} {'cycles':>12s} {'decode s/s':>11s} "
+              f"{'arc miss':>9s} {'hash c/r':>9s} {'power mW':>9s} "
+              f"{'energy mJ':>10s}")
+    print(header)
+    print("-" * len(header))
+    for p in result.points:
+        print(f"{p.label[:40]:40s} {p.cycles:12d} "
+              f"{p.decode_s_per_speech_s:11.5f} "
+              f"{100 * p.stats.arc_cache.miss_ratio:8.1f}% "
+              f"{p.stats.hash.avg_cycles_per_request:9.2f} "
+              f"{p.avg_power_w * 1e3:9.0f} {p.energy_j * 1e3:10.3f}")
+    if args.json:
+        print(f"JSON artifact: {result.to_json(args.json)}")
+    if args.csv:
+        print(f"CSV artifact: {result.to_csv(args.csv)}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-asr",
@@ -290,6 +360,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-active", type=int, default=2000, dest="max_active")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "sweep",
+        help="design-space sweep over accelerator parameters "
+             "(trace-once/replay-many)",
+    )
+    p.add_argument("--states", type=int, default=20_000,
+                   help="workload graph size (default 20000 states)")
+    p.add_argument("--frames", type=int, default=15)
+    p.add_argument("--max-active", type=int, default=1200, dest="max_active")
+    p.add_argument("--seed", type=int, default=5)
+    p.add_argument("--config", choices=CONFIG_NAMES, default="base",
+                   help="base configuration the sweep starts from")
+    p.add_argument("--param", action="append", metavar="PATH=V1,V2,...",
+                   help="sweep dimension over a config field path, e.g. "
+                        "'arc_cache.size_bytes=256K,1M' or "
+                        "'prefetch_enabled=false,true'; repeatable "
+                        "(dimensions combine as a cartesian product). "
+                        "Default: the paper's four configurations")
+    p.add_argument("--processes", type=int, default=None,
+                   help="replay worker processes (default: CPU count)")
+    p.add_argument("--trace-cache", default=DEFAULT_TRACE_CACHE,
+                   metavar="DIR|none",
+                   help=f"on-disk trace cache directory (default "
+                        f"{DEFAULT_TRACE_CACHE}; 'none' disables)")
+    p.add_argument("--json", help="write the sweep result as JSON")
+    p.add_argument("--csv", help="write the sweep result as CSV")
+    p.set_defaults(func=cmd_sweep)
     return parser
 
 

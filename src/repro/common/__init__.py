@@ -1,4 +1,10 @@
-"""Shared utilities: log-space arithmetic, configuration, errors, RNG."""
+"""Shared utilities: log-space arithmetic, errors, RNG, ASCII plotting.
+
+Substrate for the reproduction rather than any one paper section: the
+log-space arithmetic realises the additions-only likelihood algebra of the
+paper's Equation 1, and the seeded RNG helpers keep every synthetic
+workload bit-reproducible.
+"""
 
 from repro.common.errors import (
     ReproError,

@@ -1,4 +1,5 @@
-"""Exception hierarchy for the repro package.
+"""Exception hierarchy for the repro package (library plumbing; no direct
+paper counterpart).
 
 Every error raised by the library derives from :class:`ReproError`, so callers
 can catch library failures without catching unrelated bugs.

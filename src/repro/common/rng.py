@@ -1,4 +1,5 @@
-"""Deterministic random-number helpers.
+"""Deterministic random-number helpers (reproducibility plumbing for the
+Section V evaluation workloads; no direct paper counterpart).
 
 All stochastic pieces of the library (corpus generation, audio synthesis,
 DNN initialisation) draw from generators produced here so that every

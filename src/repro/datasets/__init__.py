@@ -1,7 +1,8 @@
-"""Synthetic dataset generation.
+"""Synthetic dataset generation (stand-in for the paper's Section V
+evaluation setup: Kaldi's 13.7M-state English WFST and Librispeech audio).
 
 Provides everything the evaluation needs in place of the paper's
-proprietary data (Kaldi's 125k-word English WFST, Librispeech audio):
+proprietary data:
 
 * :mod:`repro.datasets.corpus` -- Zipf-distributed Markov text corpora.
 * :mod:`repro.datasets.task` -- full ASR tasks: lexicon + LM + composed

@@ -1,4 +1,5 @@
-"""Synthetic text corpora.
+"""Synthetic text corpora (training data for the Section II language
+model, standing in for the paper's Section V Kaldi setup).
 
 Sentences are drawn from a hidden Markov chain over the vocabulary whose
 unigram marginals follow a Zipf law -- matching the statistical texture of

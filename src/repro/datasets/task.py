@@ -1,4 +1,5 @@
-"""End-to-end ASR task generation.
+"""End-to-end ASR task generation (a scaled synthetic counterpart of the
+paper's Section V evaluation setup, with ground truth for WER).
 
 A *task* bundles everything one evaluation run needs: the lexicon, the
 trained bigram LM, the composed and compiled decoding graph (L ∘ G), and a

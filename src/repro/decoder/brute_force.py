@@ -1,4 +1,5 @@
-"""Exhaustive-search reference for tiny graphs.
+"""Exhaustive-search reference for tiny graphs (an oracle for the Section
+II Viterbi search that the beam decoders and accelerator approximate).
 
 Enumerates *every* path through a compiled graph that consumes exactly the
 utterance's frames (epsilon arcs consume nothing) and returns the best one.

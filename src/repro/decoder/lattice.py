@@ -1,4 +1,6 @@
-"""Word lattices and N-best extraction.
+"""Word lattices and N-best extraction (beyond-paper extension of the
+Section II search; built from the same token trace the accelerator's
+Section III-B backpointer records encode).
 
 The paper's accelerator emits a single best path (the token trace plus
 backtracking), which is what its evaluation measures.  Production

@@ -1,4 +1,11 @@
-"""Decode results and search statistics."""
+"""Decode results and search statistics.
+
+:class:`SearchStats` holds the *functional* counters of one Section II
+Viterbi beam search -- tokens, arcs, pruning, per-frame active set (the
+Figure 7 out-degree data).  They are timing-independent: the CPU/GPU
+timing models price them, and the accelerator simulator and trace
+replayer cross-check against them.
+"""
 
 from __future__ import annotations
 

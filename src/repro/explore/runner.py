@@ -1,0 +1,424 @@
+"""The shared design-space sweep runner.
+
+``SweepRunner`` turns a workload plus a parameter grid into priced design
+points: it records the functional decode trace once per (graph layout,
+beam) via :class:`~repro.explore.cache.TraceCache`, replays it under every
+configuration with :class:`~repro.accel.replay.TraceReplayer` (optionally
+fanned out across worker processes), applies the energy model, and
+returns rows ready for tables, JSON and CSV artifacts.
+
+This is the engine behind the ``bench_fig*`` / ``bench_ablation_*``
+parameter sweeps, ``examples/design_space.py`` and ``repro sweep``; a
+multi-point sweep costs one search plus one cheap replay per point
+instead of one full simulation per point
+(``benchmarks/bench_sweep_throughput.py`` gates the resulting >= 5x
+end-to-end win).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.common.errors import ConfigError
+from repro.accel.config import AcceleratorConfig
+from repro.accel.replay import TraceReplayer
+from repro.accel.stats import SimStats
+from repro.accel.trace import DecodeTrace
+from repro.acoustic.scorer import AcousticScores
+from repro.decoder.result import SearchStats
+from repro.energy.components import AcceleratorEnergyModel
+from repro.explore.cache import TraceCache
+from repro.explore.grid import ParameterGrid, apply_overrides, describe_point
+from repro.wfst.layout import CompiledWfst
+from repro.wfst.sorted_layout import SortedWfst, sort_states_by_arc_count
+
+
+@dataclass
+class SweepWorkload:
+    """The minimal workload contract the sweep runner needs.
+
+    :class:`repro.system.experiment.MemoryWorkload` satisfies it directly;
+    :meth:`from_task` adapts a ground-truth
+    :class:`~repro.datasets.task.Task`.
+    """
+
+    graph: CompiledWfst
+    scores: List[AcousticScores]
+    beam: float
+    max_active: int = 0
+    sorted_graph: Optional[SortedWfst] = None
+
+    @classmethod
+    def from_task(
+        cls, task, beam: float, max_active: int = 0,
+        sorted_graph: Optional[SortedWfst] = None,
+    ) -> "SweepWorkload":
+        return cls(
+            graph=task.graph,
+            scores=[u.scores for u in task.utterances],
+            beam=beam,
+            max_active=max_active,
+            sorted_graph=sorted_graph,
+        )
+
+
+@dataclass
+class SweepPoint:
+    """One priced configuration of a sweep."""
+
+    label: str
+    overrides: Dict[str, Any]
+    config: AcceleratorConfig
+    beam: float
+    cycles: int                 #: total cycles over all utterances
+    seconds: float              #: wall-clock at ``config.frequency_hz``
+    decode_s_per_speech_s: float  #: the paper's headline metric
+    energy_j: float
+    avg_power_w: float
+    stats: SimStats             #: merged cycle-level statistics
+    search: SearchStats         #: merged functional statistics
+    words: Tuple[Tuple[int, ...], ...]  #: decoded words per utterance
+    log_likelihoods: Tuple[float, ...]  #: best-path score per utterance
+
+    def row(self) -> Dict[str, Any]:
+        """Flatten the point into one artifact row."""
+        s = self.stats
+        return {
+            "label": self.label,
+            "overrides": dict(self.overrides),
+            "beam": self.beam,
+            "cycles": self.cycles,
+            "seconds": self.seconds,
+            "decode_s_per_speech_s": self.decode_s_per_speech_s,
+            "energy_j": self.energy_j,
+            "avg_power_w": self.avg_power_w,
+            "state_miss_ratio": s.state_cache.miss_ratio,
+            "arc_miss_ratio": s.arc_cache.miss_ratio,
+            "token_miss_ratio": s.token_cache.miss_ratio,
+            "hash_cycles_per_request": s.hash.avg_cycles_per_request,
+            "hash_collisions": s.hash.collisions,
+            "hash_overflows": s.hash.overflows,
+            "dram_bytes": s.traffic.total_bytes(),
+            "arcs_processed": s.arcs_processed,
+            "epsilon_arcs_processed": s.epsilon_arcs_processed,
+            "states_fetched": s.states_fetched,
+            "states_direct": s.states_direct,
+            "frames": s.frames,
+            "mean_active_tokens": self.search.mean_active_tokens,
+        }
+
+
+@dataclass
+class SweepResult:
+    """All priced points of one sweep plus provenance."""
+
+    points: List[SweepPoint]
+    speech_seconds: float
+    elapsed_seconds: float
+    trace_recordings: int  #: functional searches run (vs. cache hits)
+    trace_cache_hits: int
+    processes: int
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def point(self, label: str) -> SweepPoint:
+        for p in self.points:
+            if p.label == label:
+                return p
+        raise KeyError(f"no sweep point labelled {label!r}")
+
+    def rows(self) -> List[Dict[str, Any]]:
+        return [p.row() for p in self.points]
+
+    def to_json(self, path: str) -> str:
+        """Write the machine-readable artifact; returns the path."""
+        payload = {
+            "speech_seconds": self.speech_seconds,
+            "elapsed_seconds": self.elapsed_seconds,
+            "trace_recordings": self.trace_recordings,
+            "trace_cache_hits": self.trace_cache_hits,
+            "processes": self.processes,
+            "points": self.rows(),
+        }
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    def to_csv(self, path: str) -> str:
+        """Write one CSV row per point; returns the path."""
+        rows = self.rows()
+        for row in rows:
+            row["overrides"] = " ".join(
+                f"{k}={v}" for k, v in row["overrides"].items()
+            )
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w", newline="") as fh:
+            if not rows:
+                return path
+            writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
+            writer.writeheader()
+            writer.writerows(rows)
+        return path
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing.  The parent publishes the (large, numpy-backed)
+# graphs and traces in a module global before forking, so children inherit
+# them via copy-on-write instead of pickling.
+# ----------------------------------------------------------------------
+_WORKER_STATE: Dict[str, Any] = {}
+
+
+def _evaluate(
+    graph: CompiledWfst,
+    sorted_graph: Optional[SortedWfst],
+    config: AcceleratorConfig,
+    traces: Sequence[DecodeTrace],
+    energy_model: AcceleratorEnergyModel,
+) -> Tuple[SimStats, SearchStats, float]:
+    replayer = TraceReplayer(graph, config, sorted_graph=sorted_graph)
+    results = [replayer.replay(t) for t in traces]
+    stats = SimStats.merge([r.stats for r in results])
+    search = SearchStats.merge([r.search for r in results])
+    energy = sum(
+        energy_model.energy(config, r.stats).total_j for r in results
+    )
+    return stats, search, energy
+
+
+def _worker_evaluate(task):
+    index, config, layout_id, trace_key = task
+    graph, sorted_graph = _WORKER_STATE["layouts"][layout_id]
+    traces = _WORKER_STATE["traces"][trace_key]
+    stats, search, energy = _evaluate(
+        graph, sorted_graph, config, traces, _WORKER_STATE["energy_model"]
+    )
+    return index, stats, search, energy
+
+
+class SweepRunner:
+    """Price a parameter grid against one workload, trace-once/replay-many.
+
+    Args:
+        workload: anything exposing ``graph`` / ``scores`` / ``beam`` /
+            ``max_active`` (and optionally ``sorted_graph``) -- see
+            :class:`SweepWorkload`.
+        base_config: configuration every point starts from (Table I by
+            default).
+        energy_model: prices energy/power per point.
+        trace_cache: shared trace store; pass one with a directory for a
+            persistent on-disk cache.  A fresh in-memory cache otherwise.
+        processes: worker processes for the replay fan-out.  ``None``
+            auto-sizes to the CPU count; values <= 1 run serially.  Fork
+            is required for the fan-out (the default on Linux); other
+            start methods fall back to serial execution.
+    """
+
+    def __init__(
+        self,
+        workload,
+        base_config: Optional[AcceleratorConfig] = None,
+        energy_model: Optional[AcceleratorEnergyModel] = None,
+        trace_cache: Optional[TraceCache] = None,
+        processes: Optional[int] = 1,
+    ) -> None:
+        self.workload = workload
+        self.base_config = base_config or AcceleratorConfig()
+        self.energy_model = energy_model or AcceleratorEnergyModel()
+        self.trace_cache = trace_cache or TraceCache()
+        self.processes = processes
+        self._sorted_layouts: Dict[Optional[int], SortedWfst] = {}
+
+    # ------------------------------------------------------------------
+    def sorted_layout(self, max_direct_arcs: Optional[int] = None) -> SortedWfst:
+        """The Section IV-B sorted layout for comparator count N (cached).
+
+        ``None`` means the workload's own sorted graph (or the default N).
+        """
+        return self._sorted_layout(max_direct_arcs)
+
+    def _sorted_layout(self, max_direct_arcs: Optional[int]) -> SortedWfst:
+        cached = self._sorted_layouts.get(max_direct_arcs)
+        if cached is not None:
+            return cached
+        if max_direct_arcs is None:
+            layout = getattr(self.workload, "sorted_graph", None)
+            if layout is None:
+                layout = sort_states_by_arc_count(self.workload.graph)
+        else:
+            layout = sort_states_by_arc_count(
+                self.workload.graph, max_direct_arcs=max_direct_arcs
+            )
+        self._sorted_layouts[max_direct_arcs] = layout
+        return layout
+
+    def run(
+        self,
+        grid: Union[ParameterGrid, Sequence[Dict[str, Any]]],
+        labels: Optional[Sequence[str]] = None,
+    ) -> SweepResult:
+        """Price every point of ``grid`` (a grid or explicit override list)."""
+        t_start = time.perf_counter()
+        if isinstance(grid, ParameterGrid):
+            points = grid.points()
+        else:
+            points = [dict(p) for p in grid]
+        if not points:
+            raise ConfigError("a sweep needs at least one point")
+        if labels is None:
+            labels = [describe_point(p) for p in points]
+        elif len(labels) != len(points):
+            raise ConfigError("labels and grid points must align")
+
+        workload = self.workload
+        max_active = getattr(workload, "max_active", 0)
+        rec_before = self.trace_cache.recordings
+        hits_before = self.trace_cache.hits
+
+        # Resolve each point to (config, layout, beam) and record the
+        # traces each distinct (layout, beam) needs -- once.
+        plans = []
+        layouts: Dict[Tuple, Tuple[CompiledWfst, Optional[SortedWfst]]] = {}
+        traces: Dict[Tuple, List[DecodeTrace]] = {}
+        for overrides in points:
+            config = apply_overrides(self.base_config, overrides)
+            beam = float(overrides.get("beam", workload.beam))
+            if beam <= 0:
+                raise ConfigError("beam must be positive")
+            if config.state_direct_enabled:
+                n = overrides.get("sorted.max_direct_arcs")
+                sorted_graph = self._sorted_layout(n)
+                layout_id = ("sorted", sorted_graph.max_direct_arcs)
+                trace_graph = sorted_graph.graph
+            else:
+                sorted_graph = None
+                layout_id = ("flat",)
+                trace_graph = workload.graph
+            layouts[layout_id] = (workload.graph, sorted_graph)
+            trace_key = (layout_id, beam)
+            if trace_key not in traces:
+                traces[trace_key] = self.trace_cache.get(
+                    trace_graph, workload.scores, beam, max_active
+                )
+            plans.append((config, layout_id, trace_key))
+
+        outcomes = self._execute(plans, layouts, traces)
+
+        speech_seconds = 0.01 * sum(
+            t.num_frames for t in next(iter(traces.values()))
+        )
+        result_points = []
+        for i, (overrides, label) in enumerate(zip(points, labels)):
+            config, _layout_id, trace_key = plans[i]
+            stats, search, energy = outcomes[i]
+            seconds = stats.seconds(config.frequency_hz)
+            result_points.append(
+                SweepPoint(
+                    label=label,
+                    overrides=overrides,
+                    config=config,
+                    beam=float(overrides.get("beam", workload.beam)),
+                    cycles=stats.cycles,
+                    seconds=seconds,
+                    decode_s_per_speech_s=stats.decode_time_per_speech_second(
+                        config.frequency_hz
+                    ),
+                    energy_j=energy,
+                    avg_power_w=energy / seconds if seconds else 0.0,
+                    stats=stats,
+                    search=search,
+                    words=tuple(t.words for t in traces[trace_key]),
+                    log_likelihoods=tuple(
+                        t.log_likelihood for t in traces[trace_key]
+                    ),
+                )
+            )
+        return SweepResult(
+            points=result_points,
+            speech_seconds=speech_seconds,
+            elapsed_seconds=time.perf_counter() - t_start,
+            trace_recordings=self.trace_cache.recordings - rec_before,
+            trace_cache_hits=self.trace_cache.hits - hits_before,
+            processes=self._effective_processes(len(points)),
+        )
+
+    # ------------------------------------------------------------------
+    def _effective_processes(self, num_points: int) -> int:
+        procs = self.processes
+        if procs is None:
+            procs = os.cpu_count() or 1
+        procs = min(procs, num_points)
+        if procs > 1 and "fork" not in multiprocessing.get_all_start_methods():
+            procs = 1
+        return max(procs, 1)
+
+    def _execute(self, plans, layouts, traces):
+        procs = self._effective_processes(len(plans))
+        if procs <= 1:
+            return [
+                _evaluate(
+                    *layouts[layout_id], config, traces[trace_key],
+                    self.energy_model,
+                )
+                for config, layout_id, trace_key in plans
+            ]
+
+        # Fork-based fan-out: publish the heavy shared state, fork, and
+        # collect per-point summaries.
+        global _WORKER_STATE
+        _WORKER_STATE = {
+            "layouts": layouts,
+            "traces": traces,
+            "energy_model": self.energy_model,
+        }
+        tasks = [
+            (i, config, layout_id, trace_key)
+            for i, (config, layout_id, trace_key) in enumerate(plans)
+        ]
+        outcomes: List[Optional[Tuple[SimStats, SearchStats, float]]]
+        outcomes = [None] * len(plans)
+        ctx = multiprocessing.get_context("fork")
+        try:
+            with ctx.Pool(processes=procs) as pool:
+                for index, stats, search, energy in pool.imap_unordered(
+                    _worker_evaluate, tasks
+                ):
+                    outcomes[index] = (stats, search, energy)
+        finally:
+            _WORKER_STATE = {}
+        return outcomes
+
+
+def run_sweep(
+    workload,
+    grid: Union[ParameterGrid, Sequence[Dict[str, Any]], Sequence[Tuple[str, Sequence[Any]]]],
+    labels: Optional[Sequence[str]] = None,
+    base_config: Optional[AcceleratorConfig] = None,
+    trace_cache: Optional[TraceCache] = None,
+    processes: Optional[int] = 1,
+) -> SweepResult:
+    """One-call sweep: accepts a grid, dimension pairs or override dicts."""
+    if (
+        not isinstance(grid, ParameterGrid)
+        and grid
+        and isinstance(grid[0], tuple)
+    ):
+        grid = ParameterGrid(grid)
+    runner = SweepRunner(
+        workload,
+        base_config=base_config,
+        trace_cache=trace_cache,
+        processes=processes,
+    )
+    return runner.run(grid, labels=labels)

@@ -1,4 +1,6 @@
-"""Feature post-processing: CMVN and frame splicing.
+"""Feature post-processing: CMVN and frame splicing (the front-end half
+of the paper's Section II hybrid pipeline; the Section V Kaldi setup
+splices 11 MFCC frames into the DNN's 440-dim input).
 
 Standard front-end steps between MFCC extraction and the DNN:
 

@@ -1,4 +1,6 @@
-"""Pronunciation lexicon substrate: phone inventory, lexicon, L transducer."""
+"""Pronunciation lexicon substrate: phone inventory, lexicon, L transducer
+(the L half of the Section II decoding graph, composed with G into the
+accelerator's dataset)."""
 
 from repro.lexicon.phones import PhoneSet, DEFAULT_PHONES, SILENCE_PHONE
 from repro.lexicon.lexicon import Lexicon, generate_lexicon

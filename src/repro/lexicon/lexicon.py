@@ -1,4 +1,5 @@
-"""Pronunciation lexicon: word ids and their phone sequences.
+"""Pronunciation lexicon: word ids and their phone sequences (feeds the
+Section II L transducer).
 
 The reproduction has no access to a real 125k-word dictionary, so
 :func:`generate_lexicon` synthesises one: phonotactically plausible

@@ -1,4 +1,5 @@
-"""Lexicon transducer (L): phone sequences -> word sequences.
+"""Lexicon transducer (L): phone sequences -> word sequences (paper,
+Section II -- the L of the composed L ∘ G decoding graph).
 
 The classic construction: a root state with one linear phone chain per word.
 The word label is emitted on the first phone arc (early emission keeps

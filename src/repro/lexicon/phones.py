@@ -1,4 +1,5 @@
-"""Phone inventory.
+"""Phone inventory (the label alphabet of the Section II decoding graph's
+input side and of the DNN's output).
 
 A compact English-like phone set (ARPAbet-style symbols).  Phone ids start
 at 1 -- id 0 is reserved for epsilon in the WFST label space.  The DNN

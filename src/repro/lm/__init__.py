@@ -1,4 +1,6 @@
-"""Language-model substrate: n-gram models and the G transducer."""
+"""Language-model substrate: n-gram models and the G transducer (the G
+half of the Section II decoding graph; its backoff epsilon arcs are why
+the accelerator needs the Section III-B epsilon pass)."""
 
 from repro.lm.ngram import NGramModel, train_ngram
 from repro.lm.grammar_fst import build_grammar_fst

@@ -1,4 +1,5 @@
-"""Grammar transducer (G): a word-level acceptor of the n-gram model.
+"""Grammar transducer (G): a word-level acceptor of the n-gram model
+(paper, Section II -- the G of the composed L ∘ G decoding graph).
 
 The standard backoff construction: one history state per word, plus a
 single backoff (unigram) state.  Observed bigrams are direct word/word arcs

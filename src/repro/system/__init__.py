@@ -1,4 +1,6 @@
-"""Whole-pipeline ASR system models and the cross-platform experiment harness."""
+"""Whole-pipeline ASR system models and the cross-platform experiment
+harness (the paper's Figure 1 GPU+accelerator system view and the Section
+VI evaluation loop over CPU / GPU / four accelerator configurations)."""
 
 from repro.system.pipeline import AsrSystemModel, PipelineTimes
 from repro.system.stream import (

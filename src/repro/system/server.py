@@ -1,4 +1,6 @@
-"""Continuous-batching streaming decode server.
+"""Continuous-batching streaming decode server (beyond-paper serving
+tier: the executable counterpart of the Section VI server-workload
+discussion, built on the software decoders).
 
 :mod:`repro.system.stream` *models* the latency of serving many live
 streams analytically; this module *executes* that serving shape.  A

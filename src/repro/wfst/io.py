@@ -1,4 +1,5 @@
-"""Serialisation of compiled decoding graphs.
+"""Serialisation of compiled decoding graphs (the Section III dataset the
+accelerator walks, persisted in its packed binary layout).
 
 Graphs are stored as ``.npz`` archives holding the packed arrays unchanged,
 so a load/save round trip is bit-exact.

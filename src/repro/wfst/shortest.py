@@ -1,4 +1,6 @@
-"""Single-source shortest-distance over the max/plus semiring.
+"""Single-source shortest-distance over the max/plus semiring (WFST
+toolkit support for the Section II Viterbi formulation; also powers
+lattice N-best heuristics).
 
 ``shortest_distance`` computes, for every state, the likelihood of the
 best label-sequence-agnostic path from the start state (or to a final

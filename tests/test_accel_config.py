@@ -96,10 +96,53 @@ class TestValidation:
         with pytest.raises(ConfigError):
             CacheConfig(size_bytes=-1, assoc=1)
 
+    def test_zero_cache_size_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=0, assoc=1)
+
     def test_bad_hash_rejected(self):
         with pytest.raises(ConfigError):
             HashConfig(num_entries=0)
 
+    def test_bad_hash_entry_bytes_rejected(self):
+        with pytest.raises(ConfigError):
+            HashConfig(entry_bytes=0)
+
     def test_bad_frequency_rejected(self):
         with pytest.raises(ConfigError):
             AcceleratorConfig(frequency_hz=0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"technology_nm": 0},
+            {"acoustic_buffer_bytes": 0},
+            {"acoustic_buffer_bytes": -1},
+            {"mem_latency_cycles": 0},
+            {"mem_max_inflight": 0},
+            {"mem_issue_interval": 0},
+            {"state_issuer_inflight": 0},
+            {"arc_issuer_inflight": -1},
+            {"token_issuer_inflight": 0},
+            {"acoustic_issuer_inflight": 0},
+            {"fp_adders": 0},
+            {"fp_comparators": 0},
+            {"prefetch_fifo_entries": 0},
+            {"state_direct_max_arcs": 0},
+            {"state_direct_max_arcs": -3},
+            {"frame_overhead_cycles": -1},
+        ],
+    )
+    def test_out_of_range_fields_rejected(self, kwargs):
+        """Every knob raises a clear ConfigError at construction (no
+        silently broken simulator), mirroring the StreamConfig fix."""
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(**kwargs)
+
+    def test_error_messages_name_the_problem(self):
+        with pytest.raises(ConfigError, match="comparator"):
+            AcceleratorConfig(state_direct_max_arcs=0)
+        with pytest.raises(ConfigError, match="in-flight"):
+            AcceleratorConfig(mem_max_inflight=0)
+        with pytest.raises(ConfigError, match="Acoustic"):
+            AcceleratorConfig(acoustic_buffer_bytes=-5)

@@ -1,0 +1,261 @@
+"""Tests for the design-space sweep subsystem (`repro.explore`)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.accel import AcceleratorConfig, AcceleratorSimulator
+from repro.acoustic.scorer import AcousticScores
+from repro.datasets import SyntheticGraphConfig
+from repro.explore import (
+    ParameterGrid,
+    SweepRunner,
+    TraceCache,
+    apply_overrides,
+    parse_sweep_value,
+    run_sweep,
+    workload_fingerprint,
+)
+from repro.system import make_memory_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_memory_workload(
+        num_utterances=2,
+        frames_per_utterance=6,
+        beam=8.0,
+        max_active=120,
+        seed=13,
+        graph_config=SyntheticGraphConfig(
+            num_states=1200, num_phones=25, seed=13
+        ),
+    )
+
+
+class TestGrid:
+    def test_product_expansion_order(self):
+        grid = ParameterGrid(
+            [("a", [1, 2]), ("b", [10, 20, 30])]
+        )
+        assert len(grid) == 6
+        points = grid.points()
+        assert points[0] == {"a": 1, "b": 10}
+        assert points[1] == {"a": 1, "b": 20}
+        assert points[-1] == {"a": 2, "b": 30}
+
+    def test_from_specs_and_value_parsing(self):
+        grid = ParameterGrid.from_specs(
+            ["arc_cache.size_bytes=256K,1M", "prefetch_enabled=true,false"]
+        )
+        points = grid.points()
+        assert points[0]["arc_cache.size_bytes"] == 256 * 1024
+        assert points[1]["prefetch_enabled"] is False
+        assert parse_sweep_value("2g") == 2 * 1024 ** 3
+        assert parse_sweep_value("0.5") == 0.5
+        with pytest.raises(ConfigError):
+            parse_sweep_value("not-a-number")
+        with pytest.raises(ConfigError):
+            ParameterGrid.from_specs(["missing-equals"])
+
+    def test_apply_overrides_nested(self):
+        base = AcceleratorConfig()
+        config = apply_overrides(
+            base,
+            {
+                "arc_cache.size_bytes": 256 * 1024,
+                "mem_latency_cycles": 75,
+                "hash_table.num_entries": 4096,
+                "beam": 6.0,  # workload key: ignored here
+            },
+        )
+        assert config.arc_cache.size_bytes == 256 * 1024
+        assert config.mem_latency_cycles == 75
+        assert config.hash_table.num_entries == 4096
+        assert config.state_cache == base.state_cache
+
+    def test_apply_overrides_rejects_unknown_paths(self):
+        base = AcceleratorConfig()
+        with pytest.raises(ConfigError):
+            apply_overrides(base, {"nonexistent_field": 1})
+        with pytest.raises(ConfigError):
+            apply_overrides(base, {"arc_cache.bogus": 1})
+        with pytest.raises(ConfigError):
+            apply_overrides(base, {"mem_latency_cycles.too.deep": 1})
+
+
+class TestRunner:
+    def test_sweep_matches_independent_simulations(self, workload):
+        grid = ParameterGrid(
+            [
+                ("arc_cache.size_bytes", [64 * 1024, 256 * 1024]),
+                ("prefetch_enabled", [False, True]),
+            ]
+        )
+        result = SweepRunner(workload).run(grid)
+        assert len(result) == 4
+        assert result.trace_recordings == 1  # one layout, one beam
+        for point in result.points:
+            sim = AcceleratorSimulator(
+                workload.graph, point.config, beam=workload.beam,
+                max_active=workload.max_active,
+            )
+            expected = sum(
+                sim.decode(s).stats.cycles for s in workload.scores
+            )
+            assert point.cycles == expected
+
+    def test_state_direct_points_replay_sorted_layout(self, workload):
+        points = [
+            {"state_direct_enabled": True},
+            {"state_direct_enabled": True, "sorted.max_direct_arcs": 4},
+        ]
+        result = SweepRunner(workload).run(points)
+        for point, n in zip(result.points, (None, 4)):
+            from repro.wfst import sort_states_by_arc_count
+
+            sorted_graph = (
+                workload.sorted_graph if n is None
+                else sort_states_by_arc_count(workload.graph, n)
+            )
+            sim = AcceleratorSimulator(
+                workload.graph, point.config, beam=workload.beam,
+                sorted_graph=sorted_graph, max_active=workload.max_active,
+            )
+            expected = sum(
+                sim.decode(s).stats.cycles for s in workload.scores
+            )
+            assert point.cycles == expected
+        # Two layouts -> two recordings.
+        assert result.trace_recordings == 2
+
+    def test_beam_axis_records_one_trace_per_beam(self, workload):
+        runner = SweepRunner(workload)
+        result = runner.run(
+            [{"beam": 4.0}, {"beam": 8.0}, {"beam": 4.0, "prefetch_enabled": True}]
+        )
+        # Three points but only two distinct beams -> two recordings (the
+        # runner reuses in-flight traces within a run).
+        assert result.trace_recordings == 2
+        narrow, wide = result.points[0], result.points[1]
+        assert narrow.search.arcs_processed <= wide.search.arcs_processed
+        # A second run over the same runner is pure cache hits.
+        again = runner.run([{"beam": 4.0}, {"beam": 8.0}])
+        assert again.trace_recordings == 0
+        assert again.trace_cache_hits == 2
+
+    def test_multiprocess_matches_serial(self, workload):
+        grid = ParameterGrid(
+            [("hash_table.num_entries", [512, 2048, 8192, 32768])]
+        )
+        cache = TraceCache()
+        serial = SweepRunner(workload, trace_cache=cache, processes=1).run(grid)
+        forked = SweepRunner(workload, trace_cache=cache, processes=2).run(grid)
+        assert forked.processes == 2
+        for a, b in zip(serial.points, forked.points):
+            assert a.cycles == b.cycles
+            assert a.stats == b.stats
+            assert a.energy_j == b.energy_j
+
+    def test_artifacts_json_and_csv(self, tmp_path, workload):
+        result = run_sweep(
+            workload, [("mem_latency_cycles", [25, 50])]
+        )
+        json_path = result.to_json(str(tmp_path / "sweep.json"))
+        csv_path = result.to_csv(str(tmp_path / "sweep.csv"))
+        with open(json_path) as fh:
+            payload = json.load(fh)
+        assert len(payload["points"]) == 2
+        assert payload["points"][0]["cycles"] > 0
+        assert payload["speech_seconds"] == pytest.approx(
+            result.speech_seconds
+        )
+        with open(csv_path) as fh:
+            lines = fh.read().strip().splitlines()
+        assert len(lines) == 3  # header + 2 points
+        assert "cycles" in lines[0]
+
+    def test_labels_and_lookup(self, workload):
+        result = SweepRunner(workload).run(
+            [{}, {"prefetch_enabled": True}], labels=["base", "prefetch"]
+        )
+        assert result.point("prefetch").cycles <= result.point("base").cycles
+        with pytest.raises(KeyError):
+            result.point("missing")
+        with pytest.raises(ConfigError):
+            SweepRunner(workload).run([{}], labels=["a", "b"])
+
+    def test_empty_grid_rejected(self, workload):
+        with pytest.raises(ConfigError):
+            SweepRunner(workload).run([])
+
+
+class TestTraceCache:
+    def test_disk_cache_roundtrip_and_hit_counters(self, tmp_path, workload):
+        directory = str(tmp_path / "traces")
+        cache = TraceCache(directory)
+        first = cache.get(
+            workload.graph, workload.scores, workload.beam,
+            workload.max_active,
+        )
+        assert cache.recordings == 1
+        # A fresh cache object backed by the same directory loads without
+        # re-recording.
+        cache2 = TraceCache(directory)
+        second = cache2.get(
+            workload.graph, workload.scores, workload.beam,
+            workload.max_active,
+        )
+        assert cache2.recordings == 0
+        assert cache2.hits == 1
+        for a, b in zip(first, second):
+            assert a.words == b.words
+            assert np.array_equal(a.emit_arc_idx, b.emit_arc_idx)
+
+    def test_workload_change_invalidates_key(self, workload):
+        fp = workload_fingerprint(
+            workload.graph, workload.scores, workload.beam,
+            workload.max_active,
+        )
+        assert fp != workload_fingerprint(
+            workload.graph, workload.scores, workload.beam + 1.0,
+            workload.max_active,
+        )
+        assert fp != workload_fingerprint(
+            workload.graph, workload.scores, workload.beam,
+            workload.max_active + 1,
+        )
+        bumped = [
+            AcousticScores(s.matrix + 0.25) for s in workload.scores
+        ]
+        assert fp != workload_fingerprint(
+            workload.graph, bumped, workload.beam, workload.max_active
+        )
+        assert fp != workload_fingerprint(
+            workload.sorted_graph.graph, workload.scores, workload.beam,
+            workload.max_active,
+        )
+
+    def test_corrupt_disk_entry_falls_back_to_recording(
+        self, tmp_path, workload
+    ):
+        directory = str(tmp_path / "traces")
+        cache = TraceCache(directory)
+        cache.get(
+            workload.graph, workload.scores, workload.beam,
+            workload.max_active,
+        )
+        # Corrupt every stored file.
+        for name in os.listdir(directory):
+            with open(os.path.join(directory, name), "wb") as fh:
+                fh.write(b"not an npz")
+        cache2 = TraceCache(directory)
+        traces = cache2.get(
+            workload.graph, workload.scores, workload.beam,
+            workload.max_active,
+        )
+        assert cache2.recordings == 1
+        assert traces[0].num_frames == workload.scores[0].num_frames

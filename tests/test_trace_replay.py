@@ -1,0 +1,240 @@
+"""Equivalence suite for the trace-once/replay-many split.
+
+The contract: for every accelerator configuration, replaying a recorded
+:class:`~repro.accel.trace.DecodeTrace` must be *cycle-identical* (and
+statistics-identical) to running the monolithic
+:class:`~repro.accel.simulator.AcceleratorSimulator`, and word-identical
+on the decoded output.  The grid below crosses the Table I operating
+point with deliberately hostile variants: tiny caches (thrashing), tiny
+hash tables with tiny backup buffers (collision chains + Overflow Buffer
+spills), long-latency narrow memory controllers (queueing), deep and
+shallow prefetch windows, perfect components and the Section IV-B sorted
+layout at several comparator counts.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.accel import (
+    AcceleratorConfig,
+    AcceleratorSimulator,
+    CacheConfig,
+    HashConfig,
+    TraceRecorder,
+    TraceReplayer,
+)
+from repro.datasets import SyntheticGraphConfig
+from repro.system import make_memory_workload
+from repro.wfst import sort_states_by_arc_count
+
+BASE = AcceleratorConfig()
+
+#: The equivalence grid: >= 8 distinct configurations (acceptance
+#: criterion), spanning every timing knob the sweeps turn.
+CONFIGS = {
+    "table1": BASE,
+    "prefetch": BASE.with_prefetch(),
+    "prefetch-shallow": replace(
+        BASE, prefetch_enabled=True, prefetch_fifo_entries=4
+    ),
+    "state-direct": BASE.with_state_direct(),
+    "both": BASE.with_both(),
+    "tiny-caches": replace(
+        BASE,
+        state_cache=CacheConfig(2 * 1024, 2),
+        arc_cache=CacheConfig(4 * 1024, 2),
+        token_cache=CacheConfig(1024, 1, line_bytes=32),
+    ),
+    "tiny-hash-overflow": replace(
+        BASE, hash_table=HashConfig(num_entries=32, backup_entries=4)
+    ),
+    "collisions-no-overflow": replace(
+        BASE, hash_table=HashConfig(num_entries=64, backup_entries=1 << 20)
+    ),
+    "slow-narrow-memory": replace(
+        BASE, mem_latency_cycles=200, mem_max_inflight=2
+    ),
+    "perfect-everything": replace(
+        BASE,
+        state_cache=replace(BASE.state_cache, perfect=True),
+        arc_cache=replace(BASE.arc_cache, perfect=True),
+        token_cache=replace(BASE.token_cache, perfect=True),
+        hash_table=replace(BASE.hash_table, perfect=True),
+    ),
+    "zero-overhead": replace(BASE, frame_overhead_cycles=0),
+    "hostile-combo": replace(
+        BASE.with_prefetch(),
+        arc_cache=CacheConfig(2 * 1024, 1),
+        hash_table=HashConfig(num_entries=16, backup_entries=2),
+        mem_latency_cycles=120,
+        mem_max_inflight=4,
+        prefetch_fifo_entries=16,
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_memory_workload(
+        num_utterances=2,
+        frames_per_utterance=8,
+        beam=8.0,
+        max_active=150,
+        seed=9,
+        graph_config=SyntheticGraphConfig(
+            num_states=1500, num_phones=30, seed=9
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def traces(workload):
+    recorder = TraceRecorder(
+        workload.graph, beam=workload.beam, max_active=workload.max_active
+    )
+    return [recorder.record(s) for s in workload.scores]
+
+
+@pytest.fixture(scope="module")
+def sorted_traces(workload):
+    recorder = TraceRecorder(
+        workload.sorted_graph.graph,
+        beam=workload.beam,
+        max_active=workload.max_active,
+    )
+    return [recorder.record(s) for s in workload.scores]
+
+
+def assert_results_identical(sim_result, replay_result):
+    assert replay_result.words == sim_result.words
+    assert replay_result.log_likelihood == sim_result.log_likelihood
+    assert replay_result.reached_final == sim_result.reached_final
+    # Cycle-identical, frame by frame.
+    assert replay_result.stats.cycles == sim_result.stats.cycles
+    assert replay_result.stats.frame_cycles == sim_result.stats.frame_cycles
+    # The full statistics dataclasses match field for field.
+    assert replay_result.stats == sim_result.stats
+    assert replay_result.search == sim_result.search
+
+
+class TestCycleEquivalence:
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_replay_matches_simulator(
+        self, workload, traces, sorted_traces, name
+    ):
+        config = CONFIGS[name]
+        sorted_graph = (
+            workload.sorted_graph if config.state_direct_enabled else None
+        )
+        sim = AcceleratorSimulator(
+            workload.graph, config, beam=workload.beam,
+            sorted_graph=sorted_graph, max_active=workload.max_active,
+        )
+        replayer = TraceReplayer(
+            workload.graph, config, sorted_graph=sorted_graph
+        )
+        layout_traces = (
+            sorted_traces if config.state_direct_enabled else traces
+        )
+        for scores, trace in zip(workload.scores, layout_traces):
+            assert_results_identical(sim.decode(scores), replayer.replay(trace))
+
+    @pytest.mark.parametrize("n", [2, 8, 16])
+    def test_sorted_layouts_by_comparator_count(self, workload, n):
+        """Each Section IV-B comparator count N is its own layout+trace."""
+        sorted_graph = sort_states_by_arc_count(
+            workload.graph, max_direct_arcs=n
+        )
+        config = replace(
+            BASE, state_direct_enabled=True, state_direct_max_arcs=n
+        )
+        recorder = TraceRecorder(
+            sorted_graph.graph, beam=workload.beam,
+            max_active=workload.max_active,
+        )
+        sim = AcceleratorSimulator(
+            workload.graph, config, beam=workload.beam,
+            sorted_graph=sorted_graph, max_active=workload.max_active,
+        )
+        replayer = TraceReplayer(
+            workload.graph, config, sorted_graph=sorted_graph
+        )
+        scores = workload.scores[0]
+        assert_results_identical(
+            sim.decode(scores), replayer.replay(recorder.record(scores))
+        )
+
+    def test_no_max_active_and_wide_beam(self, workload):
+        """Unlimited active set exercises the unpruned read walk."""
+        recorder = TraceRecorder(workload.graph, beam=20.0, max_active=0)
+        sim = AcceleratorSimulator(workload.graph, BASE, beam=20.0)
+        replayer = TraceReplayer(workload.graph, BASE)
+        scores = workload.scores[0]
+        assert_results_identical(
+            sim.decode(scores), replayer.replay(recorder.record(scores))
+        )
+
+    def test_overflow_reads_priced(self, workload, traces):
+        """A spilled hash table charges DRAM trips in the next token walk."""
+        config = CONFIGS["tiny-hash-overflow"]
+        replayer = TraceReplayer(workload.graph, config)
+        result = replayer.replay(traces[0])
+        assert result.stats.hash.overflows > 0
+        assert result.stats.traffic.region_bytes("overflow") > 0
+
+
+class TestTraceContract:
+    def test_trace_records_functional_result(self, workload, traces):
+        sim = AcceleratorSimulator(
+            workload.graph, BASE, beam=workload.beam,
+            max_active=workload.max_active,
+        )
+        for scores, trace in zip(workload.scores, traces):
+            result = sim.decode(scores)
+            assert trace.words == result.words
+            assert trace.log_likelihood == result.log_likelihood
+            assert trace.search == result.search
+
+    def test_trace_is_compact(self, traces):
+        """The event arrays stay within a small multiple of the arc count."""
+        t = traces[0]
+        assert t.nbytes < 64 * t.num_events + 4096
+
+    def test_layout_mismatch_rejected(self, workload, sorted_traces):
+        replayer = TraceReplayer(workload.graph, BASE)
+        with pytest.raises(SimulationError):
+            replayer.replay(sorted_traces[0])
+
+    def test_state_direct_requires_sorted_graph(self, workload):
+        with pytest.raises(ConfigError):
+            TraceReplayer(workload.graph, BASE.with_state_direct())
+
+    def test_acoustic_buffer_capacity_enforced(self, workload, traces):
+        tiny = replace(BASE, acoustic_buffer_bytes=64)
+        replayer = TraceReplayer(workload.graph, tiny)
+        with pytest.raises(ConfigError):
+            replayer.replay(traces[0])
+
+    def test_save_load_roundtrip(self, tmp_path, workload, traces):
+        path = str(tmp_path / "trace.npz")
+        traces[0].save(path)
+        from repro.accel import DecodeTrace
+
+        loaded = DecodeTrace.load(path)
+        replayer = TraceReplayer(workload.graph, BASE)
+        assert_results_identical(
+            replayer.replay(traces[0]), replayer.replay(loaded)
+        )
+
+    def test_load_rejects_wrong_version(self, tmp_path, traces, monkeypatch):
+        import repro.accel.trace as trace_mod
+
+        path = str(tmp_path / "trace.npz")
+        traces[0].save(path)
+        monkeypatch.setattr(trace_mod, "TRACE_FORMAT_VERSION", 999)
+        from repro.accel import DecodeTrace
+
+        with pytest.raises(SimulationError):
+            DecodeTrace.load(path)

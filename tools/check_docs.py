@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Documentation gate (run by the CI docs job).
+
+Two checks:
+
+1. **Link check** -- every relative markdown link in the repo-root
+   ``*.md`` files and ``docs/`` must point at an existing file (external
+   ``http(s)``/``mailto`` links and pure anchors are skipped; anchors on
+   relative links are stripped before the existence check).
+2. **pydoc-importability** -- every module under the public ``repro``
+   package must import cleanly and render under :mod:`pydoc`, so
+   ``python -m pydoc repro.<anything>`` always works and no module grows
+   an import-time dependency on test/bench state.
+
+Exits non-zero with a per-failure report.
+"""
+
+from __future__ import annotations
+
+import glob
+import importlib
+import os
+import pkgutil
+import pydoc
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_BADGE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_markdown_links() -> list:
+    failures = []
+    pages = sorted(
+        glob.glob(os.path.join(REPO_ROOT, "*.md"))
+        + glob.glob(os.path.join(REPO_ROOT, "docs", "**", "*.md"),
+                    recursive=True)
+    )
+    for page in pages:
+        with open(page, encoding="utf-8") as fh:
+            text = fh.read()
+        base = os.path.dirname(page)
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = os.path.normpath(
+                os.path.join(base, target.split("#", 1)[0])
+            )
+            if not os.path.exists(path):
+                failures.append(
+                    f"{os.path.relpath(page, REPO_ROOT)}: broken link "
+                    f"-> {target}"
+                )
+        # Badges referencing workflow files inside the repo should resolve
+        # too (the CI badge uses ../../ which leaves the tree; skip those).
+        for match in _BADGE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "../")):
+                continue
+            path = os.path.normpath(
+                os.path.join(base, target.split("#", 1)[0])
+            )
+            if not os.path.exists(path):
+                failures.append(
+                    f"{os.path.relpath(page, REPO_ROOT)}: broken image "
+                    f"-> {target}"
+                )
+    print(f"[docs] link check: {len(pages)} pages scanned")
+    return failures
+
+
+def check_pydoc_importability() -> list:
+    failures = []
+    import repro
+
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    for name in sorted(names):
+        try:
+            module = importlib.import_module(name)
+            pydoc.plaintext.document(module)
+        except Exception as exc:  # report every broken module, then fail
+            failures.append(f"{name}: {type(exc).__name__}: {exc}")
+        else:
+            doc = module.__doc__
+            if not doc or not doc.strip():
+                failures.append(f"{name}: missing module docstring")
+    print(f"[docs] pydoc check: {len(names)} modules rendered")
+    return failures
+
+
+def main() -> int:
+    failures = check_markdown_links() + check_pydoc_importability()
+    for failure in failures:
+        print(f"[docs] FAIL {failure}")
+    if failures:
+        print(f"[docs] {len(failures)} failure(s)")
+        return 1
+    print("[docs] all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
