@@ -12,8 +12,9 @@ only the benches that share the cached standard comparison.
 ``--quick`` is the CI smoke gate: tiny configurations that finish in
 seconds, a decoder-consistency check across every platform, the batch
 vs reference engine benchmark, the continuous-batching streaming
-session benchmark, and a 10-point design-space sweep gated against
-independent simulator runs (cycle-identical, >= 3x).  Results land in
+session benchmark, the kernel-observer lattice benchmark, and a
+10-point design-space sweep gated against independent simulator runs
+(cycle-identical, >= 3x).  Results land in
 ``benchmarks/results/quick_summary.json`` (uploaded as a CI artifact); the
 process exits non-zero on any crash or decoder mismatch.
 """
@@ -41,6 +42,7 @@ class _NullBenchmark:
 def run_quick() -> int:
     """CI smoke gate: small, fast, and strict about consistency."""
     from benchmarks import bench_batch_throughput as bench_batch
+    from benchmarks import bench_lattice_throughput as bench_lattice
     from benchmarks import bench_streaming_sessions as bench_stream
     from repro.datasets import SyntheticGraphConfig
     from repro.system import make_memory_workload
@@ -94,10 +96,10 @@ def run_quick() -> int:
     def batch_throughput():
         result = bench_batch.run_batch_throughput(quick=True)
         bench_batch._report(result)
-        if result["speedup"] < bench_batch.SPEEDUP_TARGET:
+        if result["speedup"] < bench_batch.QUICK_SPEEDUP_TARGET:
             raise AssertionError(
                 f"batch speedup {result['speedup']:.2f}x below the "
-                f"{bench_batch.SPEEDUP_TARGET:.0f}x gate"
+                f"{bench_batch.QUICK_SPEEDUP_TARGET:.0f}x gate"
             )
         return result
 
@@ -108,6 +110,16 @@ def run_quick() -> int:
             raise AssertionError(
                 f"continuous-batching speedup {result['speedup']:.2f}x "
                 f"below the {bench_stream.SPEEDUP_TARGET:.2f}x gate"
+            )
+        return result
+
+    def lattice_throughput():
+        result = bench_lattice.run_lattice_throughput(quick=True)
+        bench_lattice._report(result)
+        if result["speedup"] < bench_lattice.QUICK_SPEEDUP_TARGET:
+            raise AssertionError(
+                f"lattice speedup {result['speedup']:.2f}x below the "
+                f"{bench_lattice.QUICK_SPEEDUP_TARGET:.1f}x gate"
             )
         return result
 
@@ -131,6 +143,7 @@ def run_quick() -> int:
     step("platform_consistency", platform_consistency)
     step("batch_throughput_quick", batch_throughput)
     step("streaming_sessions_quick", streaming_sessions)
+    step("lattice_throughput_quick", lattice_throughput)
     step("sweep_throughput_quick", sweep_throughput)
 
     summary["status"] = "failed" if failed else "ok"
@@ -161,6 +174,7 @@ def main() -> int:
 
     from benchmarks import (
         bench_batch_throughput as batch_tp,
+        bench_lattice_throughput as lattice_tp,
         bench_streaming_sessions as stream_tp,
         bench_sweep_throughput as sweep_tp,
         bench_fig01_pipeline_breakdown as fig01,
@@ -198,6 +212,7 @@ def main() -> int:
     area.test_intext_area_and_overheads(bench)
     pipeline.test_intext_full_pipeline(bench, std_comparison)
     batch_tp.test_batch_throughput(bench)
+    lattice_tp.test_lattice_throughput(bench)
     stream_tp.test_streaming_sessions(bench)
     sweep_tp.test_sweep_throughput(bench)
 

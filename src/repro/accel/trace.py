@@ -13,9 +13,8 @@ Two layers live here:
   evaluation (Figures 4-14) varies only *timing* parameters -- cache
   geometry, prefetch depth, hash sizing, DRAM latency -- under which the
   beam search itself is invariant.  :class:`TraceRecorder` runs the
-  functional search of :class:`repro.accel.simulator.AcceleratorSimulator`
-  exactly once and records every event the timing model consumes as compact
-  numpy arrays:
+  functional search exactly once and records every event the timing model
+  consumes as compact numpy arrays:
 
   - the State Issuer's per-frame token walk (hash reads),
   - the surviving tokens issued per frame (state fetches),
@@ -24,31 +23,48 @@ Two layers live here:
   - every epsilon-closure visit with the worklist provenance needed to
     reconstruct when the State Issuer saw each discovered token.
 
+  Since the kernel refactor the search itself is the shared
+  :class:`repro.decoder.kernel.ReferenceKernel` -- the scalar discipline
+  whose event order is bit-for-bit the hardware model's -- and the
+  recording is a :class:`~repro.decoder.kernel.KernelObserver`
+  (:class:`_TraceObserver`) subscribed to it.  Any search-semantics
+  change (a new pruning strategy, say) lands in the kernel once and the
+  recorder, the software decoders and the simulator all follow.
+
   :class:`repro.accel.replay.TraceReplayer` re-prices such a trace under
   any :class:`~repro.accel.config.AcceleratorConfig`, cycle-identical to
-  the monolithic simulator (asserted in ``tests/test_trace_replay.py``).
-  Traces are tied to a graph *layout*: configurations using the Section
-  IV-B sorted layout replay a trace recorded on the sorted graph.
+  the monolithic :class:`~repro.accel.simulator.AcceleratorSimulator`
+  (asserted in ``tests/test_trace_replay.py``).  Traces are tied to a
+  graph *layout*: configurations using the Section IV-B sorted layout
+  replay a trace recorded on the sorted graph.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.common.errors import ConfigError, DecodeError, SimulationError
-from repro.common.logmath import LOG_ZERO
+from repro.common.errors import DecodeError, SimulationError
 from repro.acoustic.scorer import AcousticScores
 from repro.accel.simulator import AcceleratorResult
+from repro.decoder.kernel import (
+    ClosureEvent,
+    DecoderConfig,
+    ExpandEvent,
+    KernelObserver,
+    PRUNING_STRATEGIES,
+    PruneEvent,
+    ReferenceKernel,
+)
 from repro.decoder.result import SearchStats
 from repro.wfst.layout import CompiledWfst
 
 #: Bump when the array schema changes; saved traces carry it so stale disk
-#: caches are rejected instead of misread.
-TRACE_FORMAT_VERSION = 1
+#: caches are rejected instead of misread.  v2: pruning-strategy metadata
+#: (``pruning`` / ``target_active``) joined the header.
+TRACE_FORMAT_VERSION = 2
 
 
 def layout_fingerprint(graph: CompiledWfst) -> int:
@@ -138,7 +154,8 @@ class DecodeTrace:
         num_frames: frames decoded.
         frame_bytes: on-chip footprint of one frame of scores, in bytes
             (for the Acoustic Likelihood Buffer capacity check).
-        beam: beam width the search ran with (log-likelihood units).
+        beam: beam width the search ran with (log-likelihood units; the
+            initial width under adaptive pruning).
         max_active: histogram-pruning cap (0 = unlimited).
         num_states / num_arcs / layout_key: identity of the graph layout
             the trace was recorded on (guards against replaying on the
@@ -163,6 +180,10 @@ class DecodeTrace:
             for a pass seed.  ``eps_offsets`` delimits passes.
         eps_arc_idx / eps_arc_dest / eps_improved: one entry per epsilon
             arc processed (``eps_arc_offsets`` delimits passes).
+        pruning / target_active: the pruning strategy the search ran with
+            (see :class:`repro.decoder.kernel.DecoderConfig`); recorded
+            for provenance and cache keying -- the replayer itself is
+            pruning-agnostic, it re-prices whatever events were recorded.
     """
 
     num_frames: int
@@ -199,6 +220,9 @@ class DecodeTrace:
     eps_improved: np.ndarray
     eps_arc_offsets: np.ndarray
 
+    pruning: str = "beam"
+    target_active: int = 0
+
     _ARRAYS = (
         "read_states", "read_offsets",
         "emit_states", "emit_first", "emit_n", "emit_read_idx",
@@ -231,6 +255,7 @@ class DecodeTrace:
                 TRACE_FORMAT_VERSION, self.num_frames, self.frame_bytes,
                 self.max_active, self.num_states, self.num_arcs,
                 int(self.reached_final),
+                PRUNING_STRATEGIES.index(self.pruning), self.target_active,
             ],
             dtype=np.int64,
         )
@@ -296,6 +321,8 @@ class DecodeTrace:
                 log_likelihood=float(meta_f[1]),
                 reached_final=bool(meta[6]),
                 search=search,
+                pruning=PRUNING_STRATEGIES[int(meta[7])],
+                target_active=int(meta[8]),
                 **arrays,
             )
 
@@ -326,14 +353,58 @@ class _TraceBuilder:
     eps_arc_offsets: List[int] = field(default_factory=lambda: [0])
 
 
+class _TraceObserver(KernelObserver):
+    """Kernel observer that captures the hardware event stream.
+
+    Subscribed to the reference discipline, whose events arrive in the
+    exact order the accelerator consumes them: one prune event per frame
+    (the token walk), one expand event per frame (state issues + arc
+    fetches with backpointer-write flags) and one closure event per
+    epsilon pass (FIFO worklist visits with provenance).
+    """
+
+    def __init__(self) -> None:
+        self.builder = _TraceBuilder()
+
+    def on_prune(self, event: PruneEvent) -> None:
+        b = self.builder
+        b.read_states.extend(event.walk_states)
+        b.read_offsets.append(len(b.read_states))
+
+    def on_expand(self, event: ExpandEvent) -> None:
+        b = self.builder
+        b.emit_states.extend(event.states)
+        b.emit_first.extend(event.first)
+        b.emit_n.extend(event.n_arcs)
+        b.emit_read_idx.extend(event.read_idx)
+        b.emit_offsets.append(len(b.emit_states))
+        b.emit_arc_idx.extend(event.arc_idx)
+        b.emit_arc_dest.extend(event.arc_dest)
+        b.emit_improved.extend(event.improved)
+        b.emit_arc_offsets.append(len(b.emit_arc_idx))
+
+    def on_closure(self, event: ClosureEvent) -> None:
+        b = self.builder
+        b.eps_states.extend(event.states)
+        b.eps_first.extend(event.first)
+        b.eps_n.extend(event.n_arcs)
+        b.eps_src.extend(event.src)
+        b.eps_offsets.append(len(b.eps_states))
+        b.eps_arc_idx.extend(event.arc_idx)
+        b.eps_arc_dest.extend(event.arc_dest)
+        b.eps_improved.extend(event.improved)
+        b.eps_arc_offsets.append(len(b.eps_arc_idx))
+
+
 class TraceRecorder:
     """One-shot functional pass of the accelerator's beam search.
 
-    Runs the exact search of
-    :class:`~repro.accel.simulator.AcceleratorSimulator` -- same token
-    iteration order, pruning, relaxation arithmetic and epsilon worklist --
-    with all timing machinery stripped out, and records the event stream a
-    :class:`~repro.accel.replay.TraceReplayer` needs.
+    Runs the shared :class:`~repro.decoder.kernel.ReferenceKernel` --
+    the same search as :class:`~repro.accel.simulator.AcceleratorSimulator`
+    (token iteration order, pruning, relaxation arithmetic, FIFO epsilon
+    worklist) with all timing machinery stripped out -- and records the
+    event stream a :class:`~repro.accel.replay.TraceReplayer` needs, via
+    the kernel observer protocol.
 
     The recorder walks whatever graph it is given: pass the baseline
     :class:`~repro.wfst.layout.CompiledWfst` for baseline-layout
@@ -345,99 +416,44 @@ class TraceRecorder:
         graph: compiled graph layout to search.
         beam: beam width in log-likelihood units (must be positive).
         max_active: histogram-pruning cap on tokens per frame (0 = off).
+        config: full search configuration; overrides ``beam`` /
+            ``max_active`` and selects the pruning strategy.
     """
 
     def __init__(
-        self, graph: CompiledWfst, beam: float = 12.0, max_active: int = 0
+        self,
+        graph: CompiledWfst,
+        beam: float = 12.0,
+        max_active: int = 0,
+        config: Optional[DecoderConfig] = None,
     ) -> None:
-        if beam <= 0:
-            raise ConfigError("beam must be positive")
-        if max_active < 0:
-            raise ConfigError("max_active must be >= 0")
+        self.config = config or DecoderConfig(beam=beam, max_active=max_active)
         self.graph = graph
-        self.beam = beam
-        self.max_active = max_active
+        self.beam = self.config.beam
+        self.max_active = self.config.max_active
         self._layout_key = layout_fingerprint(graph)
-        flat = graph.flat()
-        # Plain Python lists: scalar indexing is ~5x faster than numpy's
-        # and the recorder is all scalar indexing.
-        self._first = flat.first_arc.tolist()
-        self._n_non_eps = flat.num_non_eps.tolist()
-        self._n_eps = flat.num_eps.tolist()
-        self._dest = flat.arc_dest.tolist()
-        self._weight = flat.arc_weight64.tolist()
-        self._ilabel = flat.arc_ilabel.tolist()
-        self._olabel = flat.arc_olabel.tolist()
-        self._final = flat.final_weights.tolist()
+        self._kernel = ReferenceKernel(graph, self.config)
 
     # ------------------------------------------------------------------
     def record(self, scores: AcousticScores) -> DecodeTrace:
         """Search one utterance and return its event trace."""
         if scores.num_frames == 0:
             raise DecodeError("no frames to decode")
-        num_frames = scores.num_frames
-        search = SearchStats(frames=num_frames)
-        out = _TraceBuilder()
-
-        # Backpointer trace (host-side; identical to the simulator's).
-        trace_prev: List[int] = [-1]
-        trace_word: List[int] = [0]
-        # Live tokens: state -> (score, backpointer index).
-        tokens: Dict[int, Tuple[float, int]] = {self.graph.start: (0.0, 0)}
-
-        self._eps_pass(tokens, list(tokens.keys()), search, out,
-                       trace_prev, trace_word)
-
-        max_active = self.max_active
-        matrix = scores.matrix
-        for frame in range(num_frames):
-            frame_scores = matrix[frame].tolist()
-            if not tokens:
-                raise DecodeError(f"beam emptied the search at frame {frame}")
-            best = max(score for score, _ in tokens.values())
-            threshold = best - self.beam
-
-            read_states = out.read_states
-            survivors: List[Tuple[int, float, int, int]] = []
-            idx = 0
-            for state, (score, bp) in tokens.items():
-                read_states.append(state)
-                if score >= threshold:
-                    survivors.append((state, score, bp, idx))
-                else:
-                    search.tokens_pruned += 1
-                idx += 1
-            out.read_offsets.append(len(read_states))
-            if max_active and len(survivors) > max_active:
-                survivors.sort(key=lambda item: item[1], reverse=True)
-                search.tokens_pruned += len(survivors) - max_active
-                survivors = survivors[:max_active]
-
-            next_tokens: Dict[int, Tuple[float, int]] = {}
-            search.active_tokens_per_frame.append(len(survivors))
-
-            self._emit_pass(survivors, next_tokens, frame_scores, search,
-                            out, trace_prev, trace_word)
-
-            self._eps_pass(next_tokens, list(next_tokens.keys()), search,
-                           out, trace_prev, trace_word)
-            tokens = next_tokens
-
-        words, likelihood, reached_final = self._finalize(
-            tokens, trace_prev, trace_word
-        )
+        observer = _TraceObserver()
+        result = self._kernel.decode(scores, observers=(observer,))
+        out = observer.builder
         return DecodeTrace(
-            num_frames=num_frames,
+            num_frames=scores.num_frames,
             frame_bytes=scores.size_bytes,
-            beam=self.beam,
-            max_active=self.max_active,
+            beam=self.config.beam,
+            max_active=self.config.max_active,
             num_states=self.graph.num_states,
             num_arcs=self.graph.num_arcs,
             layout_key=self._layout_key,
-            words=words,
-            log_likelihood=likelihood,
-            reached_final=reached_final,
-            search=search,
+            words=result.words,
+            log_likelihood=result.log_likelihood,
+            reached_final=result.reached_final,
+            search=result.stats,
             read_states=np.asarray(out.read_states, dtype=np.int64),
             read_offsets=np.asarray(out.read_offsets, dtype=np.int64),
             emit_states=np.asarray(out.emit_states, dtype=np.int64),
@@ -458,153 +474,9 @@ class TraceRecorder:
             eps_arc_dest=np.asarray(out.eps_arc_dest, dtype=np.int64),
             eps_improved=np.asarray(out.eps_improved, dtype=np.bool_),
             eps_arc_offsets=np.asarray(out.eps_arc_offsets, dtype=np.int64),
+            pruning=self.config.pruning,
+            target_active=self.config.target_active,
         )
-
-    # ------------------------------------------------------------------
-    def _emit_pass(
-        self,
-        survivors: List[Tuple[int, float, int, int]],
-        next_tokens: Dict[int, Tuple[float, int]],
-        frame_scores: List[float],
-        search: SearchStats,
-        out: _TraceBuilder,
-        trace_prev: List[int],
-        trace_word: List[int],
-    ) -> None:
-        first_l = self._first
-        n_non_l = self._n_non_eps
-        n_eps_l = self._n_eps
-        dest_l = self._dest
-        weight_l = self._weight
-        ilabel_l = self._ilabel
-        olabel_l = self._olabel
-        arc_idx = out.emit_arc_idx
-        arc_dest = out.emit_arc_dest
-        improved_out = out.emit_improved
-        degrees = search.visited_state_degrees
-        tokens_get = next_tokens.get
-
-        for state, score, bp, ridx in survivors:
-            first = first_l[state]
-            n_non_eps = n_non_l[state]
-            out.emit_states.append(state)
-            out.emit_first.append(first)
-            out.emit_n.append(n_non_eps)
-            out.emit_read_idx.append(ridx)
-            search.states_expanded += 1
-            degrees.append(n_non_eps + n_eps_l[state])
-
-            for a in range(first, first + n_non_eps):
-                dest = dest_l[a]
-                arc_idx.append(a)
-                arc_dest.append(dest)
-                search.arcs_processed += 1
-                new_score = score + weight_l[a] + frame_scores[ilabel_l[a]]
-                existing = tokens_get(dest)
-                if existing is not None and existing[0] >= new_score:
-                    improved_out.append(False)
-                    continue
-                trace_prev.append(bp)
-                trace_word.append(olabel_l[a])
-                if existing is None:
-                    search.tokens_created += 1
-                else:
-                    search.tokens_updated += 1
-                next_tokens[dest] = (new_score, len(trace_prev) - 1)
-                improved_out.append(True)
-
-        out.emit_offsets.append(len(out.emit_states))
-        out.emit_arc_offsets.append(len(arc_idx))
-
-    def _eps_pass(
-        self,
-        tokens: Dict[int, Tuple[float, int]],
-        seeds: List[int],
-        search: SearchStats,
-        out: _TraceBuilder,
-        trace_prev: List[int],
-        trace_word: List[int],
-    ) -> None:
-        first_l = self._first
-        n_non_l = self._n_non_eps
-        n_eps_l = self._n_eps
-        dest_l = self._dest
-        weight_l = self._weight
-        olabel_l = self._olabel
-        arc_idx = out.eps_arc_idx
-        arc_dest = out.eps_arc_dest
-        improved_out = out.eps_improved
-        tokens_get = tokens.get
-
-        worklist: Deque[Tuple[int, int]] = deque((s, -1) for s in seeds)
-        arc_event = 0
-        while worklist:
-            state, src = worklist.popleft()
-            score, bp = tokens[state]
-            n_eps = n_eps_l[state]
-            if n_eps == 0:
-                continue
-            eps_first = first_l[state] + n_non_l[state]
-            out.eps_states.append(state)
-            out.eps_first.append(eps_first)
-            out.eps_n.append(n_eps)
-            out.eps_src.append(src)
-            for a in range(eps_first, eps_first + n_eps):
-                dest = dest_l[a]
-                arc_idx.append(a)
-                arc_dest.append(dest)
-                search.epsilon_arcs_processed += 1
-                new_score = score + weight_l[a]
-                existing = tokens_get(dest)
-                if existing is not None and existing[0] >= new_score:
-                    improved_out.append(False)
-                    arc_event += 1
-                    continue
-                trace_prev.append(bp)
-                trace_word.append(olabel_l[a])
-                if existing is None:
-                    search.tokens_created += 1
-                else:
-                    search.tokens_updated += 1
-                tokens[dest] = (new_score, len(trace_prev) - 1)
-                improved_out.append(True)
-                worklist.append((dest, arc_event))
-                arc_event += 1
-
-        out.eps_offsets.append(len(out.eps_states))
-        out.eps_arc_offsets.append(len(arc_idx))
-
-    def _finalize(
-        self,
-        tokens: Dict[int, Tuple[float, int]],
-        trace_prev: List[int],
-        trace_word: List[int],
-    ) -> Tuple[Tuple[int, ...], float, bool]:
-        if not tokens:
-            raise DecodeError("no active tokens at the end of the utterance")
-        final_l = self._final
-        best = None
-        for state, (score, bp) in tokens.items():
-            final_weight = final_l[state]
-            if final_weight <= LOG_ZERO / 2:
-                continue
-            total = score + final_weight
-            if best is None or total > best[0]:
-                best = (total, bp)
-        reached_final = best is not None
-        if best is None:
-            state = max(tokens, key=lambda s: tokens[s][0])
-            best = tokens[state]
-
-        score, bp = best
-        words: List[int] = []
-        index = bp
-        while index >= 0:
-            if trace_word[index] != 0:
-                words.append(trace_word[index])
-            index = trace_prev[index]
-        words.reverse()
-        return tuple(words), score, reached_final
 
 
 def record_decode_trace(
@@ -612,6 +484,9 @@ def record_decode_trace(
     scores: AcousticScores,
     beam: float = 12.0,
     max_active: int = 0,
+    config: Optional[DecoderConfig] = None,
 ) -> DecodeTrace:
     """Convenience wrapper: record one utterance's trace on ``graph``."""
-    return TraceRecorder(graph, beam=beam, max_active=max_active).record(scores)
+    return TraceRecorder(
+        graph, beam=beam, max_active=max_active, config=config
+    ).record(scores)

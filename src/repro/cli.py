@@ -4,9 +4,12 @@ Six subcommands cover the common workflows:
 
 * ``repro-asr build-task``   -- generate a synthetic ASR task and save its
   decoding graph.
-* ``repro-asr decode``       -- decode a task's utterances with the
-  reference software decoder (``--engine batch`` for the vectorized
-  engine, ``--streaming`` for chunked live sessions).
+* ``repro-asr decode``       -- decode a task's utterances on any engine
+  of the shared search kernel: ``--engine reference`` (scalar oracle),
+  ``batch`` (vectorized), ``lattice`` (N-best summaries) or ``gpu``
+  (workload summaries); ``--streaming`` for chunked live sessions and
+  ``--pruning adaptive --target-active N`` for the adaptive-beam
+  strategy.
 * ``repro-asr serve``        -- continuous-batching serving demo: live
   sessions join mid-flight and stream chunks through one fused engine.
 * ``repro-asr simulate``     -- decode on the cycle-accurate accelerator
@@ -33,7 +36,9 @@ from repro.common.errors import ConfigError
 from repro.datasets import SyntheticGraphConfig, TaskConfig, generate_task
 from repro.decoder import (
     BatchDecoder,
-    BeamSearchConfig,
+    DecoderConfig,
+    LatticeDecoder,
+    PRUNING_STRATEGIES,
     ViterbiDecoder,
     word_error_rate,
 )
@@ -68,6 +73,31 @@ def _add_task_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--beam", type=float, default=14.0)
 
 
+def _add_pruning_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pruning", choices=PRUNING_STRATEGIES,
+                        default="beam",
+                        help="pruning strategy: fixed 'beam' window or "
+                             "'adaptive' (tracks --target-active tokens "
+                             "per frame; default: beam)")
+    parser.add_argument("--max-active", type=int, default=0,
+                        dest="max_active",
+                        help="histogram cap on tokens per frame "
+                             "(0 disables; default 0)")
+    parser.add_argument("--target-active", type=int, default=0,
+                        dest="target_active",
+                        help="adaptive-beam target active-token count "
+                             "(required with --pruning adaptive)")
+
+
+def _decoder_config(args: argparse.Namespace) -> DecoderConfig:
+    return DecoderConfig(
+        beam=args.beam,
+        max_active=getattr(args, "max_active", 0),
+        pruning=getattr(args, "pruning", "beam"),
+        target_active=getattr(args, "target_active", 0),
+    )
+
+
 def cmd_build_task(args: argparse.Namespace) -> int:
     task = generate_task(
         TaskConfig(vocab_size=args.vocab, num_utterances=args.utterances,
@@ -83,13 +113,17 @@ def cmd_build_task(args: argparse.Namespace) -> int:
 
 
 def cmd_decode(args: argparse.Namespace) -> int:
+    from repro.decoder import DecodeResult
+    from repro.gpu import GpuViterbiDecoder
+
     task = generate_task(
         TaskConfig(vocab_size=args.vocab, num_utterances=args.utterances,
                    seed=args.seed)
     )
-    config = BeamSearchConfig(beam=args.beam)
+    config = _decoder_config(args)
     scores = [u.scores for u in task.utterances]
     server = None
+    extras: List[List[str]] = [[] for _ in task.utterances]
     t0 = time.perf_counter()
     if args.streaming:
         server = StreamingServer(task.graph, config)
@@ -99,6 +133,43 @@ def cmd_decode(args: argparse.Namespace) -> int:
     elif args.engine == "batch":
         decoder = BatchDecoder(task.graph, config)
         results = decoder.decode_batch(scores)
+    elif args.engine == "lattice":
+        lattice_decoder = LatticeDecoder(task.graph, config)
+        results = []
+        for i, utt in enumerate(task.utterances):
+            lattice = lattice_decoder.decode(utt.scores)
+            entries = lattice.nbest(args.nbest)
+            best = entries[0]
+            results.append(DecodeResult(
+                words=best.words,
+                log_likelihood=best.log_likelihood,
+                reached_final=lattice.reached_final,
+                stats=lattice.stats,
+            ))
+            extras[i].append(
+                f"  lattice: {lattice.num_nodes} nodes / "
+                f"{lattice.num_edges} edges"
+            )
+            for rank, entry in enumerate(entries, start=1):
+                words = " ".join(
+                    task.lexicon.word_of(w) for w in entry.words
+                )
+                extras[i].append(
+                    f"  nbest {rank}: {entry.log_likelihood:9.3f}  {words}"
+                )
+    elif args.engine == "gpu":
+        gpu = GpuViterbiDecoder(task.graph, config=config)
+        results = []
+        for i, utt in enumerate(task.utterances):
+            result, work = gpu.decode(utt.scores)
+            results.append(result)
+            extras[i].append(
+                f"  gpu workload: {work.kernel_launches} launches, "
+                f"{work.arcs_expanded} arcs + "
+                f"{work.epsilon_arcs_expanded} eps arcs expanded, "
+                f"{work.atomic_updates} atomics, "
+                f"{work.epsilon_iterations} eps iterations"
+            )
     else:
         reference = ViterbiDecoder(task.graph, config)
         results = [reference.decode(u.scores) for u in task.utterances]
@@ -112,6 +183,8 @@ def cmd_decode(args: argparse.Namespace) -> int:
               f"({result.stats.arcs_processed} arcs, "
               f"{result.stats.mean_active_tokens:.0f} active tokens/frame)  "
               f"{' '.join(task.transcript(result))}")
+        for line in extras[i]:
+            print(line)
     frames = sum(u.num_frames for u in task.utterances)
     engine = "streaming" if args.streaming else args.engine
     print(f"engine '{engine}': {frames} frames in {elapsed * 1e3:.1f} ms "
@@ -138,7 +211,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     server = StreamingServer(
         task.graph,
-        BeamSearchConfig(beam=args.beam),
+        DecoderConfig(beam=args.beam),
         ServerConfig(max_batch=args.max_batch),
     )
 
@@ -322,10 +395,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("decode", help="decode with the software decoder")
     _add_task_args(p)
-    p.add_argument("--engine", choices=("reference", "batch"),
+    _add_pruning_args(p)
+    p.add_argument("--engine",
+                   choices=("reference", "batch", "lattice", "gpu"),
                    default="reference",
-                   help="scalar token passing or the vectorized batch "
-                        "engine (default: reference)")
+                   help="decode engine: scalar token passing, the "
+                        "vectorized batch engine, the lattice/N-best "
+                        "decoder, or the GPU workload model -- all on "
+                        "the shared search kernel (default: reference)")
+    p.add_argument("--nbest", type=int, default=3,
+                   help="hypotheses to print per utterance with "
+                        "--engine lattice (default 3)")
     p.add_argument("--streaming", action="store_true",
                    help="decode through chunked live sessions on the "
                         "continuous-batching server (word-identical to "
@@ -376,9 +456,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--param", action="append", metavar="PATH=V1,V2,...",
                    help="sweep dimension over a config field path, e.g. "
                         "'arc_cache.size_bytes=256K,1M' or "
-                        "'prefetch_enabled=false,true'; repeatable "
-                        "(dimensions combine as a cartesian product). "
-                        "Default: the paper's four configurations")
+                        "'prefetch_enabled=false,true', or a workload "
+                        "axis: 'beam=6,8,10', 'pruning=beam,adaptive', "
+                        "'target_active=500,1000' (re-traced per value); "
+                        "repeatable (dimensions combine as a cartesian "
+                        "product). Default: the paper's four "
+                        "configurations")
     p.add_argument("--processes", type=int, default=None,
                    help="replay worker processes (default: CPU count)")
     p.add_argument("--trace-cache", default=DEFAULT_TRACE_CACHE,

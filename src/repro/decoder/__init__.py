@@ -1,14 +1,34 @@
-"""Software reference decoder: Viterbi beam search over a compiled WFST.
+"""Software decode engines: Viterbi beam search over a compiled WFST.
 
 This is the algorithm of the paper's Section II, in the token-passing style
 of Kaldi's decoder: per 10 ms frame, prune active tokens against the beam,
 expand non-epsilon arcs with the frame's acoustic scores, then traverse
 epsilon arcs without consuming input, and finally backtrack from the best
-token.  The accelerator simulator implements the same recurrence in
-hardware form; its output must match this decoder exactly (tested).
+token.  One shared frame-recurrence kernel (:mod:`repro.decoder.kernel`)
+implements that recurrence for every engine: the scalar reference
+(``ViterbiDecoder``, the oracle), the vectorized batch engine, streaming
+sessions, the lattice decoder -- plus the GPU model and the accelerator
+trace recorder in their own packages.  Pruning strategies (fixed beam,
+histogram cap, adaptive beam) and instrumentation observers plug into the
+kernel rather than into individual engines.
 """
 
-from repro.decoder.viterbi import BeamSearchConfig, ViterbiDecoder
+from repro.decoder.kernel import (
+    AdaptiveBeamPruning,
+    BeamSearchConfig,
+    ClosureEvent,
+    DecoderConfig,
+    ExpandEvent,
+    FixedBeamPruning,
+    Frontier,
+    KernelObserver,
+    PRUNING_STRATEGIES,
+    PruneEvent,
+    PruningStrategy,
+    ReferenceKernel,
+    SearchKernel,
+)
+from repro.decoder.viterbi import ViterbiDecoder
 from repro.decoder.batch import BatchDecoder
 from repro.decoder.session import DecodeSession, advance_sessions
 from repro.decoder.result import DecodeResult, SearchStats
@@ -16,16 +36,28 @@ from repro.decoder.lattice import Lattice, LatticeDecoder, NBestEntry
 from repro.decoder.wer import word_error_rate, levenshtein
 
 __all__ = [
+    "AdaptiveBeamPruning",
     "BatchDecoder",
     "BeamSearchConfig",
-    "DecodeSession",
-    "advance_sessions",
-    "ViterbiDecoder",
+    "ClosureEvent",
     "DecodeResult",
-    "SearchStats",
+    "DecodeSession",
+    "DecoderConfig",
+    "ExpandEvent",
+    "FixedBeamPruning",
+    "Frontier",
+    "KernelObserver",
     "Lattice",
     "LatticeDecoder",
     "NBestEntry",
-    "word_error_rate",
+    "PRUNING_STRATEGIES",
+    "PruneEvent",
+    "PruningStrategy",
+    "ReferenceKernel",
+    "SearchKernel",
+    "SearchStats",
+    "ViterbiDecoder",
+    "advance_sessions",
     "levenshtein",
+    "word_error_rate",
 ]

@@ -1,154 +1,36 @@
 """Vectorized multi-utterance batch decoding engine.
 
 :class:`repro.decoder.viterbi.ViterbiDecoder` is the faithful scalar
-reference: per frame it walks a Python dict of tokens, expanding arcs one
-by one.  That is the right shape for validating the accelerator model but
-is the wrong shape for serving traffic -- the per-token interpreter
-overhead dominates.  This module restructures the exact same recurrence
-into flat array sweeps over the :class:`repro.wfst.layout.FlatLayout`
-Structure-of-Arrays view:
+reference; this module is the serving-shaped engine over the *same*
+recurrence.  Since the kernel refactor the array sweeps themselves live
+in :class:`repro.decoder.kernel.SearchKernel` (bulk CSR arc gather,
+fused float64 score accumulation, segment-max destination merge,
+round-based epsilon closure over the sorted
+:class:`~repro.decoder.kernel.Frontier`); ``BatchDecoder`` binds a
+kernel to a graph and runs many utterances through it in lockstep.
 
-* **bulk arc gather** -- the whole frontier's arc blocks are materialized
-  at once from the CSR offsets (``np.repeat`` + ``cumsum`` prefix trick);
-* **vectorized accumulation** -- ``score[src] + weight + acoustic[frame,
-  ilabel]`` is one fused array expression (float64 end to end, matching the
-  scalar decoder's arithmetic bit for bit);
-* **segment-max merging** -- the best incoming arc per destination state is
-  found with one ``lexsort``-based reduction instead of dict relaxation;
-* **vectorized pruning** -- beam pruning is a boolean mask, histogram
-  (``max_active``) pruning one stable ``argsort``;
-* **epsilon closure by rounds** -- each round relaxes every epsilon arc of
-  the improved frontier at once; the epsilon subgraph is acyclic, so the
-  rounds converge in at most its depth.
-
-:class:`BatchDecoder` runs many utterances through this engine in
-lockstep: one shared compiled graph, one frontier per utterance, all
-frontiers advanced frame by frame.  Word output is equivalent to the
-scalar decoder (asserted in ``tests/test_batch_decoder.py``); path scores
-are bit-identical because the per-path float additions associate in the
-same order.  Ties between equal-likelihood paths may resolve to a
-different (equally optimal) predecessor, and the order-dependent
-``tokens_updated`` / ``epsilon_arcs_processed`` counters are engine
-approximations; every other :class:`SearchStats` counter keeps the
-reference semantics.
+Word output is equivalent to the scalar decoder (asserted in
+``tests/test_batch_decoder.py`` and the cross-engine property suite in
+``tests/test_kernel_equivalence.py``); path scores are bit-identical
+because the per-path float additions associate in the same order.  Ties
+between equal-likelihood paths may resolve to a different (equally
+optimal) predecessor, and the order-dependent ``tokens_updated`` /
+``epsilon_arcs_processed`` counters are engine approximations; every
+other :class:`SearchStats` counter keeps the reference semantics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Sequence, Tuple
-
-import numpy as np
+from typing import TYPE_CHECKING, List, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.decoder.session import DecodeSession
 
 from repro.common.errors import DecodeError
-from repro.common.logmath import LOG_ZERO
 from repro.acoustic.scorer import AcousticScores
-from repro.decoder.result import DecodeResult, SearchStats
-from repro.decoder.viterbi import BeamSearchConfig
+from repro.decoder.kernel import DecoderConfig, SearchKernel
+from repro.decoder.result import DecodeResult
 from repro.wfst.layout import CompiledWfst, FlatLayout
-
-
-def _csr_gather(first: np.ndarray, counts: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Flatten CSR arc blocks into ``(arc_indices, source_rows)``.
-
-    ``first[i]`` / ``counts[i]`` describe a contiguous block of arcs; the
-    result enumerates every arc of every block in block order, plus the row
-    ``i`` each arc came from.
-    """
-    total = int(counts.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty
-    src = np.repeat(np.arange(len(first), dtype=np.int64), counts)
-    ends = np.cumsum(counts)
-    offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
-    return first[src] + offsets, src
-
-
-def _segment_best(dest: np.ndarray, score: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Per unique destination, the position of its best-scoring candidate.
-
-    Returns ``(unique_dests_sorted, winner_positions)``.  Ties keep the
-    earliest candidate (source-major, arc order), mirroring the scalar
-    decoder's first-wins relaxation.
-    """
-    order = np.lexsort((-score, dest))
-    sorted_dest = dest[order]
-    first = np.empty(len(order), dtype=bool)
-    first[0] = True
-    first[1:] = sorted_dest[1:] != sorted_dest[:-1]
-    return sorted_dest[first], order[first]
-
-
-class _BulkTrace:
-    """Append-only token trace with bulk (array) appends.
-
-    Same contract as the scalar decoder's ``_TokenTrace`` -- one
-    ``(predecessor index, word)`` record per token write -- but records
-    arrive a frame's worth at a time into capacity-doubling arrays, so
-    appends are amortized O(1) and backtracking is O(path length) at any
-    point (streaming sessions backtrack repeatedly for partials).
-    """
-
-    def __init__(self) -> None:
-        self._prev = np.empty(64, dtype=np.int64)
-        self._word = np.empty(64, dtype=np.int64)
-        self._size = 0
-
-    def append_bulk(self, prev: np.ndarray, word: np.ndarray) -> np.ndarray:
-        """Append records; returns their trace indices."""
-        new_size = self._size + len(prev)
-        if new_size > len(self._prev):
-            capacity = max(new_size, 2 * len(self._prev))
-            self._prev = np.concatenate(
-                [self._prev[: self._size],
-                 np.empty(capacity - self._size, dtype=np.int64)]
-            )
-            self._word = np.concatenate(
-                [self._word[: self._size],
-                 np.empty(capacity - self._size, dtype=np.int64)]
-            )
-        indices = np.arange(self._size, new_size, dtype=np.int64)
-        self._prev[self._size: new_size] = prev
-        self._word[self._size: new_size] = word
-        self._size = new_size
-        return indices
-
-    def backtrack(self, index: int) -> List[int]:
-        prev, word = self._prev, self._word
-        words: List[int] = []
-        i = int(index)
-        while i >= 0:
-            w = int(word[i])
-            if w != 0:
-                words.append(w)
-            i = int(prev[i])
-        words.reverse()
-        return words
-
-    def __len__(self) -> int:
-        return self._size
-
-
-@dataclass
-class _Frontier:
-    """Per-utterance search state between frames.
-
-    ``states`` is kept sorted ascending; ``scores`` / ``bps`` are parallel
-    to it.  The invariant makes the epsilon-closure merges a sorted-array
-    merge instead of a hash probe.  ``num_frames`` counts the frames
-    consumed so far (sessions grow it one push at a time).
-    """
-
-    states: np.ndarray
-    scores: np.ndarray
-    bps: np.ndarray
-    trace: _BulkTrace
-    stats: SearchStats
-    num_frames: int
 
 
 class BatchDecoder:
@@ -162,15 +44,20 @@ class BatchDecoder:
     def __init__(
         self,
         graph: CompiledWfst,
-        config: BeamSearchConfig = BeamSearchConfig(),
+        config: DecoderConfig = DecoderConfig(),
     ) -> None:
         self.graph = graph
         self.config = config
-        self.flat: FlatLayout = graph.flat()
-        #: Shortest score row that every arc's ilabel can index safely.
-        self.min_score_width: int = (
-            int(self.flat.arc_ilabel.max()) + 1 if self.flat.num_arcs else 1
-        )
+        self.kernel = SearchKernel(graph, config)
+
+    @property
+    def flat(self) -> FlatLayout:
+        return self.kernel.flat
+
+    @property
+    def min_score_width(self) -> int:
+        """Shortest score row that every arc's ilabel can index safely."""
+        return self.kernel.min_score_width
 
     # ------------------------------------------------------------------
     def open_session(self) -> "DecodeSession":
@@ -197,8 +84,8 @@ class BatchDecoder:
         finalized after its own last frame.  Results come back in input
         order and match per-utterance :meth:`decode` exactly.  Each
         utterance runs as a :class:`DecodeSession`; frames advance through
-        the fused multi-session sweep, one numpy pass per frame for the
-        whole batch.
+        the kernel's fused multi-session sweep, one numpy pass per frame
+        for the whole batch.
         """
         from repro.decoder.session import advance_sessions
 
@@ -219,166 +106,3 @@ class BatchDecoder:
                 ]
             )
         return [session.finalize() for session in sessions]
-
-    # ------------------------------------------------------------------
-    def _init_frontier(self) -> _Frontier:
-        trace = _BulkTrace()
-        root = trace.append_bulk(
-            np.array([-1], dtype=np.int64), np.array([0], dtype=np.int64)
-        )
-        frontier = _Frontier(
-            states=np.array([self.graph.start], dtype=np.int64),
-            scores=np.array([0.0], dtype=np.float64),
-            bps=root,
-            trace=trace,
-            stats=SearchStats(),
-            num_frames=0,
-        )
-        self._epsilon_closure(frontier)
-        return frontier
-
-    def _advance(
-        self, frontier: _Frontier, frame: int, frame_scores: np.ndarray
-    ) -> None:
-        """One frame of the recurrence: prune, expand, merge, closure."""
-        config = self.config
-        flat = self.flat
-        stats = frontier.stats
-        if frontier.states.size == 0:
-            raise DecodeError(f"beam emptied the search at frame {frame}")
-
-        # Beam pruning: one mask against best - beam.
-        best = frontier.scores.max()
-        keep = frontier.scores >= best - config.beam
-        n_keep = int(np.count_nonzero(keep))
-        stats.tokens_pruned += frontier.states.size - n_keep
-        states = frontier.states[keep]
-        scores = frontier.scores[keep]
-        bps = frontier.bps[keep]
-
-        # Histogram pruning: stable top-max_active by score.
-        if config.max_active and n_keep > config.max_active:
-            order = np.argsort(-scores, kind="stable")[: config.max_active]
-            order.sort()
-            stats.tokens_pruned += n_keep - config.max_active
-            states = states[order]
-            scores = scores[order]
-            bps = bps[order]
-
-        stats.active_tokens_per_frame.append(states.size)
-        stats.states_expanded += states.size
-        stats.visited_state_degrees.extend(flat.out_degree[states].tolist())
-
-        # Bulk gather of every surviving state's non-epsilon arc block.
-        arc_idx, src = _csr_gather(flat.first_arc[states], flat.num_non_eps[states])
-        stats.arcs_processed += arc_idx.size
-        if arc_idx.size == 0:
-            # No outgoing non-epsilon arcs anywhere: the next frame starts
-            # with an empty frontier, like the scalar decoder.
-            frontier.states = np.empty(0, dtype=np.int64)
-            frontier.scores = np.empty(0, dtype=np.float64)
-            frontier.bps = np.empty(0, dtype=np.int64)
-            return
-
-        dest = flat.arc_dest[arc_idx]
-        new_scores = (
-            scores[src]
-            + flat.arc_weight64[arc_idx]
-            + frame_scores[flat.arc_ilabel[arc_idx]]
-        )
-
-        # Segment-max merge: best incoming arc per destination token.
-        next_states, winners = _segment_best(dest, new_scores)
-        trace_idx = frontier.trace.append_bulk(
-            bps[src[winners]], flat.arc_olabel[arc_idx[winners]]
-        )
-        stats.tokens_created += next_states.size
-
-        frontier.states = next_states
-        frontier.scores = new_scores[winners]
-        frontier.bps = trace_idx
-        self._epsilon_closure(frontier)
-
-    def _epsilon_closure(self, frontier: _Frontier) -> None:
-        """Relax epsilon arcs to fixpoint, a whole frontier per round."""
-        flat = self.flat
-        stats = frontier.stats
-        if frontier.states.size == 0:
-            return
-        # (states, scores, bps) of tokens whose score improved last round.
-        active = (frontier.states, frontier.scores, frontier.bps)
-        while active[0].size:
-            states, scores, bps = active
-            arc_idx, src = _csr_gather(flat.eps_first[states], flat.num_eps[states])
-            if arc_idx.size == 0:
-                break
-            stats.epsilon_arcs_processed += arc_idx.size
-
-            dest = flat.arc_dest[arc_idx]
-            cand_scores = scores[src] + flat.arc_weight64[arc_idx]
-            uniq, winners = _segment_best(dest, cand_scores)
-            cand_scores = cand_scores[winners]
-            cand_prev = bps[src[winners]]
-            cand_word = flat.arc_olabel[arc_idx[winners]]
-
-            # Merge candidates into the sorted token arrays: a candidate
-            # wins if its state is new or strictly better (ties keep the
-            # existing token, like the scalar decoder).
-            pos = np.searchsorted(frontier.states, uniq)
-            pos_clipped = np.minimum(pos, frontier.states.size - 1)
-            exists = (pos < frontier.states.size) & (
-                frontier.states[pos_clipped] == uniq
-            )
-            improves = exists & (cand_scores > frontier.scores[pos_clipped])
-            is_new = ~exists
-            accepted = improves | is_new
-            if not accepted.any():
-                break
-
-            trace_idx = frontier.trace.append_bulk(
-                cand_prev[accepted], cand_word[accepted]
-            )
-            acc_rows = np.nonzero(accepted)[0]
-            imp_in_acc = improves[acc_rows]
-            new_in_acc = is_new[acc_rows]
-            stats.tokens_created += int(np.count_nonzero(new_in_acc))
-            stats.tokens_updated += int(np.count_nonzero(imp_in_acc))
-
-            # In-place update of improved existing tokens ...
-            upd = pos[improves]
-            frontier.scores[upd] = cand_scores[improves]
-            frontier.bps[upd] = trace_idx[imp_in_acc]
-            # ... and sorted insertion of brand-new ones.
-            ins = pos[is_new]
-            frontier.states = np.insert(frontier.states, ins, uniq[is_new])
-            frontier.scores = np.insert(frontier.scores, ins, cand_scores[is_new])
-            frontier.bps = np.insert(frontier.bps, ins, trace_idx[new_in_acc])
-
-            active = (uniq[accepted], cand_scores[accepted], trace_idx)
-
-    def _finalize(self, frontier: _Frontier) -> DecodeResult:
-        """Pick the best (preferably final) token and backtrack."""
-        if frontier.states.size == 0:
-            raise DecodeError("no active tokens at the end of the utterance")
-
-        finals = self.flat.final_weights[frontier.states]
-        final_mask = finals > LOG_ZERO / 2
-        if final_mask.any():
-            totals = frontier.scores[final_mask] + finals[final_mask]
-            i = int(np.argmax(totals))
-            score = float(totals[i])
-            bp = int(frontier.bps[final_mask][i])
-            reached_final = True
-        else:
-            i = int(np.argmax(frontier.scores))
-            score = float(frontier.scores[i])
-            bp = int(frontier.bps[i])
-            reached_final = False
-
-        words = frontier.trace.backtrack(bp)
-        return DecodeResult(
-            words=tuple(words),
-            log_likelihood=score,
-            reached_final=reached_final,
-            stats=frontier.stats,
-        )

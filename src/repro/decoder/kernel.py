@@ -1,0 +1,1269 @@
+"""The one frame-recurrence kernel under every decode engine.
+
+Every engine in this repository -- the scalar reference decoder, the
+vectorized batch engine, streaming sessions, the lattice decoder, the GPU
+workload model and the accelerator trace recorder -- runs the same
+algorithm: the WFST token-passing beam search of the paper's Section II.
+Per 10 ms frame the recurrence is
+
+    prune -> non-epsilon expand -> destination merge -> epsilon closure
+
+This module is the single home of that recurrence.  It provides two
+*disciplines* over one shared configuration, pruning-strategy layer and
+observer protocol:
+
+* :class:`SearchKernel` -- the vectorized discipline.  One
+  :meth:`~SearchKernel.step_frame` advances a :class:`Frontier` by one
+  frame as flat numpy sweeps over the
+  :class:`~repro.wfst.layout.FlatLayout` Structure-of-Arrays graph view
+  (bulk CSR arc gather, fused score accumulation, segment-max merge,
+  round-based epsilon closure).  :meth:`~SearchKernel.fused_step`
+  advances many frontiers in a single combined sweep (the continuous
+  batching fast path).  ``BatchDecoder``, ``DecodeSession``,
+  ``LatticeDecoder`` and ``GpuViterbiDecoder`` all run on it.
+
+* :class:`ReferenceKernel` -- the scalar oracle discipline.  A dict-based
+  token walk that reproduces the *exact* event order of the hardware
+  model in :class:`repro.accel.simulator.AcceleratorSimulator`: tokens
+  are walked in insertion order, relaxations are first-wins on ties, and
+  the epsilon closure is a FIFO worklist with re-visits on improvement.
+  ``ViterbiDecoder`` and ``repro.accel.trace.TraceRecorder`` run on it --
+  the recorder as a :class:`KernelObserver` -- which is what keeps trace
+  replay cycle-identical to the monolithic simulator.
+
+Both disciplines compute the same fixpoint per frame, so word output,
+path likelihoods and every order-independent counter (``tokens_pruned``,
+``states_expanded``, ``arcs_processed``, ``tokens_created``,
+``active_tokens_per_frame``) agree across all engines; only the
+order-dependent ``tokens_updated`` / ``epsilon_arcs_processed`` counters
+are discipline approximations in the vectorized kernel.
+
+Pruning strategies
+------------------
+Pruning is a pluggable per-utterance strategy created from
+:class:`DecoderConfig` (one fresh instance per decode; see
+:meth:`DecoderConfig.make_pruner`):
+
+* ``pruning="beam"`` -- the classic fixed beam: a token survives if its
+  likelihood is within ``beam`` of the frame's best.  With
+  ``max_active > 0`` a histogram cap keeps only the best ``max_active``
+  survivors (this beam+cap combination is the paper's operating point).
+* ``pruning="adaptive"`` -- the executable version of the paper's Fig. 9
+  beam ablation axis: the beam widens/narrows multiplicatively every
+  frame to hold the *post-beam* survivor count near ``target_active``,
+  clamped to ``[min_beam, max_beam]``.  The adaptation signal is the
+  survivor count before the histogram cap, so the feedback is identical
+  in every engine and the fused multi-session sweep.
+
+Observer protocol
+-----------------
+Engines that need more than the decode result subscribe a
+:class:`KernelObserver` instead of forking the recurrence: the kernel
+emits :class:`PruneEvent` / :class:`ExpandEvent` / :class:`ClosureEvent`
+payloads in issue order.  The lattice decoder captures its arc DAG, the
+GPU model derives kernel-launch/atomic work counts, and the accelerator
+trace recorder captures the full hardware event stream this way.  Event
+construction is skipped entirely when no observers are attached.
+
+Emptied-beam policy (shared by every engine)
+--------------------------------------------
+* If the frontier is empty at the *start* of a frame -- which can only
+  happen when the previous frame's survivors had no outgoing non-epsilon
+  arcs -- the kernel raises :class:`~repro.common.errors.DecodeError`
+  (``"beam emptied the search at frame F"``).  There is no silent
+  fallback mid-utterance: an empty frontier means the graph cannot
+  consume the remaining audio.
+* At *finalize*, if no live token is in a final state, every engine
+  falls back to the best live token and reports
+  ``reached_final=False`` rather than raising.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigError, DecodeError
+from repro.common.logmath import LOG_ZERO
+from repro.acoustic.scorer import AcousticScores
+from repro.decoder.result import DecodeResult, SearchStats
+from repro.wfst.layout import CompiledWfst, FlatLayout
+
+#: Pruning strategies selectable through :class:`DecoderConfig`.
+PRUNING_STRATEGIES = ("beam", "adaptive")
+
+
+# ----------------------------------------------------------------------
+# Configuration and pruning strategies
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DecoderConfig:
+    """Search parameters shared by every decode engine.
+
+    Attributes:
+        beam: log-likelihood pruning window below the frame's best token
+            (the initial window under ``pruning="adaptive"``).
+        max_active: hard cap on surviving tokens per frame (histogram
+            pruning); 0 disables the cap.
+        pruning: ``"beam"`` (fixed window) or ``"adaptive"`` (the window
+            tracks ``target_active``); see the module docstring.
+        target_active: adaptive-beam target for the post-beam survivor
+            count per frame (required > 0 when ``pruning="adaptive"``).
+        min_beam / max_beam: clamp range of the adaptive window.
+            ``max_beam=0`` defaults to ``4 * beam``.
+        adapt_rate: exponent of the multiplicative update
+            ``beam *= (target_active / survivors) ** adapt_rate``;
+            in (0, 1], higher reacts faster.
+    """
+
+    beam: float = 12.0
+    max_active: int = 0
+    pruning: str = "beam"
+    target_active: int = 0
+    min_beam: float = 1.0
+    max_beam: float = 0.0
+    adapt_rate: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.beam <= 0:
+            raise ConfigError("beam must be positive")
+        if self.max_active < 0:
+            raise ConfigError("max_active must be >= 0")
+        if self.pruning not in PRUNING_STRATEGIES:
+            raise ConfigError(
+                f"unknown pruning strategy {self.pruning!r} "
+                f"(choose from {PRUNING_STRATEGIES})"
+            )
+        if self.target_active < 0:
+            raise ConfigError("target_active must be >= 0")
+        if self.pruning == "adaptive":
+            if self.target_active == 0:
+                raise ConfigError(
+                    "adaptive pruning requires target_active > 0"
+                )
+            if self.min_beam <= 0:
+                raise ConfigError("min_beam must be positive")
+            if self.min_beam > self.beam:
+                raise ConfigError("min_beam must not exceed beam")
+            if self.resolved_max_beam < self.beam:
+                raise ConfigError("max_beam must be >= beam (or 0 for auto)")
+            if not 0 < self.adapt_rate <= 1:
+                raise ConfigError("adapt_rate must be in (0, 1]")
+
+    @property
+    def resolved_max_beam(self) -> float:
+        """The adaptive clamp ceiling (``max_beam`` or ``4 * beam``)."""
+        return self.max_beam if self.max_beam > 0 else 4.0 * self.beam
+
+    def make_pruner(self) -> "PruningStrategy":
+        """A fresh per-utterance pruning strategy instance."""
+        if self.pruning == "adaptive":
+            return AdaptiveBeamPruning(self)
+        return FixedBeamPruning(self)
+
+
+#: Backwards-compatible alias: the pre-kernel name of the search config.
+BeamSearchConfig = DecoderConfig
+
+
+class PruningStrategy:
+    """Per-utterance pruning state driving one decode.
+
+    The kernel calls, once per frame and in this order:
+
+    1. :meth:`threshold` with the frame's best token score -- tokens with
+       ``score >= threshold`` survive the beam;
+    2. :meth:`cap` -- if positive and the survivors exceed it, only the
+       best ``cap`` tokens are kept (histogram pruning);
+    3. :meth:`observe` with the *post-beam, pre-cap* survivor count --
+       the adaptation feedback.
+
+    All arithmetic runs on plain Python floats so every engine (scalar,
+    vectorized, fused multi-session) prunes bit-identically.
+    """
+
+    def threshold(self, best: float) -> float:
+        raise NotImplementedError
+
+    def cap(self) -> int:
+        raise NotImplementedError
+
+    def observe(self, survivors: int) -> None:
+        raise NotImplementedError
+
+    @property
+    def current_beam(self) -> float:
+        raise NotImplementedError
+
+
+class FixedBeamPruning(PruningStrategy):
+    """Fixed beam window with an optional histogram cap."""
+
+    def __init__(self, config: DecoderConfig) -> None:
+        self._beam = float(config.beam)
+        self._cap = int(config.max_active)
+
+    def threshold(self, best: float) -> float:
+        return best - self._beam
+
+    def cap(self) -> int:
+        return self._cap
+
+    def observe(self, survivors: int) -> None:  # fixed window: no feedback
+        pass
+
+    @property
+    def current_beam(self) -> float:
+        return self._beam
+
+
+class AdaptiveBeamPruning(PruningStrategy):
+    """Beam window that tracks a target active-token count.
+
+    After each frame's beam pruning the window is scaled by
+    ``(target_active / survivors) ** adapt_rate`` and clamped to
+    ``[min_beam, max_beam]``: too many survivors narrow the beam, too few
+    widen it.  The update uses the pre-cap survivor count, so composing
+    with ``max_active`` does not saturate the feedback signal.
+    """
+
+    def __init__(self, config: DecoderConfig) -> None:
+        self._beam = float(config.beam)
+        self._cap = int(config.max_active)
+        self._target = int(config.target_active)
+        self._min = float(config.min_beam)
+        self._max = float(config.resolved_max_beam)
+        self._rate = float(config.adapt_rate)
+
+    def threshold(self, best: float) -> float:
+        return best - self._beam
+
+    def cap(self) -> int:
+        return self._cap
+
+    def observe(self, survivors: int) -> None:
+        ratio = self._target / max(survivors, 1)
+        beam = self._beam * ratio ** self._rate
+        self._beam = min(max(beam, self._min), self._max)
+
+    @property
+    def current_beam(self) -> float:
+        return self._beam
+
+
+# ----------------------------------------------------------------------
+# Observer protocol
+# ----------------------------------------------------------------------
+@dataclass
+class PruneEvent:
+    """One frame's pruning, in token-walk order.
+
+    ``walk_states`` is the full pre-prune token walk (the State Issuer's
+    hash-table read order in the reference discipline; ascending state
+    order in the vectorized discipline).  ``survivor_states`` /
+    ``survivor_read_idx`` give the post-prune tokens in issue order and
+    their positions within the walk.
+    """
+
+    frame: int
+    walk_states: Sequence[int]
+    survivor_states: Sequence[int]
+    survivor_read_idx: Sequence[int]
+    threshold: float
+    beam_pruned: int
+    cap_pruned: int
+
+
+@dataclass
+class ExpandEvent:
+    """One frame's non-epsilon expansion, in issue order.
+
+    Per survivor: ``states`` / ``first`` / ``n_arcs`` / ``read_idx`` (the
+    contiguous arc block and walk position).  Per arc: ``arc_idx`` /
+    ``arc_dest`` plus, per discipline, ``arc_src`` (survivor ordinal) and
+    ``arc_scores`` (candidate path scores, vectorized discipline only)
+    or ``improved`` (exact running relaxation-won flags, reference
+    discipline only -- the backpointer-write stream).
+    """
+
+    frame: int
+    frame_scores: Sequence[float]
+    states: Sequence[int]
+    first: Sequence[int]
+    n_arcs: Sequence[int]
+    read_idx: Sequence[int]
+    arc_idx: Sequence[int]
+    arc_dest: Sequence[int]
+    arc_src: Optional[Sequence[int]] = None
+    arc_scores: Optional[Sequence[float]] = None
+    improved: Optional[Sequence[bool]] = None
+
+
+@dataclass
+class ClosureEvent:
+    """One epsilon-closure pass (reference) or round (vectorized).
+
+    ``pass_index`` 0 is the initial closure from the start state; pass
+    ``f + 1`` is the closure inside frame ``f``.  The reference
+    discipline emits exactly one event per pass covering the whole FIFO
+    worklist, with ``src`` provenance (index of the epsilon arc event
+    that enqueued each visit, -1 for seeds); the vectorized discipline
+    emits one event per relaxation round with ``round_index`` counting
+    rounds and ``src=None``.  ``improved`` flags are exact in the
+    reference discipline and measured against the pre-round token scores
+    in the vectorized one.
+    """
+
+    pass_index: int
+    round_index: int
+    states: Sequence[int]
+    first: Sequence[int]
+    n_arcs: Sequence[int]
+    src: Optional[Sequence[int]]
+    arc_idx: Sequence[int]
+    arc_dest: Sequence[int]
+    arc_src: Optional[Sequence[int]] = None
+    arc_scores: Optional[Sequence[float]] = None
+    improved: Optional[Sequence[bool]] = None
+
+
+class KernelObserver:
+    """Base observer: subclass and override what you need.
+
+    Events arrive in issue order: per frame one :meth:`on_prune`, one
+    :meth:`on_expand` (even when the frontier has no non-epsilon arcs)
+    and one or more :meth:`on_closure` (one per pass in the reference
+    discipline -- always emitted, possibly empty -- or one per non-empty
+    round in the vectorized discipline, where a pass with no epsilon
+    work emits nothing).
+    """
+
+    def on_prune(self, event: PruneEvent) -> None:
+        pass
+
+    def on_expand(self, event: ExpandEvent) -> None:
+        pass
+
+    def on_closure(self, event: ClosureEvent) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Shared backpointer trace (vectorized discipline)
+# ----------------------------------------------------------------------
+class TokenTrace:
+    """Append-only token trace with bulk (array) appends.
+
+    One ``(predecessor index, word)`` record per token write -- the
+    software analogue of the accelerator's token array in main memory.
+    Records arrive a frame's worth at a time into capacity-doubling
+    arrays, so appends are amortized O(1) and backtracking is O(path
+    length) at any point (streaming sessions backtrack repeatedly for
+    partials).
+    """
+
+    def __init__(self) -> None:
+        self._prev = np.empty(64, dtype=np.int64)
+        self._word = np.empty(64, dtype=np.int64)
+        self._size = 0
+
+    def append_bulk(self, prev: np.ndarray, word: np.ndarray) -> np.ndarray:
+        """Append records; returns their trace indices."""
+        new_size = self._size + len(prev)
+        if new_size > len(self._prev):
+            capacity = max(new_size, 2 * len(self._prev))
+            self._prev = np.concatenate(
+                [self._prev[: self._size],
+                 np.empty(capacity - self._size, dtype=np.int64)]
+            )
+            self._word = np.concatenate(
+                [self._word[: self._size],
+                 np.empty(capacity - self._size, dtype=np.int64)]
+            )
+        indices = np.arange(self._size, new_size, dtype=np.int64)
+        self._prev[self._size: new_size] = prev
+        self._word[self._size: new_size] = word
+        self._size = new_size
+        return indices
+
+    def backtrack(self, index: int) -> List[int]:
+        prev, word = self._prev, self._word
+        words: List[int] = []
+        i = int(index)
+        while i >= 0:
+            w = int(word[i])
+            if w != 0:
+                words.append(w)
+            i = int(prev[i])
+        words.reverse()
+        return words
+
+    def __len__(self) -> int:
+        return self._size
+
+
+# ----------------------------------------------------------------------
+# Array helpers shared by the vectorized kernel and the GPU model
+# ----------------------------------------------------------------------
+def _csr_gather(first: np.ndarray, counts: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten CSR arc blocks into ``(arc_indices, source_rows)``.
+
+    ``first[i]`` / ``counts[i]`` describe a contiguous block of arcs; the
+    result enumerates every arc of every block in block order, plus the row
+    ``i`` each arc came from.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    src = np.repeat(np.arange(len(first), dtype=np.int64), counts)
+    ends = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    return first[src] + offsets, src
+
+
+def _segment_best(dest: np.ndarray, score: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per unique destination, the position of its best-scoring candidate.
+
+    Returns ``(unique_dests_sorted, winner_positions)``.  Ties keep the
+    earliest candidate (source-major, arc order), mirroring the reference
+    discipline's first-wins relaxation.
+    """
+    order = np.lexsort((-score, dest))
+    sorted_dest = dest[order]
+    first = np.empty(len(order), dtype=bool)
+    first[0] = True
+    first[1:] = sorted_dest[1:] != sorted_dest[:-1]
+    return sorted_dest[first], order[first]
+
+
+# ----------------------------------------------------------------------
+# Frontier: one utterance's live search state
+# ----------------------------------------------------------------------
+@dataclass
+class Frontier:
+    """Per-utterance search state between frames.
+
+    ``states`` is kept sorted ascending; ``scores`` / ``bps`` are parallel
+    to it.  The invariant makes the epsilon-closure merges a sorted-array
+    merge instead of a hash probe.  ``num_frames`` counts the frames
+    consumed so far (sessions grow it one push at a time).  Each frontier
+    owns its pruning-strategy state and observer list.
+    """
+
+    states: np.ndarray
+    scores: np.ndarray
+    bps: np.ndarray
+    trace: TokenTrace
+    stats: SearchStats
+    num_frames: int
+    pruner: PruningStrategy
+    observers: Tuple[KernelObserver, ...] = ()
+
+
+def _set_empty(frontier: Frontier) -> None:
+    frontier.states = np.empty(0, dtype=np.int64)
+    frontier.scores = np.empty(0, dtype=np.float64)
+    frontier.bps = np.empty(0, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# The vectorized discipline
+# ----------------------------------------------------------------------
+class SearchKernel:
+    """Vectorized frame recurrence over the SoA graph view.
+
+    One kernel instance is shared by every frontier on a graph (the flat
+    layout and config are immutable); per-utterance state lives in the
+    :class:`Frontier`.
+    """
+
+    def __init__(
+        self, graph: CompiledWfst, config: DecoderConfig = DecoderConfig()
+    ) -> None:
+        self.graph = graph
+        self.config = config
+        self.flat: FlatLayout = graph.flat()
+        #: Shortest score row that every arc's ilabel can index safely.
+        self.min_score_width: int = (
+            int(self.flat.arc_ilabel.max()) + 1 if self.flat.num_arcs else 1
+        )
+
+    # ------------------------------------------------------------------
+    def init_frontier(
+        self, observers: Sequence[KernelObserver] = ()
+    ) -> Frontier:
+        """A fresh frontier at the start state, epsilon closure applied."""
+        trace = TokenTrace()
+        root = trace.append_bulk(
+            np.array([-1], dtype=np.int64), np.array([0], dtype=np.int64)
+        )
+        frontier = Frontier(
+            states=np.array([self.graph.start], dtype=np.int64),
+            scores=np.array([0.0], dtype=np.float64),
+            bps=root,
+            trace=trace,
+            stats=SearchStats(),
+            num_frames=0,
+            pruner=self.config.make_pruner(),
+            observers=tuple(observers),
+        )
+        self._closure(frontier, pass_index=0)
+        return frontier
+
+    def step_frame(
+        self, frontier: Frontier, frame: int, frame_scores: np.ndarray
+    ) -> None:
+        """One frame of the recurrence: prune, expand, merge, closure."""
+        flat = self.flat
+        stats = frontier.stats
+        observers = frontier.observers
+        if frontier.states.size == 0:
+            raise DecodeError(f"beam emptied the search at frame {frame}")
+
+        # Beam pruning: one mask against the strategy's threshold.
+        pruner = frontier.pruner
+        threshold = pruner.threshold(float(frontier.scores.max()))
+        keep = frontier.scores >= threshold
+        n_keep = int(np.count_nonzero(keep))
+        beam_pruned = frontier.states.size - n_keep
+        stats.tokens_pruned += beam_pruned
+        states = frontier.states[keep]
+        scores = frontier.scores[keep]
+        bps = frontier.bps[keep]
+
+        # Histogram pruning: stable top-cap by score.
+        cap = pruner.cap()
+        cap_pruned = 0
+        order = None
+        if cap and n_keep > cap:
+            order = np.argsort(-scores, kind="stable")[:cap]
+            order.sort()
+            cap_pruned = n_keep - cap
+            stats.tokens_pruned += cap_pruned
+            states = states[order]
+            scores = scores[order]
+            bps = bps[order]
+        pruner.observe(n_keep)
+
+        if observers:
+            read_idx = np.nonzero(keep)[0]
+            if order is not None:
+                read_idx = read_idx[order]
+            event = PruneEvent(
+                frame=frame,
+                walk_states=frontier.states,
+                survivor_states=states,
+                survivor_read_idx=read_idx,
+                threshold=threshold,
+                beam_pruned=beam_pruned,
+                cap_pruned=cap_pruned,
+            )
+            for observer in observers:
+                observer.on_prune(event)
+
+        stats.active_tokens_per_frame.append(states.size)
+        stats.states_expanded += states.size
+        stats.visited_state_degrees.extend(flat.out_degree[states].tolist())
+
+        # Bulk gather of every surviving state's non-epsilon arc block.
+        first = flat.first_arc[states]
+        n_arcs = flat.num_non_eps[states]
+        arc_idx, src = _csr_gather(first, n_arcs)
+        stats.arcs_processed += arc_idx.size
+        dest = flat.arc_dest[arc_idx]
+        new_scores = (
+            scores[src]
+            + flat.arc_weight64[arc_idx]
+            + frame_scores[flat.arc_ilabel[arc_idx]]
+        ) if arc_idx.size else np.empty(0, dtype=np.float64)
+
+        if observers:
+            event = ExpandEvent(
+                frame=frame,
+                frame_scores=frame_scores,
+                states=states,
+                first=first,
+                n_arcs=n_arcs,
+                read_idx=read_idx,
+                arc_idx=arc_idx,
+                arc_dest=dest,
+                arc_src=src,
+                arc_scores=new_scores,
+            )
+            for observer in observers:
+                observer.on_expand(event)
+
+        if arc_idx.size == 0:
+            # No outgoing non-epsilon arcs anywhere: the next frame starts
+            # with an empty frontier (and raises, per the emptied-beam
+            # policy in the module docstring).
+            _set_empty(frontier)
+            return
+
+        # Segment-max merge: best incoming arc per destination token.
+        next_states, winners = _segment_best(dest, new_scores)
+        trace_idx = frontier.trace.append_bulk(
+            bps[src[winners]], flat.arc_olabel[arc_idx[winners]]
+        )
+        stats.tokens_created += next_states.size
+
+        frontier.states = next_states
+        frontier.scores = new_scores[winners]
+        frontier.bps = trace_idx
+        self._closure(frontier, pass_index=frame + 1)
+
+    def _closure(self, frontier: Frontier, pass_index: int) -> None:
+        """Relax epsilon arcs to fixpoint, a whole frontier per round."""
+        flat = self.flat
+        stats = frontier.stats
+        observers = frontier.observers
+        if frontier.states.size == 0:
+            return
+        # (states, scores, bps) of tokens whose score improved last round.
+        active = (frontier.states, frontier.scores, frontier.bps)
+        round_index = 0
+        while active[0].size:
+            states, scores, bps = active
+            eps_first = flat.eps_first[states]
+            n_eps = flat.num_eps[states]
+            arc_idx, src = _csr_gather(eps_first, n_eps)
+            if arc_idx.size == 0:
+                break
+            stats.epsilon_arcs_processed += arc_idx.size
+
+            dest = flat.arc_dest[arc_idx]
+            cand_scores = scores[src] + flat.arc_weight64[arc_idx]
+
+            if observers:
+                # Per-arc improvement vs the pre-round token scores (the
+                # GPU model's atomic-update semantics).
+                pos = np.searchsorted(frontier.states, dest)
+                pos_c = np.minimum(pos, frontier.states.size - 1)
+                exists = (pos < frontier.states.size) & (
+                    frontier.states[pos_c] == dest
+                )
+                existing = np.where(
+                    exists, frontier.scores[pos_c], np.float64(LOG_ZERO)
+                )
+                event = ClosureEvent(
+                    pass_index=pass_index,
+                    round_index=round_index,
+                    states=states,
+                    first=eps_first,
+                    n_arcs=n_eps,
+                    src=None,
+                    arc_idx=arc_idx,
+                    arc_dest=dest,
+                    arc_src=src,
+                    arc_scores=cand_scores,
+                    improved=cand_scores > existing,
+                )
+                for observer in observers:
+                    observer.on_closure(event)
+            round_index += 1
+
+            uniq, winners = _segment_best(dest, cand_scores)
+            cand_scores = cand_scores[winners]
+            cand_prev = bps[src[winners]]
+            cand_word = flat.arc_olabel[arc_idx[winners]]
+
+            # Merge candidates into the sorted token arrays: a candidate
+            # wins if its state is new or strictly better (ties keep the
+            # existing token, like the reference discipline).
+            pos = np.searchsorted(frontier.states, uniq)
+            pos_clipped = np.minimum(pos, frontier.states.size - 1)
+            exists = (pos < frontier.states.size) & (
+                frontier.states[pos_clipped] == uniq
+            )
+            improves = exists & (cand_scores > frontier.scores[pos_clipped])
+            is_new = ~exists
+            accepted = improves | is_new
+            if not accepted.any():
+                break
+
+            trace_idx = frontier.trace.append_bulk(
+                cand_prev[accepted], cand_word[accepted]
+            )
+            acc_rows = np.nonzero(accepted)[0]
+            imp_in_acc = improves[acc_rows]
+            new_in_acc = is_new[acc_rows]
+            stats.tokens_created += int(np.count_nonzero(new_in_acc))
+            stats.tokens_updated += int(np.count_nonzero(imp_in_acc))
+
+            # In-place update of improved existing tokens ...
+            upd = pos[improves]
+            frontier.scores[upd] = cand_scores[improves]
+            frontier.bps[upd] = trace_idx[imp_in_acc]
+            # ... and sorted insertion of brand-new ones.
+            ins = pos[is_new]
+            frontier.states = np.insert(frontier.states, ins, uniq[is_new])
+            frontier.scores = np.insert(frontier.scores, ins, cand_scores[is_new])
+            frontier.bps = np.insert(frontier.bps, ins, trace_idx[new_in_acc])
+
+            active = (uniq[accepted], cand_scores[accepted], trace_idx)
+
+    def finalize(self, frontier: Frontier) -> DecodeResult:
+        """Pick the best (preferably final) token and backtrack.
+
+        Falls back to the best live token (``reached_final=False``) when
+        no token is in a final state -- the shared emptied-beam policy.
+        """
+        if frontier.states.size == 0:
+            raise DecodeError("no active tokens at the end of the utterance")
+
+        finals = self.flat.final_weights[frontier.states]
+        final_mask = finals > LOG_ZERO / 2
+        if final_mask.any():
+            totals = frontier.scores[final_mask] + finals[final_mask]
+            i = int(np.argmax(totals))
+            score = float(totals[i])
+            bp = int(frontier.bps[final_mask][i])
+            reached_final = True
+        else:
+            i = int(np.argmax(frontier.scores))
+            score = float(frontier.scores[i])
+            bp = int(frontier.bps[i])
+            reached_final = False
+
+        words = frontier.trace.backtrack(bp)
+        return DecodeResult(
+            words=tuple(words),
+            log_likelihood=score,
+            reached_final=reached_final,
+            stats=frontier.stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Fused multi-frontier sweep (the continuous-batching fast path)
+    # ------------------------------------------------------------------
+    def fused_step(
+        self, frontiers: List[Frontier], frame_stack: np.ndarray
+    ) -> None:
+        """One frame of the recurrence for every frontier, fully fused.
+
+        Mirrors :meth:`step_frame` stage by stage over the session-major
+        concatenation of all frontiers, keyed by ``session * num_states +
+        state`` so sessions never mix; bit-identical per frontier to
+        stepping each alone.  Callers guarantee non-empty frontiers and
+        uniform score widths; observers are not supported on this path
+        (``advance_sessions`` falls back to solo stepping when attached).
+        """
+        config = self.config
+        flat = self.flat
+        n = len(frontiers)
+        num_states = flat.num_states
+
+        counts = np.array([f.states.size for f in frontiers], dtype=np.int64)
+        starts = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]]
+        )
+        states = np.concatenate([f.states for f in frontiers])
+        scores = np.concatenate([f.scores for f in frontiers])
+        bps = np.concatenate([f.bps for f in frontiers])
+        seg = np.repeat(np.arange(n, dtype=np.int64), counts)
+
+        # Beam pruning, per session (every count is > 0, checked by the
+        # caller).  Each frontier's strategy supplies its own threshold.
+        best = np.maximum.reduceat(scores, starts)
+        thresholds = np.array(
+            [
+                frontier.pruner.threshold(float(b))
+                for frontier, b in zip(frontiers, best)
+            ],
+            dtype=np.float64,
+        )
+        keep = scores >= thresholds[seg]
+        states, scores, bps, seg = states[keep], scores[keep], bps[keep], seg[keep]
+        kept = np.bincount(seg, minlength=n)
+        for i, frontier in enumerate(frontiers):
+            frontier.stats.tokens_pruned += int(counts[i] - kept[i])
+
+        # Histogram pruning: stable per-session top-cap by score.  The
+        # cap is a config constant, identical across strategies/sessions.
+        cap = config.max_active
+        if cap and (kept > cap).any():
+            order = np.lexsort((-scores, seg))
+            seg_sorted = seg[order]
+            seg_starts = np.searchsorted(seg_sorted, np.arange(n))
+            rank = np.arange(order.size, dtype=np.int64) - seg_starts[seg_sorted]
+            mask = np.zeros(order.size, dtype=bool)
+            mask[order[rank < cap]] = True
+            states, scores = states[mask], scores[mask]
+            bps, seg = bps[mask], seg[mask]
+            capped = np.bincount(seg, minlength=n)
+            for i, frontier in enumerate(frontiers):
+                frontier.stats.tokens_pruned += int(kept[i] - capped[i])
+                frontier.pruner.observe(int(kept[i]))
+            kept = capped
+        else:
+            for i, frontier in enumerate(frontiers):
+                frontier.pruner.observe(int(kept[i]))
+
+        bounds = np.cumsum(kept)[:-1]
+        degrees = flat.out_degree[states]
+        for i, (frontier, deg) in enumerate(zip(frontiers, np.split(degrees, bounds))):
+            frontier.stats.active_tokens_per_frame.append(int(kept[i]))
+            frontier.stats.states_expanded += int(kept[i])
+            frontier.stats.visited_state_degrees.extend(deg.tolist())
+
+        # Bulk arc gather across every session's surviving states at once.
+        arc_idx, src = _csr_gather(flat.first_arc[states], flat.num_non_eps[states])
+        arc_seg = seg[src]
+        arc_counts = np.bincount(arc_seg, minlength=n)
+        for frontier, c in zip(frontiers, arc_counts):
+            frontier.stats.arcs_processed += int(c)
+        if arc_idx.size == 0:
+            for frontier in frontiers:
+                _set_empty(frontier)
+            return
+
+        dest = flat.arc_dest[arc_idx]
+        new_scores = (
+            scores[src]
+            + flat.arc_weight64[arc_idx]
+            + frame_stack[arc_seg, flat.arc_ilabel[arc_idx]]
+        )
+
+        # Segment-max merge on the combined (session, state) key.
+        combined = arc_seg * num_states + dest
+        uniq, winners = _segment_best(combined, new_scores)
+        win_seg = arc_seg[winners]
+        win_counts = np.bincount(win_seg, minlength=n)
+        win_bounds = np.cumsum(win_counts)[:-1]
+        next_states = uniq - win_seg * num_states
+        next_scores = new_scores[winners]
+        prev = bps[src[winners]]
+        words = flat.arc_olabel[arc_idx[winners]]
+
+        for frontier, st, sc, pv, wd in zip(
+            frontiers,
+            np.split(next_states, win_bounds),
+            np.split(next_scores, win_bounds),
+            np.split(prev, win_bounds),
+            np.split(words, win_bounds),
+        ):
+            if st.size == 0:
+                _set_empty(frontier)
+                continue
+            frontier.bps = frontier.trace.append_bulk(pv, wd)
+            frontier.stats.tokens_created += st.size
+            frontier.states = st
+            frontier.scores = sc
+
+        self._fused_closure(frontiers)
+
+    def _fused_closure(self, frontiers: List[Frontier]) -> None:
+        """Epsilon closure to fixpoint over every frontier in lockstep rounds."""
+        flat = self.flat
+        n = len(frontiers)
+        num_states = flat.num_states
+
+        # Combined sorted token arrays: session-major concatenation keeps
+        # the (session * num_states + state) keys globally ascending.
+        f_comb = np.concatenate(
+            [f.states + i * num_states for i, f in enumerate(frontiers)]
+        )
+        f_scores = np.concatenate([f.scores for f in frontiers])
+        f_bps = np.concatenate([f.bps for f in frontiers])
+
+        act_comb, act_scores, act_bps = f_comb, f_scores, f_bps
+        while act_comb.size:
+            act_seg, act_states = np.divmod(act_comb, num_states)
+            arc_idx, src = _csr_gather(
+                flat.eps_first[act_states], flat.num_eps[act_states]
+            )
+            if arc_idx.size == 0:
+                break
+            arc_seg = act_seg[src]
+            eps_counts = np.bincount(arc_seg, minlength=n)
+            for frontier, c in zip(frontiers, eps_counts):
+                frontier.stats.epsilon_arcs_processed += int(c)
+
+            dest = flat.arc_dest[arc_idx]
+            cand = act_scores[src] + flat.arc_weight64[arc_idx]
+            uniq, winners = _segment_best(arc_seg * num_states + dest, cand)
+            cand_scores = cand[winners]
+            cand_prev = act_bps[src[winners]]
+            cand_word = flat.arc_olabel[arc_idx[winners]]
+            cand_seg = arc_seg[winners]
+
+            pos = np.searchsorted(f_comb, uniq)
+            pos_clipped = np.minimum(pos, f_comb.size - 1)
+            exists = (pos < f_comb.size) & (f_comb[pos_clipped] == uniq)
+            improves = exists & (cand_scores > f_scores[pos_clipped])
+            is_new = ~exists
+            accepted = improves | is_new
+            if not accepted.any():
+                break
+
+            # Trace records go to each session's own trace, in key order.
+            acc_seg = cand_seg[accepted]
+            acc_bounds = np.cumsum(np.bincount(acc_seg, minlength=n))[:-1]
+            trace_idx = np.concatenate(
+                [
+                    frontier.trace.append_bulk(pv, wd)
+                    for frontier, pv, wd in zip(
+                        frontiers,
+                        np.split(cand_prev[accepted], acc_bounds),
+                        np.split(cand_word[accepted], acc_bounds),
+                    )
+                ]
+            )
+            acc_rows = np.nonzero(accepted)[0]
+            imp_in_acc = improves[acc_rows]
+            new_in_acc = is_new[acc_rows]
+            created = np.bincount(acc_seg[new_in_acc], minlength=n)
+            updated = np.bincount(acc_seg[imp_in_acc], minlength=n)
+            for i, frontier in enumerate(frontiers):
+                frontier.stats.tokens_created += int(created[i])
+                frontier.stats.tokens_updated += int(updated[i])
+
+            upd = pos[improves]
+            f_scores[upd] = cand_scores[improves]
+            f_bps[upd] = trace_idx[imp_in_acc]
+            ins = pos[is_new]
+            f_comb = np.insert(f_comb, ins, uniq[is_new])
+            f_scores = np.insert(f_scores, ins, cand_scores[is_new])
+            f_bps = np.insert(f_bps, ins, trace_idx[new_in_acc])
+
+            act_comb = uniq[accepted]
+            act_scores = cand_scores[accepted]
+            act_bps = trace_idx
+
+        sizes = np.bincount(f_comb // num_states, minlength=n)
+        bounds = np.cumsum(sizes)[:-1]
+        for i, (frontier, st, sc, bp) in enumerate(
+            zip(
+                frontiers,
+                np.split(f_comb, bounds),
+                np.split(f_scores, bounds),
+                np.split(f_bps, bounds),
+            )
+        ):
+            frontier.states = st - i * num_states
+            frontier.scores = sc
+            frontier.bps = bp
+
+
+# ----------------------------------------------------------------------
+# The reference (scalar oracle) discipline
+# ----------------------------------------------------------------------
+class ReferenceKernel:
+    """Scalar token-passing discipline with exact hardware event order.
+
+    Reproduces, token for token, the functional search of
+    :class:`repro.accel.simulator.AcceleratorSimulator`: tokens walk in
+    hash-insertion (dict) order, relaxations are first-wins on ties, and
+    the epsilon closure is a FIFO worklist that re-visits tokens whose
+    score improves.  ``ViterbiDecoder`` is a thin wrapper over
+    :meth:`decode`; the accelerator's ``TraceRecorder`` subscribes a
+    :class:`KernelObserver` to capture the full event stream.
+
+    Arrays are pre-converted to plain Python lists once per kernel:
+    scalar list indexing is ~5x faster than numpy scalar indexing and
+    this discipline is all scalar indexing.
+    """
+
+    def __init__(
+        self, graph: CompiledWfst, config: DecoderConfig = DecoderConfig()
+    ) -> None:
+        self.graph = graph
+        self.config = config
+        flat = graph.flat()
+        self._first = flat.first_arc.tolist()
+        self._n_non_eps = flat.num_non_eps.tolist()
+        self._n_eps = flat.num_eps.tolist()
+        self._dest = flat.arc_dest.tolist()
+        self._weight = flat.arc_weight64.tolist()
+        self._ilabel = flat.arc_ilabel.tolist()
+        self._olabel = flat.arc_olabel.tolist()
+        self._final = flat.final_weights.tolist()
+
+    # ------------------------------------------------------------------
+    def decode(
+        self,
+        scores: AcousticScores,
+        observers: Sequence[KernelObserver] = (),
+    ) -> DecodeResult:
+        """Decode one utterance; returns the best word sequence."""
+        if scores.num_frames == 0:
+            raise DecodeError("no frames to decode")
+        num_frames = scores.num_frames
+        observers = tuple(observers)
+        pruner = self.config.make_pruner()
+        search = SearchStats(frames=num_frames)
+
+        # Backpointer trace (one record per token write).
+        trace_prev: List[int] = [-1]
+        trace_word: List[int] = [0]
+        # Live tokens: state -> (score, backpointer index).
+        tokens: Dict[int, Tuple[float, int]] = {self.graph.start: (0.0, 0)}
+
+        self._eps_pass(tokens, list(tokens.keys()), 0, search, observers,
+                       trace_prev, trace_word)
+
+        matrix = scores.matrix
+        for frame in range(num_frames):
+            frame_scores = matrix[frame].tolist()
+            if not tokens:
+                raise DecodeError(f"beam emptied the search at frame {frame}")
+            best = max(score for score, _ in tokens.values())
+            threshold = pruner.threshold(best)
+
+            walk_states: List[int] = []
+            survivors: List[Tuple[int, float, int, int]] = []
+            idx = 0
+            beam_pruned = 0
+            if observers:
+                for state, (score, bp) in tokens.items():
+                    walk_states.append(state)
+                    if score >= threshold:
+                        survivors.append((state, score, bp, idx))
+                    else:
+                        beam_pruned += 1
+                    idx += 1
+            else:
+                for state, (score, bp) in tokens.items():
+                    if score >= threshold:
+                        survivors.append((state, score, bp, idx))
+                    else:
+                        beam_pruned += 1
+                    idx += 1
+            search.tokens_pruned += beam_pruned
+            n_after_beam = len(survivors)
+            cap = pruner.cap()
+            cap_pruned = 0
+            if cap and n_after_beam > cap:
+                survivors.sort(key=lambda item: item[1], reverse=True)
+                cap_pruned = n_after_beam - cap
+                search.tokens_pruned += cap_pruned
+                survivors = survivors[:cap]
+            pruner.observe(n_after_beam)
+
+            if observers:
+                event = PruneEvent(
+                    frame=frame,
+                    walk_states=walk_states,
+                    survivor_states=[s for s, _, _, _ in survivors],
+                    survivor_read_idx=[r for _, _, _, r in survivors],
+                    threshold=threshold,
+                    beam_pruned=beam_pruned,
+                    cap_pruned=cap_pruned,
+                )
+                for observer in observers:
+                    observer.on_prune(event)
+
+            next_tokens: Dict[int, Tuple[float, int]] = {}
+            search.active_tokens_per_frame.append(len(survivors))
+
+            self._emit_pass(frame, survivors, next_tokens, frame_scores,
+                            search, observers, trace_prev, trace_word)
+            self._eps_pass(next_tokens, list(next_tokens.keys()), frame + 1,
+                           search, observers, trace_prev, trace_word)
+            tokens = next_tokens
+
+        return self._finalize(tokens, search, trace_prev, trace_word)
+
+    # ------------------------------------------------------------------
+    def _emit_pass(
+        self,
+        frame: int,
+        survivors: List[Tuple[int, float, int, int]],
+        next_tokens: Dict[int, Tuple[float, int]],
+        frame_scores: List[float],
+        search: SearchStats,
+        observers: Tuple[KernelObserver, ...],
+        trace_prev: List[int],
+        trace_word: List[int],
+    ) -> None:
+        first_l = self._first
+        n_non_l = self._n_non_eps
+        n_eps_l = self._n_eps
+        dest_l = self._dest
+        weight_l = self._weight
+        ilabel_l = self._ilabel
+        olabel_l = self._olabel
+        degrees = search.visited_state_degrees
+        tokens_get = next_tokens.get
+
+        record = bool(observers)
+        emit_states: List[int] = []
+        emit_first: List[int] = []
+        emit_n: List[int] = []
+        emit_read_idx: List[int] = []
+        arc_idx_out: List[int] = []
+        arc_dest_out: List[int] = []
+        improved_out: List[bool] = []
+
+        for state, score, bp, ridx in survivors:
+            first = first_l[state]
+            n_non_eps = n_non_l[state]
+            if record:
+                emit_states.append(state)
+                emit_first.append(first)
+                emit_n.append(n_non_eps)
+                emit_read_idx.append(ridx)
+            search.states_expanded += 1
+            degrees.append(n_non_eps + n_eps_l[state])
+
+            for a in range(first, first + n_non_eps):
+                dest = dest_l[a]
+                if record:
+                    arc_idx_out.append(a)
+                    arc_dest_out.append(dest)
+                search.arcs_processed += 1
+                new_score = score + weight_l[a] + frame_scores[ilabel_l[a]]
+                existing = tokens_get(dest)
+                if existing is not None and existing[0] >= new_score:
+                    if record:
+                        improved_out.append(False)
+                    continue
+                trace_prev.append(bp)
+                trace_word.append(olabel_l[a])
+                if existing is None:
+                    search.tokens_created += 1
+                else:
+                    search.tokens_updated += 1
+                next_tokens[dest] = (new_score, len(trace_prev) - 1)
+                if record:
+                    improved_out.append(True)
+
+        if record:
+            event = ExpandEvent(
+                frame=frame,
+                frame_scores=frame_scores,
+                states=emit_states,
+                first=emit_first,
+                n_arcs=emit_n,
+                read_idx=emit_read_idx,
+                arc_idx=arc_idx_out,
+                arc_dest=arc_dest_out,
+                improved=improved_out,
+            )
+            for observer in observers:
+                observer.on_expand(event)
+
+    def _eps_pass(
+        self,
+        tokens: Dict[int, Tuple[float, int]],
+        seeds: List[int],
+        pass_index: int,
+        search: SearchStats,
+        observers: Tuple[KernelObserver, ...],
+        trace_prev: List[int],
+        trace_word: List[int],
+    ) -> None:
+        first_l = self._first
+        n_non_l = self._n_non_eps
+        n_eps_l = self._n_eps
+        dest_l = self._dest
+        weight_l = self._weight
+        olabel_l = self._olabel
+        tokens_get = tokens.get
+
+        record = bool(observers)
+        eps_states: List[int] = []
+        eps_first_out: List[int] = []
+        eps_n: List[int] = []
+        eps_src: List[int] = []
+        arc_idx_out: List[int] = []
+        arc_dest_out: List[int] = []
+        improved_out: List[bool] = []
+
+        worklist: Deque[Tuple[int, int]] = deque((s, -1) for s in seeds)
+        arc_event = 0
+        while worklist:
+            state, src = worklist.popleft()
+            score, bp = tokens[state]
+            n_eps = n_eps_l[state]
+            if n_eps == 0:
+                continue
+            eps_first = first_l[state] + n_non_l[state]
+            if record:
+                eps_states.append(state)
+                eps_first_out.append(eps_first)
+                eps_n.append(n_eps)
+                eps_src.append(src)
+            for a in range(eps_first, eps_first + n_eps):
+                dest = dest_l[a]
+                if record:
+                    arc_idx_out.append(a)
+                    arc_dest_out.append(dest)
+                search.epsilon_arcs_processed += 1
+                new_score = score + weight_l[a]
+                existing = tokens_get(dest)
+                if existing is not None and existing[0] >= new_score:
+                    if record:
+                        improved_out.append(False)
+                    arc_event += 1
+                    continue
+                trace_prev.append(bp)
+                trace_word.append(olabel_l[a])
+                if existing is None:
+                    search.tokens_created += 1
+                else:
+                    search.tokens_updated += 1
+                tokens[dest] = (new_score, len(trace_prev) - 1)
+                if record:
+                    improved_out.append(True)
+                worklist.append((dest, arc_event))
+                arc_event += 1
+
+        if record:
+            event = ClosureEvent(
+                pass_index=pass_index,
+                round_index=0,
+                states=eps_states,
+                first=eps_first_out,
+                n_arcs=eps_n,
+                src=eps_src,
+                arc_idx=arc_idx_out,
+                arc_dest=arc_dest_out,
+                improved=improved_out,
+            )
+            for observer in observers:
+                observer.on_closure(event)
+
+    def _finalize(
+        self,
+        tokens: Dict[int, Tuple[float, int]],
+        search: SearchStats,
+        trace_prev: List[int],
+        trace_word: List[int],
+    ) -> DecodeResult:
+        """Best (preferably final) token; shared fallback policy."""
+        if not tokens:
+            raise DecodeError("no active tokens at the end of the utterance")
+        final_l = self._final
+        best: Optional[Tuple[float, int]] = None
+        for state, (score, bp) in tokens.items():
+            final_weight = final_l[state]
+            if final_weight <= LOG_ZERO / 2:
+                continue
+            total = score + final_weight
+            if best is None or total > best[0]:
+                best = (total, bp)
+        reached_final = best is not None
+        if best is None:
+            # No final token survived: fall back to the best live token.
+            state = max(tokens, key=lambda s: tokens[s][0])
+            best = tokens[state]
+
+        score, bp = best
+        words: List[int] = []
+        index = bp
+        while index >= 0:
+            if trace_word[index] != 0:
+                words.append(trace_word[index])
+            index = trace_prev[index]
+        words.reverse()
+        return DecodeResult(
+            words=tuple(words),
+            log_likelihood=score,
+            reached_final=reached_final,
+            stats=search,
+        )

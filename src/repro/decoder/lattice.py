@@ -10,6 +10,19 @@ the beam, with one node per (frame, state) and one edge per surviving arc
 relaxation, from which N-best word sequences are extracted by k-shortest
 paths.
 
+Since the kernel refactor the beam search runs on the shared vectorized
+:class:`~repro.decoder.kernel.SearchKernel`; lattice-arc capture is a
+:class:`~repro.decoder.kernel.KernelObserver` (:class:`_LatticeBuilder`)
+that receives each frame's expansion and epsilon-closure arc streams as
+numpy arrays.  Lattice-beam pruning is vectorized too: the forward
+(source-to-node) costs are exactly the kernel's token scores, the
+backward costs are swept frame-by-frame with ``np.minimum.at``
+relaxations, and only edges on paths within ``lattice_beam`` of the best
+ever reach networkx.  Together this removes all per-arc Python work from
+the decode hot path -- an order of magnitude over the former
+dict-over-networkx search loop
+(``benchmarks/bench_lattice_throughput.py`` gates the win at >= 3x).
+
 The 1-best lattice path is exactly the Viterbi decoder's output (tested),
 so the lattice is a strict generalisation of the trace the hardware writes
 to main memory.
@@ -18,19 +31,29 @@ to main memory.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.common.errors import ConfigError, DecodeError
 from repro.common.logmath import LOG_ZERO
 from repro.acoustic.scorer import AcousticScores
-from repro.decoder.viterbi import BeamSearchConfig
-from repro.wfst.layout import CompiledWfst
+from repro.decoder.kernel import (
+    ClosureEvent,
+    DecoderConfig,
+    ExpandEvent,
+    KernelObserver,
+    SearchKernel,
+)
+from repro.decoder.result import SearchStats
+from repro.wfst.layout import CompiledWfst, FlatLayout
 
 #: Synthetic source/sink node ids (frame, state) cannot collide with.
 _SOURCE = ("source",)
 _SINK = ("sink",)
+
+_INF = np.inf
 
 
 @dataclass(frozen=True)
@@ -47,6 +70,12 @@ class Lattice:
 
     graph: "nx.DiGraph"
     num_frames: int
+    #: Functional counters of the underlying kernel search (shared
+    #: semantics with every other engine); None for hand-built lattices.
+    stats: Optional[SearchStats] = None
+    #: Whether any token ended in a final state; False means the sink
+    #: edges came from the shared best-live-token fallback policy.
+    reached_final: bool = True
 
     @property
     def num_nodes(self) -> int:
@@ -113,13 +142,101 @@ class Lattice:
         return min(word_error_rate(reference, e.words) for e in entries)
 
 
+@dataclass
+class _EdgeGroup:
+    """One event's arc stream as parallel edge arrays.
+
+    ``u_frame == v_frame`` marks an epsilon (within-frame) group.
+    """
+
+    u_frame: int
+    v_frame: int
+    srcs: np.ndarray
+    dests: np.ndarray
+    costs: np.ndarray
+    words: np.ndarray
+
+
+class _LatticeBuilder(KernelObserver):
+    """Kernel observer that captures the surviving search space as edges.
+
+    Each :class:`ExpandEvent` contributes one ``(frame, src) -> (frame+1,
+    dest)`` edge per processed non-epsilon arc (cost ``-(arc weight +
+    acoustic score)``, bit-identical to the scalar formulation); each
+    :class:`ClosureEvent` round contributes ``(pass, src) -> (pass,
+    dest)`` edges for its epsilon arcs.  Re-relaxation rounds re-emit
+    identical edges and parallel arcs between one (src, dest) pair keep
+    only the likeliest arc -- the cost the Viterbi recurrence itself
+    uses -- so the edge relation matches the search exactly.
+    """
+
+    def __init__(self, flat: FlatLayout) -> None:
+        self._flat = flat
+        self.groups: List[_EdgeGroup] = []
+
+    def _append(self, u_frame, v_frame, srcs, dests, costs, words) -> None:
+        # Parallel arcs between one (src, dest) pair keep the likeliest
+        # arc (min cost; ties keep the earlier arc, like the kernel's
+        # first-wins relaxation).
+        combined = srcs * np.int64(self._flat.num_states + 1) + dests
+        order = np.lexsort((costs, combined))
+        sorted_key = combined[order]
+        keep = np.empty(order.size, dtype=bool)
+        keep[0] = True
+        keep[1:] = sorted_key[1:] != sorted_key[:-1]
+        winners = order[keep]
+        winners.sort()
+        self.groups.append(_EdgeGroup(
+            u_frame, v_frame,
+            srcs[winners], dests[winners], costs[winners],
+            np.asarray(words)[winners],
+        ))
+
+    def on_expand(self, event: ExpandEvent) -> None:
+        if len(event.arc_idx) == 0:
+            return
+        flat = self._flat
+        arc_idx = event.arc_idx
+        costs = -(
+            flat.arc_weight64[arc_idx]
+            + event.frame_scores[flat.arc_ilabel[arc_idx]]
+        )
+        self._append(
+            event.frame,
+            event.frame + 1,
+            event.states[event.arc_src],
+            event.arc_dest,
+            costs,
+            flat.arc_olabel[arc_idx],
+        )
+
+    def on_closure(self, event: ClosureEvent) -> None:
+        if len(event.arc_idx) == 0:
+            return
+        flat = self._flat
+        arc_idx = event.arc_idx
+        self._append(
+            event.pass_index,
+            event.pass_index,
+            event.states[event.arc_src],
+            event.arc_dest,
+            -flat.arc_weight64[arc_idx],
+            flat.arc_olabel[arc_idx],
+        )
+
+
 class LatticeDecoder:
-    """Beam-search decoder that records the surviving search space."""
+    """Beam-search decoder that records the surviving search space.
+
+    Runs the shared vectorized kernel with a lattice-capture observer;
+    pruning strategies, emptied-beam policy and functional counters are
+    therefore identical to every other engine.
+    """
 
     def __init__(
         self,
         graph: CompiledWfst,
-        config: BeamSearchConfig = BeamSearchConfig(),
+        config: DecoderConfig = DecoderConfig(),
         lattice_beam: float = 6.0,
     ) -> None:
         if lattice_beam <= 0:
@@ -127,133 +244,144 @@ class LatticeDecoder:
         self.graph = graph
         self.config = config
         self.lattice_beam = lattice_beam
+        self.kernel = SearchKernel(graph, config)
 
     # ------------------------------------------------------------------
     def decode(self, scores: AcousticScores) -> Lattice:
         """Decode one utterance into a lattice."""
         if scores.num_frames == 0:
             raise DecodeError("no frames to decode")
-        graph = self.graph
+        kernel = self.kernel
+        builder = _LatticeBuilder(kernel.flat)
+        frontier = kernel.init_frontier(observers=(builder,))
+        # Forward costs are free: the frontier's token scores at each
+        # frame boundary are exactly the best source-to-node path costs.
+        boundaries = [(frontier.states.copy(), frontier.scores.copy())]
+        for frame in range(scores.num_frames):
+            kernel.step_frame(frontier, frame, scores.frame(frame))
+            frontier.num_frames += 1
+            frontier.stats.frames += 1
+            boundaries.append((frontier.states.copy(), frontier.scores.copy()))
 
+        lat, reached_final = self._build_pruned(
+            builder.groups, boundaries, scores.num_frames
+        )
+        return Lattice(
+            lat, scores.num_frames,
+            stats=frontier.stats, reached_final=reached_final,
+        )
+
+    # ------------------------------------------------------------------
+    def _build_pruned(
+        self,
+        groups: List[_EdgeGroup],
+        boundaries: List[Tuple[np.ndarray, np.ndarray]],
+        num_frames: int,
+    ) -> Tuple["nx.DiGraph", bool]:
+        """Lattice-beam pruning + graph build, all before networkx.
+
+        A node survives when its best complete path cost ``fwd + bwd``
+        is within ``lattice_beam`` of the best path; an edge survives
+        when both endpoints do (the semantics of dropping the doomed
+        nodes).  ``fwd`` comes from the recorded token scores; ``bwd``
+        is swept backwards one frame boundary at a time -- non-epsilon
+        edges in one vectorized relaxation, within-frame epsilon edges
+        iterated to fixpoint (the epsilon subgraph is acyclic, so the
+        iterations converge in at most its depth).
+        """
+        flat = self.kernel.flat
+        num_states = flat.num_states
+        shape = (num_frames + 1, num_states)
+
+        fwd = np.full(shape, _INF)
+        for f, (states, token_scores) in enumerate(boundaries):
+            fwd[f, states] = -token_scores
+
+        # Group the edge arrays by frame boundary.
+        expand: List[Optional[_EdgeGroup]] = [None] * num_frames
+        eps: List[List[_EdgeGroup]] = [[] for _ in range(num_frames + 1)]
+        for group in groups:
+            if group.u_frame == group.v_frame:
+                eps[group.u_frame].append(group)
+            else:
+                expand[group.u_frame] = group
+
+        # Terminal costs, per the shared finalize policy.
+        bwd = np.full(shape, _INF)
+        end_states, _ = boundaries[num_frames]
+        finals = flat.final_weights[end_states]
+        final_mask = finals > LOG_ZERO / 2
+        if final_mask.any():
+            bwd[num_frames, end_states[final_mask]] = -finals[final_mask]
+        else:
+            bwd[num_frames, end_states] = 0.0
+
+        # Backward sweep: expand edges first, then the frame boundary's
+        # epsilon edges (all closure rounds of the pass combined) to
+        # fixpoint.
+        for f in range(num_frames, -1, -1):
+            row = bwd[f]
+            if f < num_frames and expand[f] is not None:
+                group = expand[f]
+                np.minimum.at(
+                    row, group.srcs, group.costs + bwd[f + 1][group.dests]
+                )
+            if eps[f]:
+                srcs = np.concatenate([g.srcs for g in eps[f]])
+                dests = np.concatenate([g.dests for g in eps[f]])
+                costs = np.concatenate([g.costs for g in eps[f]])
+                while True:
+                    before = row[srcs]
+                    np.minimum.at(row, srcs, costs + row[dests])
+                    if not (row[srcs] < before).any():
+                        break
+
+        total = fwd + bwd
+        best = total.min()
+        if not np.isfinite(best):
+            raise DecodeError("lattice has no source-to-sink path")
+        keep = total <= best + self.lattice_beam
+
+        # Materialise only the surviving edges.
         lat = nx.DiGraph()
         lat.add_node(_SOURCE)
         lat.add_node(_SINK)
-
-        def node(frame: int, state: int):
-            return (frame, state)
-
-        # tokens: state -> score for the current frame boundary.
-        tokens: Dict[int, float] = {graph.start: 0.0}
-        lat.add_edge(_SOURCE, node(0, graph.start), cost=0.0, word=0)
-        self._epsilon_closure(tokens, 0, lat)
-
-        for frame in range(scores.num_frames):
-            frame_scores = scores.frame(frame)
-            best = max(tokens.values())
-            threshold = best - self.config.beam
-            survivors = {
-                s: score for s, score in tokens.items() if score >= threshold
-            }
-            if self.config.max_active and (
-                len(survivors) > self.config.max_active
-            ):
-                keep = sorted(
-                    survivors, key=lambda s: survivors[s], reverse=True
-                )[: self.config.max_active]
-                survivors = {s: survivors[s] for s in keep}
-            if not survivors:
-                raise DecodeError(f"beam emptied the search at frame {frame}")
-
-            next_tokens: Dict[int, float] = {}
-            for state, score in survivors.items():
-                first, n_non_eps, _ = graph.arc_range(state)
-                for a in range(first, first + n_non_eps):
-                    arc_score = (
-                        float(graph.arc_weight[a])
-                        + float(frame_scores[graph.arc_ilabel[a]])
-                    )
-                    dest = int(graph.arc_dest[a])
-                    new = score + arc_score
-                    if new > next_tokens.get(dest, LOG_ZERO):
-                        next_tokens[dest] = new
-                    lat.add_edge(
-                        node(frame, state),
-                        node(frame + 1, dest),
-                        cost=-arc_score,
-                        word=int(graph.arc_olabel[a]),
-                    )
-            self._epsilon_closure(next_tokens, frame + 1, lat)
-            tokens = next_tokens
-
-        finals = {
-            s: score + graph.final_weight(s)
-            for s, score in tokens.items()
-            if graph.is_final(s)
-        }
-        if finals:
-            for state in finals:
-                lat.add_edge(
-                    node(scores.num_frames, state),
-                    _SINK,
-                    cost=-graph.final_weight(state),
-                    word=0,
+        start = self.graph.start
+        if keep[0, start]:
+            lat.add_edge(_SOURCE, (0, start), cost=0.0, word=0)
+        for group in groups:
+            mask = keep[group.u_frame, group.srcs] & keep[
+                group.v_frame, group.dests
+            ]
+            if not mask.any():
+                continue
+            u_frame, v_frame = group.u_frame, group.v_frame
+            lat.add_edges_from(
+                ((u_frame, s), (v_frame, d), {"cost": c, "word": w})
+                for s, d, c, w in zip(
+                    group.srcs[mask].tolist(),
+                    group.dests[mask].tolist(),
+                    group.costs[mask].tolist(),
+                    group.words[mask].tolist(),
                 )
-        else:
-            # No token reached a final state: fall back to the live tokens
-            # with zero final weight, mirroring ``ViterbiDecoder._finalize``
-            # (and ``BatchDecoder``) -- the 1-best lattice path is then the
-            # reference decoder's best-live-token hypothesis.
-            for state in tokens:
-                lat.add_edge(
-                    node(scores.num_frames, state), _SINK, cost=0.0, word=0
-                )
-
-        lattice = Lattice(lat, scores.num_frames)
-        self._prune(lattice)
-        return lattice
-
-    # ------------------------------------------------------------------
-    def _epsilon_closure(
-        self, tokens: Dict[int, float], frame: int, lat: "nx.DiGraph"
-    ) -> None:
-        graph = self.graph
-        worklist = list(tokens.keys())
-        while worklist:
-            state = worklist.pop()
-            score = tokens[state]
-            first, n_non_eps, n_eps = graph.arc_range(state)
-            for a in range(first + n_non_eps, first + n_non_eps + n_eps):
-                dest = int(graph.arc_dest[a])
-                weight = float(graph.arc_weight[a])
-                lat.add_edge(
-                    (frame, state),
-                    (frame, dest),
-                    cost=-weight,
-                    word=int(graph.arc_olabel[a]),
-                )
-                new = score + weight
-                if new > tokens.get(dest, LOG_ZERO):
-                    tokens[dest] = new
-                    worklist.append(dest)
-
-    def _prune(self, lattice: Lattice) -> None:
-        """Drop nodes whose best complete path is outside the lattice beam."""
-        g = lattice.graph
-        try:
-            fwd = nx.shortest_path_length(g, source=_SOURCE, weight="cost")
-            bwd = nx.shortest_path_length(
-                g.reverse(copy=False), source=_SINK, weight="cost"
             )
-        except nx.NetworkXNoPath:  # pragma: no cover - defensive
-            return
-        best = fwd.get(_SINK)
-        if best is None:
-            raise DecodeError("lattice has no source-to-sink path")
-        cut = best + self.lattice_beam
-        doomed = [
-            n
-            for n in list(g.nodes)
-            if n not in (_SOURCE, _SINK)
-            and (n not in fwd or n not in bwd or fwd[n] + bwd[n] > cut)
-        ]
-        g.remove_nodes_from(doomed)
+        if final_mask.any():
+            for state, weight in zip(
+                end_states[final_mask].tolist(),
+                finals[final_mask].tolist(),
+            ):
+                if keep[num_frames, state]:
+                    lat.add_edge(
+                        (num_frames, state), _SINK, cost=-weight, word=0
+                    )
+        else:
+            # No token reached a final state: fall back to the live
+            # tokens at zero cost, mirroring every engine's finalize --
+            # the 1-best lattice path is then the reference decoders'
+            # best-live-token hypothesis.
+            for state in end_states.tolist():
+                if keep[num_frames, state]:
+                    lat.add_edge(
+                        (num_frames, state), _SINK, cost=0.0, word=0
+                    )
+        return lat, bool(final_mask.any())

@@ -3,9 +3,9 @@
 :class:`repro.decoder.batch.BatchDecoder` decodes complete utterances; a
 live voice pipeline does not have complete utterances -- acoustic scores
 arrive a batch at a time behind the GPU (paper Section III-A).  This
-module makes the engine's per-utterance search state (the frontier plus
-its token trace) a first-class :class:`DecodeSession` that can be fed
-incrementally:
+module makes the kernel's per-utterance search state (the
+:class:`~repro.decoder.kernel.Frontier` plus its token trace) a
+first-class :class:`DecodeSession` that can be fed incrementally:
 
 * :meth:`DecodeSession.push` accepts any prefix of the utterance's score
   matrix, in chunks of any size;
@@ -18,33 +18,31 @@ incrementally:
   frames were chunked (asserted in ``tests/test_decode_session.py``).
 
 :func:`advance_sessions` is the serving fast path: it advances *many*
-sessions one frame each in a single fused numpy sweep.  All frontiers are
-concatenated session-major and every stage of the recurrence -- beam and
-histogram pruning, the bulk arc gather, score accumulation, the
-segment-max merge and the epsilon closure -- runs once over the combined
-arrays, keyed by ``session * num_states + state`` so sessions never mix.
-Per-session work drops from ~25 numpy dispatches per frame to a handful
-of cheap splits, which is what lets a continuous-batching server beat
-sequential single-session serving.  The fused sweep is bit-identical per
-session to :meth:`DecodeSession.push_frame`, including every
+sessions one frame each through
+:meth:`repro.decoder.kernel.SearchKernel.fused_step` -- all frontiers
+concatenated session-major, every stage of the recurrence (pruning via
+each session's own strategy state, the bulk arc gather, score
+accumulation, the segment-max merge and the epsilon closure) run once
+over the combined arrays, keyed by ``session * num_states + state`` so
+sessions never mix.  Per-session work drops from ~25 numpy dispatches
+per frame to a handful of cheap splits, which is what lets a
+continuous-batching server beat sequential single-session serving.  The
+fused sweep is bit-identical per session to
+:meth:`DecodeSession.push_frame`, including every
 :class:`SearchStats` counter.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Sequence, Tuple, Union
+from typing import Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.common.errors import DecodeError
 from repro.acoustic.scorer import AcousticScores
-from repro.decoder.batch import (
-    BatchDecoder,
-    _csr_gather,
-    _Frontier,
-    _segment_best,
-)
+from repro.decoder.batch import BatchDecoder
+from repro.decoder.kernel import Frontier
 from repro.decoder.result import DecodeResult
 
 Chunk = Union[AcousticScores, np.ndarray]
@@ -68,7 +66,8 @@ class DecodeSession:
 
     def __init__(self, decoder: BatchDecoder) -> None:
         self._decoder = decoder
-        self._frontier: _Frontier = decoder._init_frontier()
+        self._kernel = decoder.kernel
+        self._frontier: Frontier = self._kernel.init_frontier()
         self._finalized = False
 
     # ------------------------------------------------------------------
@@ -94,14 +93,14 @@ class DecodeSession:
         """Advance the search by one frame of acoustic scores."""
         self._require_open()
         row = np.asarray(frame_scores)
-        if row.ndim != 1 or row.shape[0] < self._decoder.min_score_width:
+        if row.ndim != 1 or row.shape[0] < self._kernel.min_score_width:
             raise DecodeError(
                 "frame scores must be a 1-D row with at least "
-                f"{self._decoder.min_score_width} entries (one per phone id "
+                f"{self._kernel.min_score_width} entries (one per phone id "
                 f"on the graph), got shape {row.shape}"
             )
         frontier = self._frontier
-        self._decoder._advance(frontier, frontier.num_frames, row)
+        self._kernel.step_frame(frontier, frontier.num_frames, row)
         self._count_frame()
 
     def push(self, chunk: Chunk) -> int:
@@ -118,7 +117,7 @@ class DecodeSession:
         The returned stats are a snapshot, detached from the live session.
         """
         self._require_open()
-        result = self._decoder._finalize(self._frontier)
+        result = self._kernel.finalize(self._frontier)
         stats = replace(
             result.stats,
             visited_state_degrees=list(result.stats.visited_state_degrees),
@@ -136,7 +135,7 @@ class DecodeSession:
         if self._frontier.num_frames == 0:
             raise DecodeError("no frames to decode")
         self._finalized = True
-        return self._decoder._finalize(self._frontier)
+        return self._kernel.finalize(self._frontier)
 
     # ------------------------------------------------------------------
     def _require_open(self) -> None:
@@ -179,6 +178,12 @@ def advance_sessions(
     if len(sessions) == 1:
         sessions[0].push_frame(pairs[0][1])
         return
+    if any(session._frontier.observers for session in sessions):
+        # Observers receive per-frontier events the fused sweep does not
+        # construct; advance each session alone instead (same results).
+        for session, row in pairs:
+            session.push_frame(row)
+        return
     rows = [np.asarray(row) for _, row in pairs]
     shape = rows[0].shape
     if any(row.shape != shape for row in rows):
@@ -195,206 +200,6 @@ def advance_sessions(
             f"graph), got shape {shape}"
         )
 
-    _fused_advance(decoder, [s._frontier for s in sessions], np.stack(rows))
+    decoder.kernel.fused_step([s._frontier for s in sessions], np.stack(rows))
     for session in sessions:
         session._count_frame()
-
-
-def _fused_advance(
-    decoder: BatchDecoder,
-    frontiers: List[_Frontier],
-    frame_stack: np.ndarray,
-) -> None:
-    """One frame of the recurrence for every frontier, fully fused.
-
-    Mirrors :meth:`BatchDecoder._advance` stage by stage; comments only
-    note where the multi-session bookkeeping differs.
-    """
-    config = decoder.config
-    flat = decoder.flat
-    n = len(frontiers)
-    num_states = flat.num_states
-
-    counts = np.array([f.states.size for f in frontiers], dtype=np.int64)
-    starts = np.concatenate(
-        [np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]]
-    )
-    states = np.concatenate([f.states for f in frontiers])
-    scores = np.concatenate([f.scores for f in frontiers])
-    bps = np.concatenate([f.bps for f in frontiers])
-    seg = np.repeat(np.arange(n, dtype=np.int64), counts)
-
-    # Beam pruning, per session (every count is > 0, checked by caller).
-    best = np.maximum.reduceat(scores, starts)
-    keep = scores >= best[seg] - config.beam
-    states, scores, bps, seg = states[keep], scores[keep], bps[keep], seg[keep]
-    kept = np.bincount(seg, minlength=n)
-    for i, frontier in enumerate(frontiers):
-        frontier.stats.tokens_pruned += int(counts[i] - kept[i])
-
-    # Histogram pruning: stable per-session top-max_active by score.
-    if config.max_active and (kept > config.max_active).any():
-        order = np.lexsort((-scores, seg))
-        seg_sorted = seg[order]
-        seg_starts = np.searchsorted(seg_sorted, np.arange(n))
-        rank = np.arange(order.size, dtype=np.int64) - seg_starts[seg_sorted]
-        mask = np.zeros(order.size, dtype=bool)
-        mask[order[rank < config.max_active]] = True
-        states, scores = states[mask], scores[mask]
-        bps, seg = bps[mask], seg[mask]
-        capped = np.bincount(seg, minlength=n)
-        for i, frontier in enumerate(frontiers):
-            frontier.stats.tokens_pruned += int(kept[i] - capped[i])
-        kept = capped
-
-    bounds = np.cumsum(kept)[:-1]
-    degrees = flat.out_degree[states]
-    for i, (frontier, deg) in enumerate(zip(frontiers, np.split(degrees, bounds))):
-        frontier.stats.active_tokens_per_frame.append(int(kept[i]))
-        frontier.stats.states_expanded += int(kept[i])
-        frontier.stats.visited_state_degrees.extend(deg.tolist())
-
-    # Bulk arc gather across every session's surviving states at once.
-    arc_idx, src = _csr_gather(flat.first_arc[states], flat.num_non_eps[states])
-    arc_seg = seg[src]
-    arc_counts = np.bincount(arc_seg, minlength=n)
-    for frontier, c in zip(frontiers, arc_counts):
-        frontier.stats.arcs_processed += int(c)
-    if arc_idx.size == 0:
-        for frontier in frontiers:
-            _set_empty(frontier)
-        return
-
-    dest = flat.arc_dest[arc_idx]
-    new_scores = (
-        scores[src]
-        + flat.arc_weight64[arc_idx]
-        + frame_stack[arc_seg, flat.arc_ilabel[arc_idx]]
-    )
-
-    # Segment-max merge on the combined (session, state) key.
-    combined = arc_seg * num_states + dest
-    uniq, winners = _segment_best(combined, new_scores)
-    win_seg = arc_seg[winners]
-    win_counts = np.bincount(win_seg, minlength=n)
-    win_bounds = np.cumsum(win_counts)[:-1]
-    next_states = uniq - win_seg * num_states
-    next_scores = new_scores[winners]
-    prev = bps[src[winners]]
-    words = flat.arc_olabel[arc_idx[winners]]
-
-    for frontier, st, sc, pv, wd in zip(
-        frontiers,
-        np.split(next_states, win_bounds),
-        np.split(next_scores, win_bounds),
-        np.split(prev, win_bounds),
-        np.split(words, win_bounds),
-    ):
-        if st.size == 0:
-            _set_empty(frontier)
-            continue
-        frontier.bps = frontier.trace.append_bulk(pv, wd)
-        frontier.stats.tokens_created += st.size
-        frontier.states = st
-        frontier.scores = sc
-
-    _fused_closure(decoder, frontiers)
-
-
-def _fused_closure(decoder: BatchDecoder, frontiers: List[_Frontier]) -> None:
-    """Epsilon closure to fixpoint over every frontier in lockstep rounds."""
-    flat = decoder.flat
-    n = len(frontiers)
-    num_states = flat.num_states
-
-    # Combined sorted token arrays: session-major concatenation keeps the
-    # (session * num_states + state) keys globally ascending.
-    f_comb = np.concatenate(
-        [f.states + i * num_states for i, f in enumerate(frontiers)]
-    )
-    f_scores = np.concatenate([f.scores for f in frontiers])
-    f_bps = np.concatenate([f.bps for f in frontiers])
-
-    act_comb, act_scores, act_bps = f_comb, f_scores, f_bps
-    while act_comb.size:
-        act_seg, act_states = np.divmod(act_comb, num_states)
-        arc_idx, src = _csr_gather(
-            flat.eps_first[act_states], flat.num_eps[act_states]
-        )
-        if arc_idx.size == 0:
-            break
-        arc_seg = act_seg[src]
-        eps_counts = np.bincount(arc_seg, minlength=n)
-        for frontier, c in zip(frontiers, eps_counts):
-            frontier.stats.epsilon_arcs_processed += int(c)
-
-        dest = flat.arc_dest[arc_idx]
-        cand = act_scores[src] + flat.arc_weight64[arc_idx]
-        uniq, winners = _segment_best(arc_seg * num_states + dest, cand)
-        cand_scores = cand[winners]
-        cand_prev = act_bps[src[winners]]
-        cand_word = flat.arc_olabel[arc_idx[winners]]
-        cand_seg = arc_seg[winners]
-
-        pos = np.searchsorted(f_comb, uniq)
-        pos_clipped = np.minimum(pos, f_comb.size - 1)
-        exists = (pos < f_comb.size) & (f_comb[pos_clipped] == uniq)
-        improves = exists & (cand_scores > f_scores[pos_clipped])
-        is_new = ~exists
-        accepted = improves | is_new
-        if not accepted.any():
-            break
-
-        # Trace records go to each session's own trace, in key order.
-        acc_seg = cand_seg[accepted]
-        acc_bounds = np.cumsum(np.bincount(acc_seg, minlength=n))[:-1]
-        trace_idx = np.concatenate(
-            [
-                frontier.trace.append_bulk(pv, wd)
-                for frontier, pv, wd in zip(
-                    frontiers,
-                    np.split(cand_prev[accepted], acc_bounds),
-                    np.split(cand_word[accepted], acc_bounds),
-                )
-            ]
-        )
-        acc_rows = np.nonzero(accepted)[0]
-        imp_in_acc = improves[acc_rows]
-        new_in_acc = is_new[acc_rows]
-        created = np.bincount(acc_seg[new_in_acc], minlength=n)
-        updated = np.bincount(acc_seg[imp_in_acc], minlength=n)
-        for i, frontier in enumerate(frontiers):
-            frontier.stats.tokens_created += int(created[i])
-            frontier.stats.tokens_updated += int(updated[i])
-
-        upd = pos[improves]
-        f_scores[upd] = cand_scores[improves]
-        f_bps[upd] = trace_idx[imp_in_acc]
-        ins = pos[is_new]
-        f_comb = np.insert(f_comb, ins, uniq[is_new])
-        f_scores = np.insert(f_scores, ins, cand_scores[is_new])
-        f_bps = np.insert(f_bps, ins, trace_idx[new_in_acc])
-
-        act_comb = uniq[accepted]
-        act_scores = cand_scores[accepted]
-        act_bps = trace_idx
-
-    sizes = np.bincount(f_comb // num_states, minlength=n)
-    bounds = np.cumsum(sizes)[:-1]
-    for i, (frontier, st, sc, bp) in enumerate(
-        zip(
-            frontiers,
-            np.split(f_comb, bounds),
-            np.split(f_scores, bounds),
-            np.split(f_bps, bounds),
-        )
-    ):
-        frontier.states = st - i * num_states
-        frontier.scores = sc
-        frontier.bps = bp
-
-
-def _set_empty(frontier: _Frontier) -> None:
-    frontier.states = np.empty(0, dtype=np.int64)
-    frontier.scores = np.empty(0, dtype=np.float64)
-    frontier.bps = np.empty(0, dtype=np.int64)

@@ -1,254 +1,52 @@
-"""Token-passing Viterbi beam search (software reference).
+"""Token-passing Viterbi beam search (the software reference / oracle).
 
 Implements the dynamic-programming recurrence of the paper's Equation 1 in
-log space with standard beam pruning: a token (active state) survives a
-frame only if its likelihood is within ``beam`` of the frame's best token.
+log space with beam pruning.  Since the kernel refactor this module is a
+thin wrapper: the actual recurrence lives in
+:class:`repro.decoder.kernel.ReferenceKernel`, the scalar discipline of
+the shared frame-recurrence kernel, which reproduces the accelerator
+simulator's exact event order (dict-order token walks, first-wins
+relaxation, FIFO epsilon worklist).  ``ViterbiDecoder`` is kept as the
+oracle every other engine -- batch, sessions, lattice, GPU, accelerator
+-- is tested against.
 
-The implementation mirrors what the accelerator does per frame:
-
-1. prune the current frame's tokens against ``best - beam``;
-2. for each surviving token, fetch its state record, then its arcs;
-3. non-epsilon arcs add ``arc.weight + acoustic[frame, ilabel]`` and create
-   or improve a token in the *next* frame;
-4. epsilon arcs are then traversed transitively inside the next frame
-   without consuming input (the epsilon subgraph is required acyclic);
-5. after the last frame the best final token is backtracked through the
-   token trace to recover the word sequence.
-
-Every token carries a backpointer into a global trace (`_TokenTrace`), the
-software analogue of the accelerator's token array in main memory.
+``BeamSearchConfig`` is the historical name of
+:class:`repro.decoder.kernel.DecoderConfig` and is re-exported here for
+compatibility; new code should import ``DecoderConfig``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
-
-from repro.common.errors import ConfigError, DecodeError
-from repro.common.logmath import LOG_ZERO
 from repro.acoustic.scorer import AcousticScores
-from repro.decoder.result import DecodeResult, SearchStats
+from repro.decoder.kernel import BeamSearchConfig, DecoderConfig, ReferenceKernel
+from repro.decoder.result import DecodeResult
 from repro.wfst.layout import CompiledWfst
 
-
-@dataclass(frozen=True)
-class BeamSearchConfig:
-    """Beam-search parameters.
-
-    Attributes:
-        beam: log-likelihood pruning window below the frame's best token.
-        max_active: hard cap on surviving tokens per frame (histogram
-            pruning); 0 disables the cap.
-    """
-
-    beam: float = 12.0
-    max_active: int = 0
-
-    def __post_init__(self) -> None:
-        if self.beam <= 0:
-            raise ConfigError("beam must be positive")
-        if self.max_active < 0:
-            raise ConfigError("max_active must be >= 0")
-
-
-class _TokenTrace:
-    """Append-only token trace used for backtracking.
-
-    One record per token creation/update: (predecessor trace index, word
-    emitted on the arc that created it).  Mirrors the backpointer data the
-    accelerator's Token Issuer writes to main memory through the Token
-    cache.
-    """
-
-    def __init__(self) -> None:
-        self.prev: List[int] = []
-        self.word: List[int] = []
-
-    def append(self, prev_index: int, word: int) -> int:
-        self.prev.append(prev_index)
-        self.word.append(word)
-        return len(self.prev) - 1
-
-    def backtrack(self, index: int) -> List[int]:
-        words: List[int] = []
-        while index >= 0:
-            if self.word[index] != 0:
-                words.append(self.word[index])
-            index = self.prev[index]
-        words.reverse()
-        return words
-
-    def __len__(self) -> int:
-        return len(self.prev)
+__all__ = ["BeamSearchConfig", "DecoderConfig", "ViterbiDecoder"]
 
 
 class ViterbiDecoder:
-    """Reference beam-search decoder over a compiled graph."""
+    """Reference beam-search decoder over a compiled graph.
+
+    A thin oracle wrapper over the shared kernel's scalar discipline;
+    see :mod:`repro.decoder.kernel` for the recurrence, the pruning
+    strategies and the emptied-beam policy.
+    """
 
     def __init__(
         self,
         graph: CompiledWfst,
-        config: BeamSearchConfig = BeamSearchConfig(),
+        config: DecoderConfig = DecoderConfig(),
     ) -> None:
         self.graph = graph
         self.config = config
+        self._kernel = ReferenceKernel(graph, config)
 
-    # ------------------------------------------------------------------
+    @property
+    def kernel(self) -> ReferenceKernel:
+        """The underlying scalar reference kernel."""
+        return self._kernel
+
     def decode(self, scores: AcousticScores) -> DecodeResult:
         """Decode one utterance; returns the best word sequence."""
-        if scores.num_frames == 0:
-            raise DecodeError("no frames to decode")
-
-        stats = SearchStats(frames=scores.num_frames)
-        trace = _TokenTrace()
-        graph = self.graph
-
-        # Tokens: state -> (log likelihood, trace index).
-        tokens: Dict[int, Tuple[float, int]] = {}
-        root_index = trace.append(-1, 0)
-        tokens[graph.start] = (0.0, root_index)
-        self._epsilon_closure(tokens, stats, trace)
-
-        for frame in range(scores.num_frames):
-            frame_scores = scores.frame(frame)
-            survivors = self._prune(tokens, stats)
-            stats.active_tokens_per_frame.append(len(survivors))
-            if not survivors:
-                raise DecodeError(f"beam emptied the search at frame {frame}")
-
-            next_tokens: Dict[int, Tuple[float, int]] = {}
-            for state, (score, bp) in survivors:
-                first, n_non_eps, _n_eps = graph.arc_range(state)
-                stats.states_expanded += 1
-                stats.visited_state_degrees.append(graph.out_degree(state))
-                for a in range(first, first + n_non_eps):
-                    stats.arcs_processed += 1
-                    new_score = (
-                        score
-                        + float(graph.arc_weight[a])
-                        + float(frame_scores[graph.arc_ilabel[a]])
-                    )
-                    self._relax(
-                        next_tokens,
-                        int(graph.arc_dest[a]),
-                        new_score,
-                        bp,
-                        int(graph.arc_olabel[a]),
-                        stats,
-                        trace,
-                    )
-            self._epsilon_closure(next_tokens, stats, trace)
-            tokens = next_tokens
-
-        return self._finalize(tokens, stats, trace)
-
-    # ------------------------------------------------------------------
-    def _prune(
-        self,
-        tokens: Dict[int, Tuple[float, int]],
-        stats: SearchStats,
-    ) -> List[Tuple[int, Tuple[float, int]]]:
-        """Beam (and optional histogram) pruning of the current tokens."""
-        if not tokens:
-            return []
-        best = max(score for score, _ in tokens.values())
-        threshold = best - self.config.beam
-        survivors = [
-            (state, entry)
-            for state, entry in tokens.items()
-            if entry[0] >= threshold
-        ]
-        stats.tokens_pruned += len(tokens) - len(survivors)
-        if self.config.max_active and len(survivors) > self.config.max_active:
-            survivors.sort(key=lambda item: item[1][0], reverse=True)
-            stats.tokens_pruned += len(survivors) - self.config.max_active
-            survivors = survivors[: self.config.max_active]
-        return survivors
-
-    def _relax(
-        self,
-        tokens: Dict[int, Tuple[float, int]],
-        dest: int,
-        new_score: float,
-        src_bp: int,
-        word: int,
-        stats: SearchStats,
-        trace: _TokenTrace,
-    ) -> bool:
-        """Create or improve the token at ``dest``; True if it improved."""
-        existing = tokens.get(dest)
-        if existing is not None and existing[0] >= new_score:
-            return False
-        bp = trace.append(src_bp, word)
-        if existing is None:
-            stats.tokens_created += 1
-        else:
-            stats.tokens_updated += 1
-        tokens[dest] = (new_score, bp)
-        return True
-
-    def _epsilon_closure(
-        self,
-        tokens: Dict[int, Tuple[float, int]],
-        stats: SearchStats,
-        trace: _TokenTrace,
-    ) -> None:
-        """Traverse epsilon arcs transitively inside one frame's tokens."""
-        graph = self.graph
-        worklist = list(tokens.keys())
-        while worklist:
-            state = worklist.pop()
-            score, bp = tokens[state]
-            first, n_non_eps, n_eps = graph.arc_range(state)
-            if n_eps == 0:
-                continue
-            for a in range(first + n_non_eps, first + n_non_eps + n_eps):
-                stats.epsilon_arcs_processed += 1
-                new_score = score + float(graph.arc_weight[a])
-                dest = int(graph.arc_dest[a])
-                if self._relax(
-                    tokens,
-                    dest,
-                    new_score,
-                    bp,
-                    int(graph.arc_olabel[a]),
-                    stats,
-                    trace,
-                ):
-                    worklist.append(dest)
-
-    def _finalize(
-        self,
-        tokens: Dict[int, Tuple[float, int]],
-        stats: SearchStats,
-        trace: _TokenTrace,
-    ) -> DecodeResult:
-        """Pick the best (preferably final) token and backtrack."""
-        if not tokens:
-            raise DecodeError("no active tokens at the end of the utterance")
-
-        best_final: Optional[Tuple[float, int]] = None
-        for state, (score, bp) in tokens.items():
-            final_weight = self.graph.final_weight(state)
-            if final_weight <= LOG_ZERO / 2:
-                continue
-            total = score + final_weight
-            if best_final is None or total > best_final[0]:
-                best_final = (total, bp)
-
-        if best_final is not None:
-            score, bp = best_final
-            reached_final = True
-        else:
-            # No final token survived: fall back to the best live token.
-            state = max(tokens, key=lambda s: tokens[s][0])
-            score, bp = tokens[state]
-            reached_final = False
-
-        words = trace.backtrack(bp)
-        return DecodeResult(
-            words=tuple(words),
-            log_likelihood=score,
-            reached_final=reached_final,
-            stats=stats,
-        )
+        return self._kernel.decode(scores)

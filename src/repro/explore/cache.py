@@ -27,19 +27,43 @@ from typing import Dict, List, Optional, Sequence
 from repro.common.errors import SimulationError
 from repro.acoustic.scorer import AcousticScores
 from repro.accel.trace import DecodeTrace, TraceRecorder, layout_fingerprint
+from repro.decoder.kernel import DecoderConfig
 from repro.wfst.layout import CompiledWfst
 
 
 def workload_fingerprint(
     graph: CompiledWfst,
     scores: Sequence[AcousticScores],
-    beam: float,
-    max_active: int,
+    beam: float = 12.0,
+    max_active: int = 0,
+    config: Optional[DecoderConfig] = None,
 ) -> str:
-    """Content hash of one (layout, scores, search-parameters) workload."""
+    """Content hash of one (layout, scores, search-parameters) workload.
+
+    Every field of the search configuration that can change the
+    functional event stream -- beam, cap, pruning strategy and its
+    adaptation parameters -- feeds the key, so a sweep point with a
+    different strategy never addresses another point's trace.  Pass
+    ``config`` for full control; ``beam`` / ``max_active`` remain as the
+    simple legacy spelling.
+    """
+    if config is None:
+        config = DecoderConfig(beam=beam, max_active=max_active)
+    # Adaptive-only parameters are zeroed for the fixed-beam strategy:
+    # they cannot change its search, and keying on them would fragment
+    # the cache into duplicate recordings of identical searches.
+    adaptive = config.pruning == "adaptive"
     h = hashlib.sha256()
-    h.update(struct.pack("<QdQ", layout_fingerprint(graph) & (2 ** 64 - 1),
-                         beam, max_active))
+    h.update(struct.pack(
+        "<QdQdddd",
+        layout_fingerprint(graph) & (2 ** 64 - 1),
+        config.beam, config.max_active,
+        float(config.target_active) if adaptive else 0.0,
+        config.min_beam if adaptive else 0.0,
+        config.resolved_max_beam if adaptive else 0.0,
+        config.adapt_rate if adaptive else 0.0,
+    ))
+    h.update(config.pruning.encode())
     for s in scores:
         matrix = s.matrix
         h.update(struct.pack("<QQ", *matrix.shape))
@@ -65,11 +89,19 @@ class TraceCache:
         self,
         graph: CompiledWfst,
         scores: Sequence[AcousticScores],
-        beam: float,
-        max_active: int,
+        beam: float = 12.0,
+        max_active: int = 0,
+        config: Optional[DecoderConfig] = None,
     ) -> List[DecodeTrace]:
-        """Traces for every utterance of the workload, recording on miss."""
-        key = workload_fingerprint(graph, scores, beam, max_active)
+        """Traces for every utterance of the workload, recording on miss.
+
+        Pass ``config`` for full search-parameter control (pruning
+        strategy included); ``beam`` / ``max_active`` remain as the
+        simple legacy spelling.
+        """
+        if config is None:
+            config = DecoderConfig(beam=beam, max_active=max_active)
+        key = workload_fingerprint(graph, scores, config=config)
         cached = self._memory.get(key)
         if cached is not None:
             self.hits += 1
@@ -79,7 +111,7 @@ class TraceCache:
         if traces is not None:
             self.hits += 1
         else:
-            recorder = TraceRecorder(graph, beam=beam, max_active=max_active)
+            recorder = TraceRecorder(graph, config=config)
             traces = [recorder.record(s) for s in scores]
             self.recordings += 1
             self._store_to_disk(key, traces)

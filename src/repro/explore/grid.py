@@ -8,6 +8,11 @@ A sweep point is a mapping from dotted field paths to values:
   (``state_cache`` / ``arc_cache`` / ``token_cache`` / ``hash_table``);
 * ``"beam"`` -- the *workload* beam width (changes the functional search,
   so the runner records a fresh trace for each distinct value);
+* ``"pruning"`` / ``"target_active"`` -- the workload pruning strategy
+  (``"beam"`` or ``"adaptive"``; see
+  :class:`repro.decoder.kernel.DecoderConfig`), likewise re-traced per
+  distinct value -- the executable form of the paper's Fig. 9 beam
+  ablation axis;
 * ``"sorted.max_direct_arcs"`` -- the Section IV-B comparator count N
   (changes the sorted graph *layout*, likewise re-traced per value).
 
@@ -24,9 +29,12 @@ from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 from repro.common.errors import ConfigError
 from repro.accel.config import AcceleratorConfig
+from repro.decoder.kernel import PRUNING_STRATEGIES
 
 #: Paths handled by the sweep runner rather than the config dataclass.
-WORKLOAD_KEYS = frozenset({"beam", "sorted.max_direct_arcs"})
+WORKLOAD_KEYS = frozenset(
+    {"beam", "pruning", "target_active", "sorted.max_direct_arcs"}
+)
 
 
 def _field_names(obj: Any) -> frozenset:
@@ -76,10 +84,16 @@ def apply_overrides(
 
 
 def parse_sweep_value(text: str) -> Any:
-    """Parse one CLI sweep value: bool, int (with K/M/G suffix) or float."""
+    """Parse one CLI sweep value: bool, int (with K/M/G suffix), float, or
+    a pruning-strategy name (for the ``pruning`` workload axis)."""
     lowered = text.strip().lower()
     if lowered in ("true", "false"):
         return lowered == "true"
+    # Only known strategy names pass as strings -- anything else
+    # non-numeric keeps raising ConfigError instead of leaking a truthy
+    # string into a config field.
+    if lowered in PRUNING_STRATEGIES:
+        return lowered
     scale = 1
     if lowered and lowered[-1] in "kmg":
         scale = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}[lowered[-1]]

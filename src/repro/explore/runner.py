@@ -2,7 +2,8 @@
 
 ``SweepRunner`` turns a workload plus a parameter grid into priced design
 points: it records the functional decode trace once per (graph layout,
-beam) via :class:`~repro.explore.cache.TraceCache`, replays it under every
+beam, pruning strategy) via :class:`~repro.explore.cache.TraceCache`,
+replays it under every
 configuration with :class:`~repro.accel.replay.TraceReplayer` (optionally
 fanned out across worker processes), applies the energy model, and
 returns rows ready for tables, JSON and CSV artifacts.
@@ -31,6 +32,7 @@ from repro.accel.replay import TraceReplayer
 from repro.accel.stats import SimStats
 from repro.accel.trace import DecodeTrace
 from repro.acoustic.scorer import AcousticScores
+from repro.decoder.kernel import DecoderConfig
 from repro.decoder.result import SearchStats
 from repro.energy.components import AcceleratorEnergyModel
 from repro.explore.cache import TraceCache
@@ -53,6 +55,10 @@ class SweepWorkload:
     beam: float
     max_active: int = 0
     sorted_graph: Optional[SortedWfst] = None
+    #: Workload-level pruning strategy defaults (overridable per sweep
+    #: point via the "pruning" / "target_active" grid axes).
+    pruning: str = "beam"
+    target_active: int = 0
 
     @classmethod
     def from_task(
@@ -286,8 +292,8 @@ class SweepRunner:
         rec_before = self.trace_cache.recordings
         hits_before = self.trace_cache.hits
 
-        # Resolve each point to (config, layout, beam) and record the
-        # traces each distinct (layout, beam) needs -- once.
+        # Resolve each point to (config, layout, search-config) and record
+        # the traces each distinct (layout, search-config) needs -- once.
         plans = []
         layouts: Dict[Tuple, Tuple[CompiledWfst, Optional[SortedWfst]]] = {}
         traces: Dict[Tuple, List[DecodeTrace]] = {}
@@ -296,6 +302,23 @@ class SweepRunner:
             beam = float(overrides.get("beam", workload.beam))
             if beam <= 0:
                 raise ConfigError("beam must be positive")
+            pruning = str(
+                overrides.get("pruning", getattr(workload, "pruning", "beam"))
+            )
+            target_active = int(
+                overrides.get(
+                    "target_active", getattr(workload, "target_active", 0)
+                )
+            )
+            if pruning != "adaptive":
+                # target_active cannot change a fixed-beam search; keep
+                # the trace key strategy-normalized so grid points that
+                # differ only in the ignored axis share one recording.
+                target_active = 0
+            search_config = DecoderConfig(
+                beam=beam, max_active=max_active,
+                pruning=pruning, target_active=target_active,
+            )
             if config.state_direct_enabled:
                 n = overrides.get("sorted.max_direct_arcs")
                 sorted_graph = self._sorted_layout(n)
@@ -306,10 +329,10 @@ class SweepRunner:
                 layout_id = ("flat",)
                 trace_graph = workload.graph
             layouts[layout_id] = (workload.graph, sorted_graph)
-            trace_key = (layout_id, beam)
+            trace_key = (layout_id, beam, pruning, target_active)
             if trace_key not in traces:
                 traces[trace_key] = self.trace_cache.get(
-                    trace_graph, workload.scores, beam, max_active
+                    trace_graph, workload.scores, config=search_config
                 )
             plans.append((config, layout_id, trace_key))
 

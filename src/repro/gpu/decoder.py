@@ -1,36 +1,46 @@
 """Functional data-parallel Viterbi decoder (the CUDA baseline's algorithm).
 
-Per frame, mirroring the kernel structure of the GPU implementation the
-paper uses as baseline:
+The GPU baseline runs the same per-frame recurrence as every other
+engine; since the kernel refactor the search itself is the shared
+vectorized :class:`~repro.decoder.kernel.SearchKernel` and this module
+only *derives the GPU workload model* from it, via a
+:class:`~repro.decoder.kernel.KernelObserver` that maps kernel stages to
+CUDA kernel launches:
 
-1. **Compact** the active token set and compute the pruning threshold
-   (a parallel reduction in CUDA; ``max`` here).
-2. **Expand** every non-epsilon arc of every surviving token in one shot:
-   gather arc ranges, compute candidate scores vectorised, and reduce
-   per-destination with an atomic-max equivalent (``np.maximum.at``).
-3. **Epsilon passes** repeat the expansion over epsilon arcs until no token
-   improves (real implementations run a fixed-point loop of kernels).
+1. **Compact** -- each :class:`PruneEvent` is a parallel reduction plus a
+   compaction kernel (and a k-selection kernel when the histogram cap
+   actually truncates).
+2. **Expand** -- each :class:`ExpandEvent` is one expansion kernel: every
+   non-epsilon arc of every surviving token is one atomic-max update.
+3. **Epsilon passes** -- each :class:`ClosureEvent` round is one
+   fixed-point iteration kernel; candidates that improve their
+   destination (against the pre-round scores) are atomic updates.
 
 The decoder returns the same best path as the sequential reference (ties
-may resolve differently; scores are identical) and records the per-frame
-work counts the timing model consumes: arcs expanded, kernel phases,
-tokens, reductions.
+may resolve differently; scores are identical) and the per-decode work
+counts the timing model consumes: arcs expanded, kernel phases, tokens,
+reductions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.common.errors import DecodeError
-from repro.common.logmath import LOG_ZERO
 from repro.acoustic.scorer import AcousticScores
-from repro.decoder.result import DecodeResult, SearchStats
+from repro.decoder.kernel import (
+    ClosureEvent,
+    DecoderConfig,
+    ExpandEvent,
+    KernelObserver,
+    PruneEvent,
+    SearchKernel,
+)
+from repro.decoder.result import DecodeResult
 from repro.wfst.layout import CompiledWfst
-
-_NEG_INF = np.float64(LOG_ZERO)
 
 
 @dataclass
@@ -46,228 +56,64 @@ class GpuWorkload:
     epsilon_iterations: int = 0
 
 
+class _GpuWorkloadObserver(KernelObserver):
+    """Derives :class:`GpuWorkload` counters from the kernel event stream."""
+
+    def __init__(self) -> None:
+        self.work = GpuWorkload()
+
+    def on_prune(self, event: PruneEvent) -> None:
+        # Reduction for the beam threshold + compaction; histogram
+        # pruning is an extra k-selection kernel when it truncates.
+        self.work.kernel_launches += 2
+        if event.cap_pruned:
+            self.work.kernel_launches += 1
+        self.work.tokens_compacted += len(event.survivor_states)
+
+    def on_expand(self, event: ExpandEvent) -> None:
+        n = len(event.arc_idx)
+        self.work.kernel_launches += 1
+        self.work.arcs_expanded += n
+        self.work.atomic_updates += n
+
+    def on_closure(self, event: ClosureEvent) -> None:
+        self.work.kernel_launches += 1
+        self.work.epsilon_iterations += 1
+        self.work.epsilon_arcs_expanded += len(event.arc_idx)
+        self.work.atomic_updates += int(np.count_nonzero(event.improved))
+
+
 class GpuViterbiDecoder:
-    """Vectorised beam-search decoder with CUDA-like phase structure."""
+    """Beam-search decoder with CUDA-like phase accounting.
+
+    Word output and functional counters come from the shared vectorized
+    kernel; :meth:`decode` additionally returns the GPU work counts.
+    """
 
     def __init__(
-        self, graph: CompiledWfst, beam: float = 12.0, max_active: int = 0
+        self,
+        graph: CompiledWfst,
+        beam: float = 12.0,
+        max_active: int = 0,
+        config: Optional[DecoderConfig] = None,
     ) -> None:
         self.graph = graph
-        self.beam = beam
-        self.max_active = max_active
-        # Precompute per-state arc ranges as arrays for vectorised gather.
-        n = graph.num_states
-        first = np.zeros(n, dtype=np.int64)
-        n_non_eps = np.zeros(n, dtype=np.int64)
-        n_eps = np.zeros(n, dtype=np.int64)
-        for s in range(n):
-            f, ne, ep = graph.arc_range(s)
-            first[s], n_non_eps[s], n_eps[s] = f, ne, ep
-        self._first = first
-        self._n_non_eps = n_non_eps
-        self._n_eps = n_eps
-        self._weights = graph.arc_weight.astype(np.float64)
-        self._ilabels = graph.arc_ilabel.astype(np.int64)
-        self._olabels = graph.arc_olabel.astype(np.int64)
-        self._dests = graph.arc_dest.astype(np.int64)
+        self.config = config or DecoderConfig(beam=beam, max_active=max_active)
+        self.beam = self.config.beam
+        self.max_active = self.config.max_active
+        self.kernel = SearchKernel(graph, self.config)
 
     # ------------------------------------------------------------------
     def decode(self, scores: AcousticScores) -> Tuple[DecodeResult, GpuWorkload]:
         """Decode one utterance; returns the result and GPU work counts."""
+        observer = _GpuWorkloadObserver()
+        observer.work.frames = scores.num_frames
+        kernel = self.kernel
         if scores.num_frames == 0:
             raise DecodeError("no frames to decode")
-
-        graph = self.graph
-        work = GpuWorkload(frames=scores.num_frames)
-        stats = SearchStats(frames=scores.num_frames)
-
-        trace_prev: List[int] = [-1]
-        trace_word: List[int] = [0]
-
-        n = graph.num_states
-        score_of = np.full(n, _NEG_INF)
-        bp_of = np.full(n, -1, dtype=np.int64)
-        score_of[graph.start] = 0.0
-        bp_of[graph.start] = 0
-        active = np.array([graph.start], dtype=np.int64)
-
-        active, score_of, bp_of = self._epsilon_fixpoint(
-            active, score_of, bp_of, trace_prev, trace_word, work, stats
-        )
-
+        frontier = kernel.init_frontier(observers=(observer,))
         for frame in range(scores.num_frames):
-            frame_scores = scores.frame(frame)
-
-            # Phase 1: reduction for the beam threshold + compaction.
-            work.kernel_launches += 2
-            best = score_of[active].max()
-            keep = score_of[active] >= best - self.beam
-            stats.tokens_pruned += int((~keep).sum())
-            survivors = active[keep]
-            if len(survivors) == 0:
-                raise DecodeError(f"beam emptied the search at frame {frame}")
-            if self.max_active and len(survivors) > self.max_active:
-                # Histogram pruning (a k-selection kernel in CUDA).
-                order = np.argsort(-score_of[survivors], kind="stable")
-                stats.tokens_pruned += len(survivors) - self.max_active
-                survivors = survivors[order[: self.max_active]]
-                work.kernel_launches += 1
-            work.tokens_compacted += len(survivors)
-            stats.active_tokens_per_frame.append(len(survivors))
-
-            # Phase 2: expand all non-epsilon arcs of all survivors.
-            work.kernel_launches += 1
-            arc_idx, src_state = self._gather_arcs(
-                survivors, self._first, self._n_non_eps
-            )
-            stats.states_expanded += len(survivors)
-            stats.arcs_processed += len(arc_idx)
-            work.arcs_expanded += len(arc_idx)
-
-            cand = (
-                score_of[src_state]
-                + self._weights[arc_idx]
-                + frame_scores[self._ilabels[arc_idx]]
-            )
-            new_score = np.full(n, _NEG_INF)
-            new_bp = np.full(n, -1, dtype=np.int64)
-            dests = self._dests[arc_idx]
-            np.maximum.at(new_score, dests, cand)
-            work.atomic_updates += len(arc_idx)
-
-            # Winner write-back (CUDA: ballot/atomicCAS second pass).
-            winners = cand >= new_score[dests]
-            win_arcs = arc_idx[winners]
-            win_dests = dests[winners]
-            win_src = src_state[winners]
-            for a, d, s in zip(win_arcs, win_dests, win_src):
-                trace_prev.append(int(bp_of[s]))
-                trace_word.append(int(self._olabels[a]))
-                new_bp[d] = len(trace_prev) - 1
-            stats.tokens_created += int((new_score > _NEG_INF / 2).sum())
-
-            score_of, bp_of = new_score, new_bp
-            active = np.unique(win_dests)
-
-            active, score_of, bp_of = self._epsilon_fixpoint(
-                active, score_of, bp_of, trace_prev, trace_word, work, stats
-            )
-
-        return self._finalize(active, score_of, bp_of, trace_prev, trace_word, stats), work
-
-    # ------------------------------------------------------------------
-    def _gather_arcs(
-        self,
-        states: np.ndarray,
-        first: np.ndarray,
-        counts: np.ndarray,
-        offset: np.ndarray = None,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Flatten the arc ranges of ``states`` into one index array."""
-        n_arcs = counts[states]
-        starts = first[states] + (offset[states] if offset is not None else 0)
-        total = int(n_arcs.sum())
-        if total == 0:
-            return (
-                np.empty(0, dtype=np.int64),
-                np.empty(0, dtype=np.int64),
-            )
-        src = np.repeat(states, n_arcs)
-        # arange per segment: global arange minus per-segment base.
-        seg_ends = np.cumsum(n_arcs)
-        seg_starts = seg_ends - n_arcs
-        local = np.arange(total) - np.repeat(seg_starts, n_arcs)
-        return np.repeat(starts, n_arcs) + local, src
-
-    def _epsilon_fixpoint(
-        self,
-        active: np.ndarray,
-        score_of: np.ndarray,
-        bp_of: np.ndarray,
-        trace_prev: List[int],
-        trace_word: List[int],
-        work: GpuWorkload,
-        stats: SearchStats,
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Run epsilon-expansion kernels until no token improves."""
-        frontier = active
-        while True:
-            has_eps = frontier[self._n_eps[frontier] > 0]
-            if len(has_eps) == 0:
-                break
-            work.kernel_launches += 1
-            work.epsilon_iterations += 1
-            arc_idx, src_state = self._gather_arcs(
-                has_eps, self._first + self._n_non_eps, self._n_eps
-            )
-            if len(arc_idx) == 0:
-                break
-            stats.epsilon_arcs_processed += len(arc_idx)
-            work.epsilon_arcs_expanded += len(arc_idx)
-
-            cand = score_of[src_state] + self._weights[arc_idx]
-            dests = self._dests[arc_idx]
-            improved_mask = cand > score_of[dests]
-            if not improved_mask.any():
-                break
-            arc_sel = arc_idx[improved_mask]
-            dest_sel = dests[improved_mask]
-            src_sel = src_state[improved_mask]
-            cand_sel = cand[improved_mask]
-
-            np.maximum.at(score_of, dest_sel, cand_sel)
-            work.atomic_updates += len(arc_sel)
-            winners = cand_sel >= score_of[dest_sel]
-            changed: List[int] = []
-            for a, d, s, ok in zip(arc_sel, dest_sel, src_sel, winners):
-                if not ok:
-                    continue
-                trace_prev.append(int(bp_of[s]))
-                trace_word.append(int(self._olabels[a]))
-                bp_of[d] = len(trace_prev) - 1
-                changed.append(int(d))
-            if not changed:
-                break
-            new_frontier = np.unique(np.array(changed, dtype=np.int64))
-            active = np.unique(np.concatenate([active, new_frontier]))
-            frontier = new_frontier
-        return active, score_of, bp_of
-
-    def _finalize(
-        self,
-        active: np.ndarray,
-        score_of: np.ndarray,
-        bp_of: np.ndarray,
-        trace_prev: List[int],
-        trace_word: List[int],
-        stats: SearchStats,
-    ) -> DecodeResult:
-        if len(active) == 0:
-            raise DecodeError("no active tokens at the end of the utterance")
-        finals = self.graph.final_weights[active]
-        totals = score_of[active] + finals
-        has_final = finals > LOG_ZERO / 2
-        if has_final.any():
-            idx = int(np.argmax(np.where(has_final, totals, _NEG_INF)))
-            best_state = int(active[idx])
-            likelihood = float(totals[idx])
-            reached_final = True
-        else:
-            idx = int(np.argmax(score_of[active]))
-            best_state = int(active[idx])
-            likelihood = float(score_of[best_state])
-            reached_final = False
-
-        words: List[int] = []
-        index = int(bp_of[best_state])
-        while index >= 0:
-            if trace_word[index] != 0:
-                words.append(trace_word[index])
-            index = trace_prev[index]
-        words.reverse()
-        return DecodeResult(
-            words=tuple(words),
-            log_likelihood=likelihood,
-            reached_final=reached_final,
-            stats=stats,
-        )
+            kernel.step_frame(frontier, frame, scores.frame(frame))
+            frontier.num_frames += 1
+            frontier.stats.frames += 1
+        return kernel.finalize(frontier), observer.work

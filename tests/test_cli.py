@@ -59,8 +59,54 @@ class TestCommands:
         parser = build_parser()
         assert parser.parse_args(["decode"]).engine == "reference"
         assert not parser.parse_args(["decode"]).streaming
+        for engine in ("reference", "batch", "lattice", "gpu"):
+            assert parser.parse_args(
+                ["decode", "--engine", engine]
+            ).engine == engine
         with pytest.raises(SystemExit):
             parser.parse_args(["decode", "--engine", "nonsense"])
+
+    def test_decode_lattice_engine_prints_nbest(self, capsys):
+        argv = ["decode", "--vocab", "40", "--utterances", "2", "--seed", "4"]
+        assert main(argv) == 0
+        ref_out = capsys.readouterr().out
+        assert main(argv + ["--engine", "lattice", "--nbest", "2"]) == 0
+        lattice_out = capsys.readouterr().out
+        assert "engine 'lattice'" in lattice_out
+        assert "nbest 1:" in lattice_out
+        assert "lattice:" in lattice_out
+        # The lattice 1-best equals the reference decode.
+        ref_utts = [ln for ln in ref_out.splitlines() if ln.startswith("utt")]
+        lat_utts = [ln for ln in lattice_out.splitlines()
+                    if ln.startswith("utt")]
+        assert ref_utts == lat_utts
+
+    def test_decode_gpu_engine_prints_workload(self, capsys):
+        argv = ["decode", "--vocab", "40", "--utterances", "2", "--seed", "4"]
+        assert main(argv) == 0
+        ref_out = capsys.readouterr().out
+        assert main(argv + ["--engine", "gpu"]) == 0
+        gpu_out = capsys.readouterr().out
+        assert "engine 'gpu'" in gpu_out
+        assert "gpu workload:" in gpu_out
+        assert "launches" in gpu_out
+        ref_utts = [ln for ln in ref_out.splitlines() if ln.startswith("utt")]
+        gpu_utts = [ln for ln in gpu_out.splitlines() if ln.startswith("utt")]
+        assert ref_utts == gpu_utts
+
+    def test_decode_adaptive_pruning(self, capsys):
+        code = main(["decode", "--vocab", "40", "--utterances", "2",
+                     "--seed", "4", "--pruning", "adaptive",
+                     "--target-active", "50"])
+        assert code == 0
+        assert "mean WER" in capsys.readouterr().out
+
+    def test_adaptive_requires_target(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["decode", "--vocab", "40", "--utterances", "1",
+                  "--pruning", "adaptive"])
 
     def test_decode_streaming_matches_reference(self, capsys):
         argv = ["decode", "--vocab", "40", "--utterances", "2", "--seed", "4"]

@@ -132,6 +132,47 @@ class TestRunner:
         # Two layouts -> two recordings.
         assert result.trace_recordings == 2
 
+    def test_pruning_axis_records_one_trace_per_strategy(self, workload):
+        """The adaptive-beam workload axis re-traces per strategy point
+        and changes the functional search (the Fig. 9 ablation axis)."""
+        runner = SweepRunner(workload)
+        result = runner.run([
+            {"pruning": "beam"},
+            {"pruning": "adaptive", "target_active": 40},
+            {"pruning": "adaptive", "target_active": 40,
+             "prefetch_enabled": True},
+        ])
+        # Three points, two distinct strategies -> two recordings (the
+        # adaptive points share one trace).
+        assert result.trace_recordings == 2
+        _fixed, adaptive, _ = result.points
+        # The adaptive trace replays like any other: cycles match the
+        # monolithic simulator priced on the same functional search.
+        from repro.accel import TraceRecorder, TraceReplayer
+        from repro.decoder import DecoderConfig
+
+        recorder = TraceRecorder(
+            workload.graph,
+            config=DecoderConfig(
+                beam=workload.beam, max_active=workload.max_active,
+                pruning="adaptive", target_active=40,
+            ),
+        )
+        replayer = TraceReplayer(workload.graph, adaptive.config)
+        expected = sum(
+            replayer.replay(recorder.record(s)).stats.cycles
+            for s in workload.scores
+        )
+        assert adaptive.cycles == expected
+
+    def test_pruning_spec_parses_from_cli_strings(self):
+        grid = ParameterGrid.from_specs(
+            ["pruning=beam,adaptive", "target_active=200"]
+        )
+        points = grid.points()
+        assert points[0] == {"pruning": "beam", "target_active": 200}
+        assert points[1] == {"pruning": "adaptive", "target_active": 200}
+
     def test_beam_axis_records_one_trace_per_beam(self, workload):
         runner = SweepRunner(workload)
         result = runner.run(

@@ -4,40 +4,44 @@ import numpy as np
 import pytest
 
 from repro.accel.stats import SimStats
+from repro.decoder.kernel import _csr_gather
 from repro.decoder.result import SearchStats
-from repro.gpu import GpuViterbiDecoder
 from repro.gpu.decoder import GpuWorkload
 from repro.system.experiment import accelerator_configs
 from repro.accel import AcceleratorConfig
 
 
-class TestGatherArcs:
-    @pytest.fixture(scope="class")
-    def decoder(self, small_graph):
-        return GpuViterbiDecoder(small_graph, beam=10.0)
+class TestBulkArcGather:
+    """The kernel's CSR arc gather (the CUDA-gather primitive the GPU
+    expansion kernel models, and the bulk gather of every vectorized
+    engine)."""
 
-    def test_empty_state_set(self, decoder):
-        arcs, src = decoder._gather_arcs(
-            np.empty(0, dtype=np.int64), decoder._first, decoder._n_non_eps
+    @pytest.fixture(scope="class")
+    def flat(self, small_graph):
+        return small_graph.flat()
+
+    def test_empty_state_set(self):
+        arcs, src = _csr_gather(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
         )
         assert len(arcs) == 0 and len(src) == 0
 
-    def test_counts_match_state_records(self, decoder, small_graph):
+    def test_counts_match_state_records(self, flat, small_graph):
         states = np.arange(min(20, small_graph.num_states), dtype=np.int64)
-        arcs, src = decoder._gather_arcs(
-            states, decoder._first, decoder._n_non_eps
+        arcs, src = _csr_gather(
+            flat.first_arc[states], flat.num_non_eps[states]
         )
-        expected = int(decoder._n_non_eps[states].sum())
+        expected = int(flat.num_non_eps[states].sum())
         assert len(arcs) == expected
         assert len(src) == expected
 
-    def test_arcs_fall_in_state_ranges(self, decoder, small_graph):
+    def test_arcs_fall_in_state_ranges(self, flat, small_graph):
         states = np.arange(min(20, small_graph.num_states), dtype=np.int64)
-        arcs, src = decoder._gather_arcs(
-            states, decoder._first, decoder._n_non_eps
+        arcs, src = _csr_gather(
+            flat.first_arc[states], flat.num_non_eps[states]
         )
-        for a, s in zip(arcs, src):
-            first, n_non_eps, _ = small_graph.arc_range(int(s))
+        for a, row in zip(arcs, src):
+            first, n_non_eps, _ = small_graph.arc_range(int(states[row]))
             assert first <= a < first + n_non_eps
 
 
