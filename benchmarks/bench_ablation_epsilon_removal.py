@@ -9,13 +9,14 @@ graph is a distinct *workload* (removal changes the search), so the
 shared runner prices one single-point sweep per graph.
 """
 
+import dataclasses
+
 import pytest
 
-from benchmarks.common import format_table, report, sweep_runner
+from benchmarks.common import GRAPH_CACHE, format_table, report, sweep_runner
 from repro.datasets import TaskConfig, generate_task
 from repro.explore import SweepWorkload
-from repro.wfst import CompiledWfst, remove_epsilons
-from tests.test_epsilon_removal import _to_mutable
+from repro.graph import GraphRecipe, compile_graph
 
 
 @pytest.fixture(scope="module")
@@ -28,7 +29,12 @@ def task():
 
 def run(task):
     original = task.graph
-    epsfree = CompiledWfst.from_fst(remove_epsilons(_to_mutable(original)))
+    # Same recipe, epsilon-removal pass switched on: both graphs come from
+    # the one compiler pipeline.
+    epsfree_config = dataclasses.replace(task.config, remove_epsilons=True)
+    epsfree = compile_graph(
+        GraphRecipe.from_task_config(epsfree_config), cache=GRAPH_CACHE
+    ).graph
 
     rows = []
     likelihoods = {}

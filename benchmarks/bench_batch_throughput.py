@@ -13,7 +13,7 @@ import time
 
 import pytest
 
-from benchmarks.common import format_table, report, write_json
+from benchmarks.common import GRAPH_CACHE, format_table, report, write_json
 from repro.datasets import SyntheticGraphConfig
 from repro.decoder import BatchDecoder, BeamSearchConfig, ViterbiDecoder
 from repro.system import make_memory_workload
@@ -56,6 +56,7 @@ def run_batch_throughput(quick: bool = False, seed: int = 3) -> dict:
         graph_config=SyntheticGraphConfig(
             num_states=shape["num_states"], num_phones=50, seed=seed
         ),
+        graph_cache=GRAPH_CACHE,
     )
     config = BeamSearchConfig(beam=workload.beam, max_active=workload.max_active)
     # The quick workload decodes in milliseconds, so one-shot timings are

@@ -18,7 +18,7 @@ from typing import Dict
 import networkx as nx
 import pytest
 
-from benchmarks.common import format_table, report, write_json
+from benchmarks.common import GRAPH_CACHE, format_table, report, write_json
 from repro.common.logmath import LOG_ZERO
 from repro.datasets import SyntheticGraphConfig
 from repro.decoder import DecoderConfig, LatticeDecoder, ViterbiDecoder
@@ -145,6 +145,7 @@ def run_lattice_throughput(quick: bool = False, seed: int = 3) -> dict:
         graph_config=SyntheticGraphConfig(
             num_states=shape["num_states"], num_phones=50, seed=seed
         ),
+        graph_cache=GRAPH_CACHE,
     )
     config = DecoderConfig(beam=workload.beam, max_active=workload.max_active)
     lattice_beam = 5.0

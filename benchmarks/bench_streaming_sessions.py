@@ -18,7 +18,7 @@ import time
 
 import pytest
 
-from benchmarks.common import format_table, report, write_json
+from benchmarks.common import GRAPH_CACHE, format_table, report, write_json
 from repro.datasets import SyntheticGraphConfig
 from repro.decoder import BatchDecoder, BeamSearchConfig
 from repro.system import StreamingServer, make_memory_workload
@@ -66,6 +66,7 @@ def run_streaming_sessions(quick: bool = False, seed: int = 7) -> dict:
         graph_config=SyntheticGraphConfig(
             num_states=shape["num_states"], num_phones=50, seed=seed
         ),
+        graph_cache=GRAPH_CACHE,
     )
     config = BeamSearchConfig(beam=workload.beam, max_active=workload.max_active)
     chunk_frames = shape["chunk_frames"]

@@ -42,6 +42,7 @@ class _NullBenchmark:
 def run_quick() -> int:
     """CI smoke gate: small, fast, and strict about consistency."""
     from benchmarks import bench_batch_throughput as bench_batch
+    from benchmarks import bench_graph_compile as bench_graph
     from benchmarks import bench_lattice_throughput as bench_lattice
     from benchmarks import bench_streaming_sessions as bench_stream
     from repro.datasets import SyntheticGraphConfig
@@ -123,6 +124,21 @@ def run_quick() -> int:
             )
         return result
 
+    def graph_compile():
+        result = bench_graph.run_graph_compile(quick=True)
+        bench_graph._report(result)
+        if not result["bit_identical"]:
+            raise AssertionError(
+                "artifact-cache load is not bit-identical to a fresh "
+                "compile"
+            )
+        if result["speedup"] < bench_graph.QUICK_SPEEDUP_TARGET:
+            raise AssertionError(
+                f"warm graph load {result['speedup']:.2f}x below the "
+                f"{bench_graph.QUICK_SPEEDUP_TARGET:.0f}x gate"
+            )
+        return result
+
     def sweep_throughput():
         from benchmarks import bench_sweep_throughput as bench_sweep
 
@@ -141,6 +157,7 @@ def run_quick() -> int:
         return result
 
     step("platform_consistency", platform_consistency)
+    step("graph_compile_quick", graph_compile)
     step("batch_throughput_quick", batch_throughput)
     step("streaming_sessions_quick", streaming_sessions)
     step("lattice_throughput_quick", lattice_throughput)
@@ -174,6 +191,7 @@ def main() -> int:
 
     from benchmarks import (
         bench_batch_throughput as batch_tp,
+        bench_graph_compile as graph_tp,
         bench_lattice_throughput as lattice_tp,
         bench_streaming_sessions as stream_tp,
         bench_sweep_throughput as sweep_tp,
@@ -212,6 +230,7 @@ def main() -> int:
     area.test_intext_area_and_overheads(bench)
     pipeline.test_intext_full_pipeline(bench, std_comparison)
     batch_tp.test_batch_throughput(bench)
+    graph_tp.test_graph_compile(bench)
     lattice_tp.test_lattice_throughput(bench)
     stream_tp.test_streaming_sessions(bench)
     sweep_tp.test_sweep_throughput(bench)

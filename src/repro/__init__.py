@@ -16,7 +16,10 @@ The package builds the paper's entire system in Python:
 * area/power/energy models and the whole-pipeline system model
   (:mod:`repro.energy`, :mod:`repro.system`);
 * the trace-once/replay-many design-space sweep engine behind the
-  paper's Figures 4-14 parameter studies (:mod:`repro.explore`).
+  paper's Figures 4-14 parameter studies (:mod:`repro.explore`);
+* the staged graph compiler with its content-addressed artifact cache,
+  the single graph-construction path under tasks, benches, sweeps and
+  the CLI (:mod:`repro.graph`).
 
 Quickstart::
 
@@ -33,6 +36,7 @@ __version__ = "1.0.0"
 from repro.accel import AcceleratorConfig, AcceleratorSimulator
 from repro.datasets import AsrTask, TaskConfig, generate_task
 from repro.decoder import BeamSearchConfig, ViterbiDecoder, word_error_rate
+from repro.graph import GraphCache, GraphRecipe, compile_graph
 from repro.wfst import CompiledWfst, Fst, sort_states_by_arc_count
 
 __all__ = [
@@ -48,4 +52,7 @@ __all__ = [
     "CompiledWfst",
     "Fst",
     "sort_states_by_arc_count",
+    "GraphRecipe",
+    "GraphCache",
+    "compile_graph",
 ]

@@ -63,22 +63,24 @@ from repro.wfst.layout import CompiledWfst
 
 #: Bump when the array schema changes; saved traces carry it so stale disk
 #: caches are rejected instead of misread.  v2: pruning-strategy metadata
-#: (``pruning`` / ``target_active``) joined the header.
-TRACE_FORMAT_VERSION = 2
+#: (``pruning`` / ``target_active``) joined the header.  v3: layout keys
+#: derive from the graph compiler's content fingerprint
+#: (:meth:`repro.wfst.layout.CompiledWfst.fingerprint`) instead of an
+#: ad-hoc checksum.
+TRACE_FORMAT_VERSION = 3
 
 
 def layout_fingerprint(graph: CompiledWfst) -> int:
-    """A cheap content fingerprint of a graph layout.
+    """The 64-bit layout key of a graph, for trace headers.
 
     Distinguishes layouts with equal state/arc counts -- in particular a
     graph from its Section IV-B sorted permutation -- so a trace is never
-    replayed against the wrong address map.  Checksums the packed state
-    records (which encode every arc offset) plus the start state.
+    replayed against the wrong address map.  Derived from the shared
+    content fingerprint (computed once per graph and persisted by the
+    graph compiler's artifact cache), so the trace layer, the sweep caches
+    and the artifact store all agree on one graph identity.
     """
-    import zlib
-
-    digest = zlib.adler32(np.ascontiguousarray(graph.states_packed).tobytes())
-    return (digest << 32) ^ (graph.start << 8) ^ graph.num_arcs
+    return int(graph.fingerprint()[:16], 16)
 
 
 # ----------------------------------------------------------------------

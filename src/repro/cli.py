@@ -1,7 +1,10 @@
 """Command-line interface.
 
-Six subcommands cover the common workflows:
+Seven subcommands cover the common workflows:
 
+* ``repro-asr compile``      -- run the staged graph compiler on a recipe
+  (composed lexicon ∘ LM or synthetic Kaldi-like graph), print the
+  per-pass report and cache/save the packed artifact.
 * ``repro-asr build-task``   -- generate a synthetic ASR task and save its
   decoding graph.
 * ``repro-asr decode``       -- decode a task's utterances on any engine
@@ -43,13 +46,19 @@ from repro.decoder import (
     word_error_rate,
 )
 from repro.energy import AcceleratorEnergyModel
+from repro.graph import (
+    DEFAULT_GRAPH_CACHE,
+    GraphCache,
+    GraphRecipe,
+    compile_graph,
+)
 from repro.system import (
     ServerConfig,
     StreamingServer,
     make_memory_workload,
     run_platform_comparison,
 )
-from repro.wfst import save_wfst, sort_states_by_arc_count
+from repro.wfst import load_any_graph, save_wfst, sort_states_by_arc_count
 
 CONFIG_NAMES = ("base", "state", "arc", "both")
 
@@ -71,6 +80,49 @@ def _add_task_args(parser: argparse.ArgumentParser) -> None:
                         help="number of test utterances (default 5)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--beam", type=float, default=14.0)
+    parser.add_argument("--lm-order", type=int, choices=(2, 3), default=2,
+                        dest="lm_order",
+                        help="grammar transducer order: 2 = bigram, "
+                             "3 = trigram (default 2)")
+
+
+def _add_graph_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--graph", metavar="PATH",
+                        help="decode a pre-compiled graph artifact "
+                             "(npz graph or bundle from 'repro compile "
+                             "--output') instead of the task's own; must "
+                             "have been compiled from the same recipe for "
+                             "meaningful WER")
+    parser.add_argument("--graph-cache", default=DEFAULT_GRAPH_CACHE,
+                        dest="graph_cache", metavar="DIR|none",
+                        help=f"on-disk compiled-graph artifact cache "
+                             f"(default {DEFAULT_GRAPH_CACHE}; "
+                             f"'none' disables)")
+
+
+def _graph_cache(args: argparse.Namespace) -> Optional[GraphCache]:
+    directory = getattr(args, "graph_cache", None)
+    if directory is None or directory == "none":
+        return GraphCache()
+    return GraphCache(directory)
+
+
+def _task_config(args: argparse.Namespace) -> TaskConfig:
+    return TaskConfig(
+        vocab_size=args.vocab,
+        num_utterances=args.utterances,
+        seed=args.seed,
+        lm_order=getattr(args, "lm_order", 2),
+    )
+
+
+def _build_task(args: argparse.Namespace):
+    """The task of ``args``: compiled through the cache, or, with
+    ``--graph``, generated around a pre-compiled graph (no compile)."""
+    graph = load_any_graph(args.graph) if getattr(args, "graph", None) else None
+    return generate_task(
+        _task_config(args), graph_cache=_graph_cache(args), graph=graph
+    )
 
 
 def _add_pruning_args(parser: argparse.ArgumentParser) -> None:
@@ -98,11 +150,57 @@ def _decoder_config(args: argparse.Namespace) -> DecoderConfig:
     )
 
 
+def cmd_compile(args: argparse.Namespace) -> int:
+    """Run the staged graph compiler and print the per-pass report."""
+    if args.states:
+        if args.remove_epsilons:
+            raise ConfigError(
+                "--remove-epsilons applies to composed recipes only "
+                "(synthetic graphs are generated pre-packed)"
+            )
+        if args.no_arcsort:
+            raise ConfigError(
+                "--no-arcsort applies to composed recipes only"
+            )
+        recipe = GraphRecipe.synthetic_graph(SyntheticGraphConfig(
+            num_states=args.states, num_phones=args.phones, seed=args.seed
+        ))
+    else:
+        recipe = GraphRecipe.composed(
+            vocab_size=args.vocab,
+            corpus_sentences=args.corpus_sentences,
+            lm_order=args.lm_order,
+            silence_prob=args.silence_prob,
+            seed=args.seed,
+            remove_epsilons=args.remove_epsilons,
+            arcsort=not args.no_arcsort,
+        )
+    cache = _graph_cache(args)
+    artifact = compile_graph(recipe, cache=cache)
+    print(artifact.report())
+    graph = artifact.graph
+    print(f"graph: {graph.num_states} states / {graph.num_arcs} arcs "
+          f"({graph.total_size_bytes / 1024:.0f} KB), "
+          f"{100 * graph.epsilon_fraction():.1f}% epsilon")
+    if cache.directory is not None:
+        print(f"cache: {cache.directory} "
+              f"({cache.hits} hit(s), {cache.compiles} compile(s))")
+    if args.output:
+        from repro.wfst import save_graph_bundle
+
+        save_graph_bundle(
+            graph,
+            args.output,
+            fingerprint=graph.fingerprint(),
+            recipe=recipe.to_dict(),
+            passes=[p.to_dict() for p in artifact.passes],
+        )
+        print(f"artifact bundle written to {args.output}")
+    return 0
+
+
 def cmd_build_task(args: argparse.Namespace) -> int:
-    task = generate_task(
-        TaskConfig(vocab_size=args.vocab, num_utterances=args.utterances,
-                   seed=args.seed)
-    )
+    task = _build_task(args)
     print(f"task: vocab {task.lexicon.vocab_size}, graph "
           f"{task.graph.num_states} states / {task.graph.num_arcs} arcs "
           f"({task.graph.total_size_bytes / 1024:.0f} KB)")
@@ -116,10 +214,10 @@ def cmd_decode(args: argparse.Namespace) -> int:
     from repro.decoder import DecodeResult
     from repro.gpu import GpuViterbiDecoder
 
-    task = generate_task(
-        TaskConfig(vocab_size=args.vocab, num_utterances=args.utterances,
-                   seed=args.seed)
-    )
+    task = _build_task(args)
+    if args.graph:
+        print(f"decoding pre-compiled graph {args.graph} "
+              f"({task.graph.num_states} states)")
     config = _decoder_config(args)
     scores = [u.scores for u in task.utterances]
     server = None
@@ -205,10 +303,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise ConfigError("--chunk-frames must be >= 1")
     if args.stagger < 0:
         raise ConfigError("--stagger must be >= 0")
-    task = generate_task(
-        TaskConfig(vocab_size=args.vocab, num_utterances=args.utterances,
-                   seed=args.seed)
-    )
+    task = _build_task(args)
     server = StreamingServer(
         task.graph,
         DecoderConfig(beam=args.beam),
@@ -254,10 +349,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    task = generate_task(
-        TaskConfig(vocab_size=args.vocab, num_utterances=args.utterances,
-                   seed=args.seed)
-    )
+    task = _build_task(args)
     config = _accel_config(args.config)
     sorted_graph = (
         sort_states_by_arc_count(task.graph)
@@ -335,6 +427,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         graph_config=SyntheticGraphConfig(
             num_states=args.states, num_phones=50, seed=args.seed
         ),
+        graph=load_any_graph(args.graph) if args.graph else None,
+        graph_cache=_graph_cache(args),
     )
     if args.param:
         grid = ParameterGrid.from_specs(args.param)
@@ -388,13 +482,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    p = sub.add_parser(
+        "compile",
+        help="run the staged graph compiler (recipe -> packed artifact)",
+    )
+    p.add_argument("--vocab", type=int, default=200,
+                   help="composed recipe: vocabulary size (default 200)")
+    p.add_argument("--corpus-sentences", type=int, default=2000,
+                   dest="corpus_sentences",
+                   help="composed recipe: LM training sentences "
+                        "(default 2000)")
+    p.add_argument("--lm-order", type=int, choices=(2, 3), default=2,
+                   dest="lm_order",
+                   help="grammar order: 2 = bigram, 3 = trigram (default 2)")
+    p.add_argument("--silence-prob", type=float, default=0.2,
+                   dest="silence_prob")
+    p.add_argument("--remove-epsilons", action="store_true",
+                   dest="remove_epsilons",
+                   help="fold output-free epsilon arcs (bigger graph, "
+                        "no epsilon pipeline passes)")
+    p.add_argument("--no-arcsort", action="store_true", dest="no_arcsort",
+                   help="pack arcs in construction order (non-epsilon "
+                        "first only)")
+    p.add_argument("--states", type=int, default=0,
+                   help="compile a synthetic Kaldi-like graph with this "
+                        "many states instead of composing L ∘ G")
+    p.add_argument("--phones", type=int, default=50,
+                   help="synthetic recipe: phone inventory (default 50)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--graph-cache", default=DEFAULT_GRAPH_CACHE,
+                   dest="graph_cache", metavar="DIR|none",
+                   help=f"artifact cache directory (default "
+                        f"{DEFAULT_GRAPH_CACHE}; 'none' disables)")
+    p.add_argument("--output", help="write the artifact bundle (npz)")
+    p.set_defaults(func=cmd_compile)
+
     p = sub.add_parser("build-task", help="generate a synthetic ASR task")
     _add_task_args(p)
+    _add_graph_args(p)
     p.add_argument("--output", help="write the compiled graph (npz)")
     p.set_defaults(func=cmd_build_task)
 
     p = sub.add_parser("decode", help="decode with the software decoder")
     _add_task_args(p)
+    _add_graph_args(p)
     _add_pruning_args(p)
     p.add_argument("--engine",
                    choices=("reference", "batch", "lattice", "gpu"),
@@ -418,6 +549,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("serve",
                        help="continuous-batching live serving demo")
     _add_task_args(p)
+    _add_graph_args(p)
     p.add_argument("--chunk-frames", type=int, default=10,
                    dest="chunk_frames",
                    help="frames per streamed chunk (default 10)")
@@ -430,6 +562,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("simulate", help="decode on the accelerator simulator")
     _add_task_args(p)
+    _add_graph_args(p)
     p.add_argument("--config", choices=CONFIG_NAMES, default="both",
                    help="accelerator configuration (default: both)")
     p.set_defaults(func=cmd_simulate)
@@ -464,6 +597,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "configurations")
     p.add_argument("--processes", type=int, default=None,
                    help="replay worker processes (default: CPU count)")
+    p.add_argument("--graph", metavar="PATH",
+                   help="sweep over a pre-compiled graph artifact instead "
+                        "of synthesizing one (npz graph or bundle)")
+    p.add_argument("--graph-cache", default=DEFAULT_GRAPH_CACHE,
+                   dest="graph_cache", metavar="DIR|none",
+                   help=f"compiled-graph artifact cache (default "
+                        f"{DEFAULT_GRAPH_CACHE}; 'none' disables)")
     p.add_argument("--trace-cache", default=DEFAULT_TRACE_CACHE,
                    metavar="DIR|none",
                    help=f"on-disk trace cache directory (default "

@@ -2,15 +2,20 @@
 paper's Section V evaluation setup, with ground truth for WER).
 
 A *task* bundles everything one evaluation run needs: the lexicon, the
-trained bigram LM, the composed and compiled decoding graph (L ∘ G), and a
-set of test utterances with ground-truth transcripts, phone alignments and
-acoustic score matrices.
+trained LM, the composed and compiled decoding graph (L ∘ G), and a set of
+test utterances with ground-truth transcripts, phone alignments and
+acoustic score matrices.  The graph itself is built by the staged graph
+compiler (:mod:`repro.graph`): :class:`TaskConfig`'s graph axes
+(``lm_order``, ``remove_epsilons``, ``arcsort``) map onto a
+:class:`~repro.graph.recipe.GraphRecipe`, and passing a
+:class:`~repro.graph.cache.GraphCache` makes repeated task generation a
+cache hit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.common.errors import ConfigError
 from repro.common.rng import make_rng
@@ -18,11 +23,9 @@ from repro.acoustic.scorer import AcousticScores, SyntheticScorer
 from repro.datasets.corpus import CorpusConfig, generate_corpus
 from repro.frontend.audio import PhoneAlignment
 from repro.lexicon.lexicon import Lexicon, generate_lexicon
-from repro.lexicon.lexicon_fst import build_lexicon_fst
-from repro.lm.grammar_fst import build_grammar_fst
 from repro.lm.ngram import NGramModel, train_ngram
+from repro.lm.trigram import TrigramModel, train_trigram
 from repro.wfst.layout import CompiledWfst
-from repro.wfst.ops import compose, remove_epsilon_cycles
 
 
 @dataclass(frozen=True)
@@ -45,7 +48,12 @@ class Utterance:
 
 @dataclass(frozen=True)
 class TaskConfig:
-    """Parameters of a generated ASR task."""
+    """Parameters of a generated ASR task.
+
+    ``lm_order`` / ``remove_epsilons`` / ``arcsort`` are the graph-recipe
+    axes: they select the grammar transducer order (bigram or trigram) and
+    the optional normalisation passes of the staged graph compiler.
+    """
 
     vocab_size: int = 500
     corpus_sentences: int = 2000
@@ -56,6 +64,9 @@ class TaskConfig:
     score_separation: float = 4.0
     score_noise: float = 1.5
     seed: int = 0
+    lm_order: int = 2
+    remove_epsilons: bool = False
+    arcsort: bool = True
 
     def __post_init__(self) -> None:
         if self.vocab_size < 2:
@@ -64,6 +75,8 @@ class TaskConfig:
             raise ConfigError("num_utterances must be >= 1")
         if self.utterance_words < 1:
             raise ConfigError("utterance_words must be >= 1")
+        if self.lm_order not in (2, 3):
+            raise ConfigError("lm_order must be 2 (bigram) or 3 (trigram)")
 
 
 @dataclass
@@ -72,9 +85,11 @@ class AsrTask:
 
     config: TaskConfig
     lexicon: Lexicon
-    lm: NGramModel
+    lm: Union[NGramModel, TrigramModel]
     graph: CompiledWfst
     utterances: List[Utterance]
+    #: Provenance of the decoding graph (recipe, pass stats, fingerprint).
+    artifact: Optional["GraphArtifact"] = None
 
     @property
     def num_phones(self) -> int:
@@ -84,26 +99,52 @@ class AsrTask:
         return [self.lexicon.word_of(w) for w in utt.words]
 
 
-def generate_task(config: TaskConfig = TaskConfig()) -> AsrTask:
-    """Generate a full ASR task deterministically from ``config.seed``."""
-    lexicon = generate_lexicon(config.vocab_size, seed=config.seed)
-    corpus = generate_corpus(
-        CorpusConfig(
-            vocab_size=config.vocab_size,
-            num_sentences=config.corpus_sentences,
-            seed=config.seed,
-        )
-    )
-    lm = train_ngram(corpus, config.vocab_size)
+def generate_task(
+    config: TaskConfig = TaskConfig(),
+    graph_cache: Optional["GraphCache"] = None,
+    graph: Optional[CompiledWfst] = None,
+) -> AsrTask:
+    """Generate a full ASR task deterministically from ``config.seed``.
 
-    lexicon_fst = build_lexicon_fst(lexicon, silence_prob=config.silence_prob)
-    grammar_fst = build_grammar_fst(lm)
-    decoding_fst = compose(lexicon_fst, grammar_fst)
-    remove_epsilon_cycles(decoding_fst)
-    graph = CompiledWfst.from_fst(decoding_fst)
+    The decoding graph comes from the staged graph compiler
+    (:func:`repro.graph.compile_graph`); pass ``graph_cache`` to reuse
+    compiled artifacts across tasks, processes and runs, or ``graph`` to
+    skip compilation entirely and decode a pre-compiled graph (it must
+    stem from the same recipe for meaningful WER).
+    """
+    artifact = None
+    if graph is None:
+        from repro.graph import GraphRecipe, compile_graph
+
+        recipe = GraphRecipe.from_task_config(config)
+        artifact = compile_graph(recipe, cache=graph_cache)
+        graph = artifact.graph
+
+    # A fresh compile hands back its intermediate lexicon/LM/corpus; a
+    # cache hit (or a supplied graph) regenerates them, deterministic
+    # from the seed and cheap next to composition.
+    lexicon = artifact.lexicon if artifact is not None else None
+    if lexicon is None:
+        lexicon = generate_lexicon(config.vocab_size, seed=config.seed)
+    corpus = artifact.corpus if artifact is not None else None
+    if corpus is None:
+        corpus = generate_corpus(
+            CorpusConfig(
+                vocab_size=config.vocab_size,
+                num_sentences=config.corpus_sentences,
+                seed=config.seed,
+            )
+        )
+    lm = artifact.lm if artifact is not None else None
+    if lm is None:
+        lm = (
+            train_trigram(corpus, config.vocab_size)
+            if config.lm_order == 3
+            else train_ngram(corpus, config.vocab_size)
+        )
 
     utterances = _generate_utterances(config, lexicon, corpus)
-    return AsrTask(config, lexicon, lm, graph, utterances)
+    return AsrTask(config, lexicon, lm, graph, utterances, artifact)
 
 
 def _generate_utterances(

@@ -22,11 +22,12 @@ from __future__ import annotations
 import hashlib
 import os
 import struct
+import zipfile
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.errors import SimulationError
 from repro.acoustic.scorer import AcousticScores
-from repro.accel.trace import DecodeTrace, TraceRecorder, layout_fingerprint
+from repro.accel.trace import DecodeTrace, TraceRecorder
 from repro.decoder.kernel import DecoderConfig
 from repro.wfst.layout import CompiledWfst
 
@@ -54,9 +55,9 @@ def workload_fingerprint(
     # the cache into duplicate recordings of identical searches.
     adaptive = config.pruning == "adaptive"
     h = hashlib.sha256()
+    h.update(graph.fingerprint().encode())
     h.update(struct.pack(
-        "<QdQdddd",
-        layout_fingerprint(graph) & (2 ** 64 - 1),
+        "<dQdddd",
         config.beam, config.max_active,
         float(config.target_active) if adaptive else 0.0,
         config.min_beam if adaptive else 0.0,
@@ -134,8 +135,10 @@ class TraceCache:
                 return None
             try:
                 traces.append(DecodeTrace.load(path))
-            except (SimulationError, OSError, KeyError, ValueError):
-                # Stale format or a torn write: fall back to re-recording.
+            except (SimulationError, OSError, KeyError, ValueError,
+                    zipfile.BadZipFile, EOFError):
+                # Stale format or a torn write (np.load raises BadZipFile
+                # for a truncated archive): fall back to re-recording.
                 return None
         return traces
 

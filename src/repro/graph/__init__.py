@@ -1,0 +1,37 @@
+"""Staged graph compiler with a content-addressed artifact cache.
+
+The paper's accelerator walks a decoding WFST compiled *offline* into a
+packed binary layout (Section III).  This subpackage is that offline
+compiler, factored the way the rest of the repo factors hot paths -- one
+shared engine under every consumer:
+
+* :mod:`repro.graph.recipe` -- declarative :class:`GraphRecipe`
+  (lexicon/LM sources, composition, optional epsilon removal and arc
+  sorting) with a stable content fingerprint;
+* :mod:`repro.graph.compiler` -- :class:`GraphCompiler`, an explicit pass
+  pipeline (lexicon -> grammar -> compose -> epsilon -> arcsort -> pack)
+  with per-pass statistics, producing a :class:`GraphArtifact`;
+* :mod:`repro.graph.cache` -- :class:`GraphCache`, the content-addressed
+  in-memory/on-disk artifact store behind :func:`compile_graph`.
+
+Tasks (:mod:`repro.datasets.task`), memory-system workloads
+(:mod:`repro.system.experiment`), the benchmark suite and the
+``repro compile`` CLI all build their graphs through
+:func:`compile_graph`, so any graph variant compiles once per machine and
+loads bit-exact thereafter.
+"""
+
+from repro.graph.cache import DEFAULT_GRAPH_CACHE, GraphCache, compile_graph
+from repro.graph.compiler import GraphArtifact, GraphCompiler, PassStats
+from repro.graph.recipe import COMPILER_VERSION, GraphRecipe
+
+__all__ = [
+    "COMPILER_VERSION",
+    "GraphRecipe",
+    "GraphCompiler",
+    "GraphArtifact",
+    "PassStats",
+    "GraphCache",
+    "DEFAULT_GRAPH_CACHE",
+    "compile_graph",
+]

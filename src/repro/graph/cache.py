@@ -1,0 +1,139 @@
+"""Content-addressed artifact cache: compile once, load bit-exact forever.
+
+Every :class:`~repro.graph.recipe.GraphRecipe` fingerprints to a stable
+content address (recipe fields + compiler version), and :class:`GraphCache`
+stores the compiled artifact under it -- in memory always, and as a
+versioned ``.npz`` graph bundle (:func:`repro.wfst.io.save_graph_bundle`)
+when a directory is configured.  Properties:
+
+* within a process, every consumer of the same recipe shares one compile;
+* across processes/runs, a disk directory makes compilation a one-time
+  cost per recipe (``benchmarks/bench_graph_compile.py`` gates the warm
+  load at >= 5x a cold compile);
+* invalidation is automatic: any recipe or compiler-version change moves
+  the address, and stale files are simply never addressed again (the
+  directory can be deleted at any time; bundles additionally embed a
+  format version, so archives from an incompatible schema are re-compiled
+  rather than misread).
+"""
+
+from __future__ import annotations
+
+import os
+import zipfile
+from typing import Dict, Optional
+
+from repro.common.errors import GraphError
+from repro.graph.compiler import GraphArtifact, GraphCompiler, PassStats
+from repro.graph.recipe import GraphRecipe
+from repro.wfst.io import load_graph_bundle, save_graph_bundle
+
+#: Default on-disk artifact store of the CLI commands (content-addressed;
+#: safe to delete at any time -- see docs/ARCHITECTURE.md).
+DEFAULT_GRAPH_CACHE = os.path.join(
+    os.path.expanduser("~"), ".cache", "repro-asr", "graphs"
+)
+
+
+class GraphCache:
+    """In-memory (and optionally on-disk) store of compiled graph artifacts.
+
+    Args:
+        directory: optional directory for persistent bundle files.
+            Created on first write.  ``None`` keeps artifacts in memory
+            only.
+        compiler: the compiler used on a miss (defaults to a fresh
+            :class:`GraphCompiler`).
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        compiler: Optional[GraphCompiler] = None,
+    ) -> None:
+        self.directory = (
+            os.path.expanduser(directory) if directory is not None else None
+        )
+        self.compiler = compiler or GraphCompiler()
+        self._memory: Dict[str, GraphArtifact] = {}
+        self.compiles = 0  #: pipelines actually executed
+        self.hits = 0      #: lookups satisfied without compiling
+
+    def get(self, recipe: GraphRecipe) -> GraphArtifact:
+        """The artifact for ``recipe``: memory hit, disk hit, or compile."""
+        key = recipe.fingerprint()
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+
+        artifact = self._load_from_disk(recipe, key)
+        if artifact is not None:
+            self.hits += 1
+        else:
+            artifact = self.compiler.compile(recipe)
+            self.compiles += 1
+            self._store_to_disk(artifact)
+        self._memory[key] = artifact
+        return artifact
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.graph.npz")
+
+    def _load_from_disk(
+        self, recipe: GraphRecipe, key: str
+    ) -> Optional[GraphArtifact]:
+        if self.directory is None:
+            return None
+        path = self._path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            graph, meta = load_graph_bundle(path)
+        except (GraphError, OSError, KeyError, ValueError,
+                zipfile.BadZipFile, EOFError):
+            # Stale schema or a torn write (np.load raises BadZipFile for
+            # a truncated archive, EOFError for an empty one): fall back
+            # to re-compiling.
+            return None
+        return GraphArtifact(
+            recipe=recipe,
+            fingerprint=key,
+            graph=graph,
+            passes=tuple(
+                PassStats.from_dict(p) for p in meta.get("passes", [])
+            ),
+            compile_seconds=0.0,
+            source="disk",
+        )
+
+    def _store_to_disk(self, artifact: GraphArtifact) -> None:
+        if self.directory is None:
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        # Write-then-rename so an interrupted or concurrent store never
+        # leaves a torn file at a valid content address.
+        path = self._path(artifact.fingerprint)
+        tmp = f"{path}.{os.getpid()}.tmp.npz"
+        save_graph_bundle(
+            artifact.graph,
+            tmp,
+            fingerprint=artifact.graph.fingerprint(),
+            recipe=artifact.recipe.to_dict(),
+            passes=[p.to_dict() for p in artifact.passes],
+        )
+        os.replace(tmp, path)
+
+
+def compile_graph(
+    recipe: GraphRecipe, cache: Optional[GraphCache] = None
+) -> GraphArtifact:
+    """Compile ``recipe``, through ``cache`` when one is supplied.
+
+    The single entry point every graph consumer (tasks, benches, sweeps,
+    the CLI) goes through.
+    """
+    if cache is not None:
+        return cache.get(recipe)
+    return GraphCompiler().compile(recipe)

@@ -1,0 +1,185 @@
+"""Declarative recipes for decoding-graph compilation.
+
+A :class:`GraphRecipe` captures *everything* that determines the packed
+decoding graph the accelerator walks (paper, Section III): the lexicon and
+LM sources, the composition, and the optional normalisation passes
+(epsilon removal, arc sorting).  Recipes are plain frozen dataclasses, so
+two equal recipes always compile to bit-identical graphs, and
+:meth:`GraphRecipe.fingerprint` gives the content address under which the
+compiled artifact is cached (:mod:`repro.graph.cache`).
+
+Two kinds of recipe exist, mirroring the two graph sources the repo uses:
+
+* ``composed`` -- the paper's L ∘ G construction: a generated lexicon
+  (:mod:`repro.lexicon`), a bigram or trigram LM trained on a synthetic
+  corpus (:mod:`repro.lm`), composed, connected, optionally
+  epsilon-removed, arc-sorted and packed.
+* ``synthetic`` -- a Kaldi-statistics random graph
+  (:mod:`repro.datasets.synthetic_graph`) for memory-system experiments
+  at scales composition cannot reach in pure Python.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, Optional
+
+from repro.common.errors import ConfigError
+from repro.datasets.synthetic_graph import SyntheticGraphConfig
+
+#: Bumped whenever the compiler's output for an unchanged recipe could
+#: change (pass semantics, packing order, ...); part of every fingerprint
+#: so stale cached artifacts are never addressed again.
+COMPILER_VERSION = 1
+
+_LM_ORDERS = (2, 3)
+
+
+@dataclass(frozen=True)
+class GraphRecipe:
+    """A declarative description of one compiled decoding graph.
+
+    Attributes:
+        kind: ``"composed"`` (lexicon ∘ LM) or ``"synthetic"``.
+        vocab_size / corpus_sentences / lm_order / silence_prob / seed:
+            the composed-graph source parameters (ignored for synthetic
+            recipes).  ``lm_order`` selects the bigram (2) or trigram (3)
+            grammar transducer.
+        remove_epsilons: fold output-free epsilon arcs after composition
+            (trades graph size for epsilon-pass pipeline work -- the
+            ablation of ``bench_ablation_epsilon_removal``).
+        arcsort: pack arcs in the canonical sorted order (non-epsilon
+            first, then input label).  ``False`` keeps construction order,
+            only partitioned non-epsilon-first as the layout requires.
+        synthetic: the :class:`SyntheticGraphConfig` of a synthetic
+            recipe (required iff ``kind == "synthetic"``).
+    """
+
+    kind: str = "composed"
+    vocab_size: int = 500
+    corpus_sentences: int = 2000
+    lm_order: int = 2
+    silence_prob: float = 0.2
+    seed: int = 0
+    remove_epsilons: bool = False
+    arcsort: bool = True
+    synthetic: Optional[SyntheticGraphConfig] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("composed", "synthetic"):
+            raise ConfigError(f"unknown recipe kind {self.kind!r}")
+        if self.kind == "synthetic":
+            if self.synthetic is None:
+                raise ConfigError(
+                    "synthetic recipes need a SyntheticGraphConfig"
+                )
+            if self.remove_epsilons:
+                raise ConfigError(
+                    "epsilon removal applies to composed recipes only "
+                    "(synthetic graphs are generated pre-packed)"
+                )
+        else:
+            if self.synthetic is not None:
+                raise ConfigError(
+                    "composed recipes must not carry a synthetic config"
+                )
+            if self.lm_order not in _LM_ORDERS:
+                raise ConfigError(
+                    f"lm_order must be one of {_LM_ORDERS}, "
+                    f"got {self.lm_order}"
+                )
+            if self.vocab_size < 2:
+                raise ConfigError("vocab_size must be >= 2")
+            if self.corpus_sentences < 1:
+                raise ConfigError("corpus_sentences must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def composed(cls, **kwargs) -> "GraphRecipe":
+        return cls(kind="composed", **kwargs)
+
+    @classmethod
+    def synthetic_graph(
+        cls, config: SyntheticGraphConfig, arcsort: bool = True
+    ) -> "GraphRecipe":
+        return cls(kind="synthetic", synthetic=config, arcsort=arcsort)
+
+    @classmethod
+    def from_task_config(cls, config) -> "GraphRecipe":
+        """The recipe of a :class:`repro.datasets.task.TaskConfig`'s graph."""
+        return cls(
+            kind="composed",
+            vocab_size=config.vocab_size,
+            corpus_sentences=config.corpus_sentences,
+            lm_order=config.lm_order,
+            silence_prob=config.silence_prob,
+            seed=config.seed,
+            remove_epsilons=config.remove_epsilons,
+            arcsort=config.arcsort,
+        )
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serialisable field dict (nested configs expanded)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "GraphRecipe":
+        payload = dict(payload)
+        synthetic = payload.pop("synthetic", None)
+        if synthetic is not None:
+            synthetic = SyntheticGraphConfig(**synthetic)
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigError(f"unknown recipe fields: {sorted(unknown)}")
+        return cls(synthetic=synthetic, **payload)
+
+    def fingerprint(self) -> str:
+        """Content address of the compiled artifact (32 hex chars).
+
+        Hashes every recipe field plus :data:`COMPILER_VERSION` in a
+        canonical order, so any change to the recipe *or* to compiler
+        semantics changes the address and the cache re-compiles instead of
+        serving a stale artifact.
+        """
+        h = hashlib.sha256()
+        h.update(f"compiler-v{COMPILER_VERSION}".encode())
+        for key, value in sorted(_flatten(self.to_dict()).items()):
+            h.update(f"|{key}={value!r}".encode())
+        return h.hexdigest()[:32]
+
+    def describe(self) -> str:
+        """A short human-readable label for logs and reports."""
+        if self.kind == "synthetic":
+            cfg = self.synthetic
+            return (
+                f"synthetic(states={cfg.num_states}, "
+                f"phones={cfg.num_phones}, seed={cfg.seed})"
+            )
+        extras = []
+        if self.remove_epsilons:
+            extras.append("eps-free")
+        if not self.arcsort:
+            extras.append("unsorted")
+        suffix = f", {','.join(extras)}" if extras else ""
+        return (
+            f"composed(vocab={self.vocab_size}, lm={self.lm_order}-gram, "
+            f"seed={self.seed}{suffix})"
+        )
+
+
+def _flatten(payload: Dict, prefix: str = "") -> Dict[str, object]:
+    flat: Dict[str, object] = {}
+    for key, value in payload.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, prefix=f"{name}."))
+        else:
+            flat[name] = value
+    return flat

@@ -33,10 +33,7 @@ from repro.accel.replay import TraceReplayer
 from repro.accel.simulator import AcceleratorResult
 from repro.accel.stats import SimStats
 from repro.accel.trace import DecodeTrace, TraceRecorder
-from repro.datasets.synthetic_graph import (
-    SyntheticGraphConfig,
-    generate_kaldi_like_graph,
-)
+from repro.datasets.synthetic_graph import SyntheticGraphConfig
 from repro.decoder.result import SearchStats
 from repro.decoder.viterbi import BeamSearchConfig, ViterbiDecoder
 from repro.energy.components import AcceleratorEnergyModel
@@ -81,6 +78,8 @@ def make_memory_workload(
     score_noise: float = 1.0,
     seed: int = 0,
     graph_config: Optional[SyntheticGraphConfig] = None,
+    graph: Optional[CompiledWfst] = None,
+    graph_cache: Optional["GraphCache"] = None,
 ) -> MemoryWorkload:
     """Build a memory-system workload on a Kaldi-like synthetic graph.
 
@@ -93,10 +92,27 @@ def make_memory_workload(
     active set size is controlled by ``beam`` / ``score_separation`` /
     ``score_noise`` and stays stable across utterance lengths (unlike
     i.i.d. random scores, which are critically unstable).
+
+    The graph comes from the staged graph compiler
+    (:func:`repro.graph.compile_graph` on a synthetic recipe); pass
+    ``graph_cache`` to share compiled graphs across workloads and runs,
+    or ``graph`` to decode a pre-compiled graph directly (``num_phones``
+    is then derived from its input labels).
     """
-    if graph_config is None:
-        graph_config = SyntheticGraphConfig(num_states=num_states, seed=seed)
-    graph = generate_kaldi_like_graph(graph_config)
+    from repro.graph import GraphRecipe, compile_graph
+
+    if graph is None:
+        if graph_config is None:
+            graph_config = SyntheticGraphConfig(
+                num_states=num_states, num_phones=num_phones, seed=seed
+            )
+        artifact = compile_graph(
+            GraphRecipe.synthetic_graph(graph_config), cache=graph_cache
+        )
+        graph = artifact.graph
+        num_phones = graph_config.num_phones
+    else:
+        num_phones = int(graph.arc_ilabel.max())
     sorted_graph = sort_states_by_arc_count(graph)
 
     rng = make_rng(seed, "memory-workload-scores")
@@ -106,9 +122,9 @@ def make_memory_workload(
         matrix = rng.normal(
             -score_separation,
             score_noise,
-            size=(frames, graph_config.num_phones + 1),
+            size=(frames, num_phones + 1),
         )
-        true_phones = rng.integers(1, graph_config.num_phones + 1, size=frames)
+        true_phones = rng.integers(1, num_phones + 1, size=frames)
         matrix[np.arange(frames), true_phones] = rng.normal(
             -0.2, 0.2, size=frames
         )

@@ -12,7 +12,7 @@ word ids, and label ``0`` (EPSILON) marks an epsilon transition.
 
 from repro.wfst.fst import Arc, Fst, EPSILON
 from repro.wfst.semiring import LogProbSemiring, TropicalSemiring
-from repro.wfst.ops import compose, connect, arcsort, remove_epsilon_cycles
+from repro.wfst.ops import compose, connect, arcsort, check_epsilon_acyclic
 from repro.wfst.layout import (
     ARC_BYTES,
     STATE_BYTES,
@@ -21,7 +21,13 @@ from repro.wfst.layout import (
     StateRecord,
 )
 from repro.wfst.sorted_layout import SortedWfst, sort_states_by_arc_count
-from repro.wfst.io import save_wfst, load_wfst
+from repro.wfst.io import (
+    load_any_graph,
+    load_graph_bundle,
+    load_wfst,
+    save_graph_bundle,
+    save_wfst,
+)
 from repro.wfst.shortest import best_complete_path_score, shortest_distance
 from repro.wfst.epsilon_removal import count_epsilon_arcs, remove_epsilons
 
@@ -34,7 +40,7 @@ __all__ = [
     "compose",
     "connect",
     "arcsort",
-    "remove_epsilon_cycles",
+    "check_epsilon_acyclic",
     "CompiledWfst",
     "FlatLayout",
     "StateRecord",
@@ -44,6 +50,9 @@ __all__ = [
     "sort_states_by_arc_count",
     "save_wfst",
     "load_wfst",
+    "save_graph_bundle",
+    "load_graph_bundle",
+    "load_any_graph",
     "best_complete_path_score",
     "shortest_distance",
     "count_epsilon_arcs",

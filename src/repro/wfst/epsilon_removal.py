@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.wfst.fst import EPSILON, Fst
-from repro.wfst.ops import connect, remove_epsilon_cycles
+from repro.wfst.ops import check_epsilon_acyclic, connect
 from repro.wfst.semiring import LogProbSemiring
 
 
@@ -28,7 +28,7 @@ def remove_epsilons(fst: Fst) -> Fst:
     Raises:
         GraphError: if the epsilon subgraph is cyclic.
     """
-    remove_epsilon_cycles(fst)
+    check_epsilon_acyclic(fst)
 
     out = Fst()
     out.add_states(fst.num_states)

@@ -1,27 +1,54 @@
 """Serialisation of compiled decoding graphs (the Section III dataset the
 accelerator walks, persisted in its packed binary layout).
 
-Graphs are stored as ``.npz`` archives holding the packed arrays unchanged,
-so a load/save round trip is bit-exact.
+Two on-disk formats live here, both ``.npz`` archives holding the packed
+arrays unchanged so a load/save round trip is bit-exact:
+
+* **plain graphs** (:func:`save_wfst` / :func:`load_wfst`) -- just the
+  packed arrays plus a format version;
+* **graph bundles** (:func:`save_graph_bundle` / :func:`load_graph_bundle`)
+  -- a plain graph extended with compiler provenance: the recipe that
+  produced it, its content fingerprint and the per-pass statistics.  This
+  is the artifact format of the content-addressed graph cache
+  (:mod:`repro.graph.cache`).
+
+All entry points accept ``str`` or :class:`pathlib.Path` and raise
+:class:`~repro.common.errors.GraphError` on missing files or format-version
+mismatches, so callers handle one exception type for every load failure.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
+from typing import Dict, Tuple, Union
 
 import numpy as np
 
 from repro.common.errors import GraphError
 from repro.wfst.layout import CompiledWfst
 
+PathLike = Union[str, Path]
+
 _FORMAT_VERSION = 1
+#: Version of the bundle (graph + provenance) archive layout.
+BUNDLE_FORMAT_VERSION = 1
 
 
-def save_wfst(graph: CompiledWfst, path: str) -> None:
-    """Write a compiled graph to ``path`` (npz format)."""
-    np.savez_compressed(
-        path,
-        version=np.int64(_FORMAT_VERSION),
+def _resolve(path: PathLike) -> str:
+    """Normalise to ``str``, appending ``.npz`` when only that file exists."""
+    path = os.fspath(path)
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    if not os.path.exists(path):
+        raise GraphError(f"graph file not found: {path!r}")
+    return path
+
+
+def _graph_payload(graph: CompiledWfst) -> Dict[str, np.ndarray]:
+    """The packed arrays, as stored in both archive formats."""
+    return dict(
         start=np.int64(graph.start),
         states_packed=graph.states_packed,
         arc_dest=graph.arc_dest,
@@ -32,20 +59,96 @@ def save_wfst(graph: CompiledWfst, path: str) -> None:
     )
 
 
-def load_wfst(path: str) -> CompiledWfst:
-    """Load a compiled graph previously written by :func:`save_wfst`."""
-    if not os.path.exists(path) and os.path.exists(path + ".npz"):
-        path = path + ".npz"
-    with np.load(path) as data:
+def _graph_from_archive(data) -> CompiledWfst:
+    return CompiledWfst(
+        start=int(data["start"]),
+        states_packed=data["states_packed"].copy(),
+        arc_dest=data["arc_dest"].copy(),
+        arc_weight=data["arc_weight"].copy(),
+        arc_ilabel=data["arc_ilabel"].copy(),
+        arc_olabel=data["arc_olabel"].copy(),
+        final_weights=data["final_weights"].copy(),
+    )
+
+
+def save_wfst(graph: CompiledWfst, path: PathLike) -> None:
+    """Write a compiled graph to ``path`` (npz format)."""
+    np.savez_compressed(
+        os.fspath(path),
+        version=np.int64(_FORMAT_VERSION),
+        **_graph_payload(graph),
+    )
+
+
+def load_wfst(path: PathLike) -> CompiledWfst:
+    """Load a compiled graph previously written by :func:`save_wfst`.
+
+    Raises:
+        GraphError: when the file does not exist or was written by an
+            unsupported format version.
+    """
+    with np.load(_resolve(path)) as data:
         version = int(data["version"])
         if version != _FORMAT_VERSION:
             raise GraphError(f"unsupported graph format version {version}")
-        return CompiledWfst(
-            start=int(data["start"]),
-            states_packed=data["states_packed"].copy(),
-            arc_dest=data["arc_dest"].copy(),
-            arc_weight=data["arc_weight"].copy(),
-            arc_ilabel=data["arc_ilabel"].copy(),
-            arc_olabel=data["arc_olabel"].copy(),
-            final_weights=data["final_weights"].copy(),
-        )
+        return _graph_from_archive(data)
+
+
+def save_graph_bundle(
+    graph: CompiledWfst,
+    path: PathLike,
+    *,
+    fingerprint: str,
+    recipe: Dict,
+    passes: list,
+) -> None:
+    """Write a graph artifact bundle: packed arrays + compiler provenance.
+
+    ``recipe`` and ``passes`` are JSON-serialisable dicts/lists (the graph
+    compiler passes the recipe's field dict and the per-pass statistics).
+    """
+    meta = json.dumps(
+        {"fingerprint": fingerprint, "recipe": recipe, "passes": passes},
+        sort_keys=True,
+    )
+    np.savez_compressed(
+        os.fspath(path),
+        bundle_version=np.int64(BUNDLE_FORMAT_VERSION),
+        meta=np.frombuffer(meta.encode(), dtype=np.uint8),
+        **_graph_payload(graph),
+    )
+
+
+def load_graph_bundle(path: PathLike) -> Tuple[CompiledWfst, Dict]:
+    """Load a bundle written by :func:`save_graph_bundle`.
+
+    Returns the graph (with its stored content fingerprint already
+    stamped, so it is never recomputed) and the provenance dict
+    (``fingerprint`` / ``recipe`` / ``passes``).
+
+    Raises:
+        GraphError: on a missing file, a non-bundle archive, or a bundle
+            format version this build does not support.
+    """
+    resolved = _resolve(path)
+    with np.load(resolved) as data:
+        if "bundle_version" not in data:
+            raise GraphError(f"{resolved!r} is not a graph bundle")
+        version = int(data["bundle_version"])
+        if version != BUNDLE_FORMAT_VERSION:
+            raise GraphError(f"unsupported graph bundle version {version}")
+        meta = json.loads(bytes(data["meta"]).decode())
+        graph = _graph_from_archive(data)
+    graph._fingerprint = meta["fingerprint"]
+    return graph, meta
+
+
+def load_any_graph(path: PathLike) -> CompiledWfst:
+    """Load either a plain graph or a bundle, whichever ``path`` holds."""
+    resolved = _resolve(path)
+    with np.load(resolved) as data:
+        is_bundle = "bundle_version" in data
+    if is_bundle:
+        graph, _ = load_graph_bundle(resolved)
+        return graph
+    return load_wfst(resolved)

@@ -17,6 +17,8 @@ kept byte-exact: :data:`STATE_BYTES` = 8 and :data:`ARC_BYTES` = 16.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -25,7 +27,7 @@ import numpy as np
 from repro.common.errors import GraphError
 from repro.common.logmath import LOG_ZERO
 from repro.wfst.fst import EPSILON, Fst
-from repro.wfst.ops import arcsort
+from repro.wfst.ops import arc_sort_key
 
 #: Bytes per packed state record (paper: 64-bit structure).
 STATE_BYTES: int = 8
@@ -144,18 +146,22 @@ class CompiledWfst:
         self.arc_olabel = arc_olabel
         self.final_weights = final_weights
         self._flat: Optional[FlatLayout] = None
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_fst(cls, fst: Fst) -> "CompiledWfst":
-        """Freeze a mutable FST into the packed layout.
+    def from_fst(cls, fst: Fst, arcsort: bool = True) -> "CompiledWfst":
+        """Freeze a mutable FST into the packed layout without mutating it.
 
-        Arcs of each state are re-ordered so non-epsilon arcs come first
-        (required by the layout), preserving relative order otherwise.
+        With ``arcsort=True`` (the default) each state's arcs are packed in
+        the canonical sorted order (non-epsilon first, then by input
+        label -- see :func:`repro.wfst.ops.arc_sort_key`).  With
+        ``arcsort=False`` arcs keep their construction order, only
+        partitioned so non-epsilon arcs come first (the layout's hard
+        requirement).
         """
-        arcsort(fst)
         n_states = fst.num_states
         n_arcs = fst.num_arcs
         if n_states > _MAX_U32 or n_arcs > _MAX_U32:
@@ -171,6 +177,8 @@ class CompiledWfst:
         cursor = 0
         for s in fst.states():
             arcs = fst.arcs(s)
+            if arcsort:
+                arcs = sorted(arcs, key=arc_sort_key)
             non_eps = [a for a in arcs if not a.is_epsilon]
             eps = [a for a in arcs if a.is_epsilon]
             if len(non_eps) > _MAX_U16 or len(eps) > _MAX_U16:
@@ -195,6 +203,58 @@ class CompiledWfst:
             arc_olabel,
             final_weights,
         )
+
+    def to_fst(self) -> Fst:
+        """Rebuild a mutable :class:`Fst` from the packed layout.
+
+        The inverse of :meth:`from_fst` (up to arc order, which is already
+        canonical in the packed form): used to re-enter the graph-op world,
+        e.g. to run epsilon removal on an already-compiled graph.
+        """
+        fst = Fst()
+        fst.add_states(self.num_states)
+        fst.set_start(self.start)
+        for s in range(self.num_states):
+            first, n_non_eps, n_eps = self.arc_range(s)
+            for a in range(first, first + n_non_eps + n_eps):
+                fst.add_arc(
+                    s,
+                    int(self.arc_ilabel[a]),
+                    int(self.arc_olabel[a]),
+                    float(self.arc_weight[a]),
+                    int(self.arc_dest[a]),
+                )
+            if self.is_final(s):
+                fst.set_final(s, self.final_weight(s))
+        return fst
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content fingerprint of the packed layout (32 hex chars).
+
+        Covers every packed array plus the start state, so two graphs share
+        a fingerprint iff they are bit-identical in memory.  Computed once
+        and cached on the instance; the graph compiler
+        (:mod:`repro.graph`) persists it in artifact bundles so cache-hit
+        loads skip the hash as well.  This is the single graph identity the
+        trace/replay layer and the sweep caches key on.
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha256()
+            h.update(struct.pack("<q", self.start))
+            for arr in (
+                self.states_packed,
+                self.arc_dest,
+                self.arc_weight,
+                self.arc_ilabel,
+                self.arc_olabel,
+                self.final_weights,
+            ):
+                h.update(np.ascontiguousarray(arr).tobytes())
+            self._fingerprint = h.hexdigest()[:32]
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Bit-exact packing

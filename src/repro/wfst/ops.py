@@ -5,6 +5,11 @@ Implements the operations the decoding-graph builder needs: composition
 check that epsilon arcs cannot loop forever (the decoders process epsilon
 closures per frame and require epsilon-acyclicity, which real decoding graphs
 satisfy).
+
+Every operation here is *pure*: it returns a new :class:`~repro.wfst.fst.Fst`
+(or, for :func:`check_epsilon_acyclic`, returns nothing) and never mutates
+its argument.  Mutation-style helpers live on :class:`~repro.wfst.fst.Fst`
+itself and carry mutator names (``replace_arcs``).
 """
 
 from __future__ import annotations
@@ -97,27 +102,43 @@ def connect(fst: Fst) -> Fst:
     return out
 
 
-def arcsort(fst: Fst) -> None:
-    """Sort each state's arcs: non-epsilon first, then by input label.
+def arc_sort_key(arc) -> Tuple[bool, int, int, int]:
+    """The canonical arc ordering: non-epsilon first, then by labels.
 
-    This matches the memory layout requirement of the accelerator (paper,
-    Section III): "the non-epsilon arcs are stored first, followed by the
-    epsilon arcs".
+    Shared by :func:`arcsort` and the packed-layout builder
+    (:meth:`repro.wfst.layout.CompiledWfst.from_fst`) so both produce the
+    same order.
     """
+    return (arc.is_epsilon, arc.ilabel, arc.olabel, arc.dest)
+
+
+def arcsort(fst: Fst) -> Fst:
+    """Return a copy of ``fst`` with each state's arcs sorted.
+
+    Non-epsilon arcs come first, then input label: the memory layout
+    requirement of the accelerator (paper, Section III): "the non-epsilon
+    arcs are stored first, followed by the epsilon arcs".  Like every
+    operation in this module the input is left untouched.
+    """
+    out = Fst()
+    out.add_states(fst.num_states)
+    if fst.has_start:
+        out.set_start(fst.start)
     for s in fst.states():
-        arcs = sorted(
-            fst.arcs(s),
-            key=lambda a: (a.is_epsilon, a.ilabel, a.olabel, a.dest),
-        )
-        fst.replace_arcs(s, arcs)
+        if fst.is_final(s):
+            out.set_final(s, fst.final_weight(s))
+        for arc in sorted(fst.arcs(s), key=arc_sort_key):
+            out.add_arc(s, arc.ilabel, arc.olabel, arc.weight, arc.dest)
+    return out
 
 
-def remove_epsilon_cycles(fst: Fst) -> None:
+def check_epsilon_acyclic(fst: Fst) -> None:
     """Raise :class:`GraphError` if the epsilon subgraph contains a cycle.
 
-    The name reflects intent: decoding graphs built by this library are
-    epsilon-acyclic by construction, so instead of rewriting weights (full
-    epsilon removal) we verify the property and fail loudly when violated.
+    A pure check, not a transformation: decoding graphs built by this
+    library are epsilon-acyclic by construction, so instead of rewriting
+    weights (full epsilon removal, :mod:`repro.wfst.epsilon_removal`) we
+    verify the property and fail loudly when violated.
     """
     color: Dict[int, int] = {}  # 0 = visiting, 1 = done
 

@@ -12,7 +12,8 @@ class TestParser:
 
     def test_known_subcommands(self):
         parser = build_parser()
-        for cmd in ("build-task", "decode", "serve", "simulate", "compare"):
+        for cmd in ("compile", "build-task", "decode", "serve", "simulate",
+                    "compare"):
             args = parser.parse_args([cmd] if cmd != "simulate" else [cmd])
             assert hasattr(args, "func")
 
@@ -163,3 +164,56 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "ASIC+State&Arc" in out
         assert "vs GPU" in out
+
+
+class TestCompile:
+    def test_compile_composed_prints_pass_report(self, capsys, tmp_path):
+        code = main(["compile", "--vocab", "40", "--corpus-sentences",
+                     "200", "--seed", "4",
+                     "--graph-cache", str(tmp_path / "cache")])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("lexicon", "grammar", "compose", "arcsort", "pack"):
+            assert name in out
+        assert "1 compile(s)" in out
+
+    def test_compile_is_a_cache_hit_second_time(self, capsys, tmp_path):
+        argv = ["compile", "--vocab", "40", "--corpus-sentences", "200",
+                "--seed", "4", "--graph-cache", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 hit(s), 0 compile(s)" in out
+
+    def test_compile_synthetic_recipe(self, capsys):
+        code = main(["compile", "--states", "2000", "--seed", "3",
+                     "--graph-cache", "none"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "synthesize" in out
+
+    def test_decode_precompiled_graph_is_word_identical(
+        self, capsys, tmp_path
+    ):
+        bundle = str(tmp_path / "graph.npz")
+        assert main(["compile", "--vocab", "40", "--corpus-sentences",
+                     "2000", "--seed", "4", "--graph-cache", "none",
+                     "--output", bundle]) == 0
+        capsys.readouterr()
+        base = ["decode", "--vocab", "40", "--utterances", "2",
+                "--seed", "4", "--graph-cache", "none"]
+        assert main(base) == 0
+        fresh = capsys.readouterr().out
+        assert main(base + ["--graph", bundle]) == 0
+        cached = capsys.readouterr().out
+        fresh_utts = [l for l in fresh.splitlines() if l.startswith("utt")]
+        cached_utts = [l for l in cached.splitlines() if l.startswith("utt")]
+        assert fresh_utts == cached_utts
+
+    def test_decode_trigram_lm_order(self, capsys):
+        code = main(["decode", "--vocab", "40", "--utterances", "2",
+                     "--seed", "4", "--lm-order", "3",
+                     "--graph-cache", "none"])
+        assert code == 0
+        assert "mean WER" in capsys.readouterr().out

@@ -80,7 +80,7 @@ class TestEquivalence:
         graph = make_random_fst(rng)
         scores = make_scores(rng, frames)
 
-        mutable = _to_mutable(graph)
+        mutable = graph.to_fst()
         removed = CompiledWfst.from_fst(remove_epsilons(mutable))
 
         try:
@@ -103,7 +103,7 @@ class TestEquivalence:
                        num_utterances=2, seed=23)
         )
         removed = CompiledWfst.from_fst(
-            remove_epsilons(_to_mutable(task.graph))
+            remove_epsilons(task.graph.to_fst())
         )
         assert removed.epsilon_fraction() == 0.0
         original = ViterbiDecoder(task.graph, BeamSearchConfig(beam=16.0))
@@ -116,22 +116,3 @@ class TestEquivalence:
             )
             assert b.words == a.words
 
-
-def _to_mutable(graph: CompiledWfst) -> Fst:
-    """Rebuild a mutable FST from a compiled one."""
-    fst = Fst()
-    fst.add_states(graph.num_states)
-    fst.set_start(graph.start)
-    for s in range(graph.num_states):
-        first, n_non_eps, n_eps = graph.arc_range(s)
-        for a in range(first, first + n_non_eps + n_eps):
-            fst.add_arc(
-                s,
-                int(graph.arc_ilabel[a]),
-                int(graph.arc_olabel[a]),
-                float(graph.arc_weight[a]),
-                int(graph.arc_dest[a]),
-            )
-        if graph.is_final(s):
-            fst.set_final(s, graph.final_weight(s))
-    return fst

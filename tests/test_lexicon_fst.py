@@ -5,7 +5,7 @@ import pytest
 from repro.common.errors import ConfigError
 from repro.lexicon import build_lexicon_fst, generate_lexicon
 from repro.wfst import EPSILON
-from repro.wfst.ops import remove_epsilon_cycles
+from repro.wfst.ops import check_epsilon_acyclic
 
 
 @pytest.fixture(scope="module")
@@ -85,7 +85,7 @@ class TestStructure:
 
     def test_epsilon_acyclic(self, lexicon):
         fst = build_lexicon_fst(lexicon)
-        remove_epsilon_cycles(fst)  # should not raise
+        check_epsilon_acyclic(fst)  # should not raise
 
     def test_invalid_probs_rejected(self, lexicon):
         with pytest.raises(ConfigError):

@@ -1,22 +1,42 @@
-"""Tests for WFST serialisation."""
+"""Tests for WFST serialisation: plain graphs and compiler artifact bundles."""
+
+from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro.wfst import load_wfst, save_wfst
+from repro.common.errors import GraphError
+from repro.wfst import (
+    load_any_graph,
+    load_graph_bundle,
+    load_wfst,
+    save_graph_bundle,
+    save_wfst,
+)
+
+
+def assert_graphs_bit_exact(loaded, graph):
+    assert loaded.start == graph.start
+    assert (loaded.states_packed == graph.states_packed).all()
+    assert (loaded.arc_dest == graph.arc_dest).all()
+    assert (loaded.arc_weight == graph.arc_weight).all()
+    assert (loaded.arc_ilabel == graph.arc_ilabel).all()
+    assert (loaded.arc_olabel == graph.arc_olabel).all()
+    assert np.allclose(loaded.final_weights, graph.final_weights)
 
 
 def test_round_trip_is_bit_exact(tmp_path, small_graph):
     path = str(tmp_path / "graph.npz")
     save_wfst(small_graph, path)
+    assert_graphs_bit_exact(load_wfst(path), small_graph)
+
+
+def test_accepts_pathlib_path(tmp_path, small_graph):
+    path = tmp_path / "graph.npz"
+    assert isinstance(path, Path)
+    save_wfst(small_graph, path)
     loaded = load_wfst(path)
-    assert loaded.start == small_graph.start
-    assert (loaded.states_packed == small_graph.states_packed).all()
-    assert (loaded.arc_dest == small_graph.arc_dest).all()
-    assert (loaded.arc_weight == small_graph.arc_weight).all()
-    assert (loaded.arc_ilabel == small_graph.arc_ilabel).all()
-    assert (loaded.arc_olabel == small_graph.arc_olabel).all()
-    assert np.allclose(loaded.final_weights, small_graph.final_weights)
+    assert loaded.num_states == small_graph.num_states
 
 
 def test_load_appends_npz_suffix(tmp_path, small_graph):
@@ -26,6 +46,69 @@ def test_load_appends_npz_suffix(tmp_path, small_graph):
     assert loaded.num_states == small_graph.num_states
 
 
-def test_missing_file_raises(tmp_path):
-    with pytest.raises(FileNotFoundError):
+def test_missing_file_raises_graph_error(tmp_path):
+    with pytest.raises(GraphError):
         load_wfst(str(tmp_path / "nope.npz"))
+    with pytest.raises(GraphError):
+        load_graph_bundle(tmp_path / "nope.npz")
+
+
+def test_version_mismatch_raises_graph_error(tmp_path, small_graph):
+    path = str(tmp_path / "graph.npz")
+    save_wfst(small_graph, path)
+    with np.load(path) as data:
+        payload = {name: data[name] for name in data.files}
+    payload["version"] = np.int64(999)
+    np.savez_compressed(path, **payload)
+    with pytest.raises(GraphError, match="version"):
+        load_wfst(path)
+
+
+class TestBundles:
+    def test_round_trip_preserves_graph_and_meta(self, tmp_path, small_graph):
+        path = tmp_path / "graph.bundle.npz"
+        passes = [{"name": "pack", "seconds": 0.5}]
+        save_graph_bundle(
+            small_graph,
+            path,
+            fingerprint=small_graph.fingerprint(),
+            recipe={"kind": "composed", "seed": 11},
+            passes=passes,
+        )
+        loaded, meta = load_graph_bundle(path)
+        assert_graphs_bit_exact(loaded, small_graph)
+        assert meta["fingerprint"] == small_graph.fingerprint()
+        assert meta["recipe"]["seed"] == 11
+        assert meta["passes"] == passes
+        # The stored fingerprint is stamped, not recomputed.
+        assert loaded.fingerprint() == small_graph.fingerprint()
+
+    def test_bundle_version_mismatch_raises(self, tmp_path, small_graph):
+        path = str(tmp_path / "graph.bundle.npz")
+        save_graph_bundle(
+            small_graph, path,
+            fingerprint=small_graph.fingerprint(), recipe={}, passes=[],
+        )
+        with np.load(path) as data:
+            payload = {name: data[name] for name in data.files}
+        payload["bundle_version"] = np.int64(999)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(GraphError, match="bundle version"):
+            load_graph_bundle(path)
+
+    def test_plain_graph_is_not_a_bundle(self, tmp_path, small_graph):
+        path = str(tmp_path / "plain.npz")
+        save_wfst(small_graph, path)
+        with pytest.raises(GraphError, match="not a graph bundle"):
+            load_graph_bundle(path)
+
+    def test_load_any_graph_handles_both(self, tmp_path, small_graph):
+        plain = tmp_path / "plain.npz"
+        bundle = tmp_path / "bundle.npz"
+        save_wfst(small_graph, plain)
+        save_graph_bundle(
+            small_graph, bundle,
+            fingerprint=small_graph.fingerprint(), recipe={}, passes=[],
+        )
+        for path in (plain, bundle):
+            assert_graphs_bit_exact(load_any_graph(path), small_graph)

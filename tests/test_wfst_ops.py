@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import GraphError
-from repro.wfst import EPSILON, Fst, arcsort, compose, connect, remove_epsilon_cycles
+from repro.wfst import EPSILON, Fst, arcsort, check_epsilon_acyclic, compose, connect
 
 
 def acceptor(labels, weight_per_arc=0.0):
@@ -131,15 +131,78 @@ class TestArcsort:
         fst.add_arc(s0, 2, 0, 0.0, s1)
         fst.add_arc(s0, 1, 0, 0.0, s1)
         fst.set_final(s1)
-        arcsort(fst)
-        labels = [a.ilabel for a in fst.arcs(s0)]
+        out = arcsort(fst)
+        labels = [a.ilabel for a in out.arcs(s0)]
         assert labels == [1, 2, EPSILON]
+
+    def test_is_pure(self):
+        """Like every wfst.ops operation, arcsort leaves its input alone."""
+        fst = Fst()
+        s0, s1 = fst.add_states(2)
+        fst.set_start(s0)
+        fst.add_arc(s0, 2, 0, 0.0, s1)
+        fst.add_arc(s0, 1, 0, 0.0, s1)
+        fst.set_final(s1, -0.5)
+        out = arcsort(fst)
+        assert [a.ilabel for a in fst.arcs(s0)] == [2, 1]
+        assert [a.ilabel for a in out.arcs(s0)] == [1, 2]
+        assert out.final_weight(s1) == pytest.approx(-0.5)
+
+
+class TestEdgeCases:
+    """Degenerate inputs: empty FSTs, no finals, disconnected graphs."""
+
+    def test_connect_empty_fst_raises(self):
+        with pytest.raises(GraphError):
+            connect(Fst())  # no start state at all
+
+    def test_compose_with_empty_fst_raises(self):
+        with pytest.raises(GraphError):
+            compose(Fst(), acceptor([1]))
+        with pytest.raises(GraphError):
+            compose(acceptor([1]), Fst())
+
+    def test_connect_no_final_states_raises(self):
+        fst = Fst()
+        s0, s1 = fst.add_states(2)
+        fst.set_start(s0)
+        fst.add_arc(s0, 1, 1, 0.0, s1)
+        with pytest.raises(GraphError):
+            connect(fst)
+
+    def test_compose_no_final_right_raises(self):
+        left = acceptor([1])
+        right = Fst()
+        r0, r1 = right.add_states(2)
+        right.set_start(r0)
+        right.add_arc(r0, 1, 1, 0.0, r1)  # never final
+        with pytest.raises(GraphError):
+            compose(left, right)
+
+    def test_connect_fully_disconnected_component_dropped(self):
+        fst = acceptor([1])
+        # A second component never linked to the start component.
+        a, b = fst.add_states(2)
+        fst.add_arc(a, 5, 5, 0.0, b)
+        fst.set_final(b)
+        out = connect(fst)
+        assert out.num_states == 2
+        assert all(a.ilabel != 5 for s in out.states() for a in out.arcs(s))
+
+    def test_connect_start_is_final_with_no_arcs(self):
+        fst = Fst()
+        s = fst.add_state()
+        fst.set_start(s)
+        fst.set_final(s, -0.25)
+        out = connect(fst)
+        assert out.num_states == 1
+        assert out.final_weight(out.start) == pytest.approx(-0.25)
 
 
 class TestEpsilonCycleCheck:
     def test_acyclic_passes(self):
         fst = transducer([(EPSILON, 0), (1, 1)])
-        remove_epsilon_cycles(fst)  # should not raise
+        check_epsilon_acyclic(fst)  # should not raise
 
     def test_self_loop_detected(self):
         fst = Fst()
@@ -148,7 +211,7 @@ class TestEpsilonCycleCheck:
         fst.set_final(s)
         fst.add_arc(s, EPSILON, 0, 0.0, s)
         with pytest.raises(GraphError):
-            remove_epsilon_cycles(fst)
+            check_epsilon_acyclic(fst)
 
     def test_two_state_cycle_detected(self):
         fst = Fst()
@@ -158,7 +221,7 @@ class TestEpsilonCycleCheck:
         fst.add_arc(s0, EPSILON, 0, 0.0, s1)
         fst.add_arc(s1, EPSILON, 0, 0.0, s0)
         with pytest.raises(GraphError):
-            remove_epsilon_cycles(fst)
+            check_epsilon_acyclic(fst)
 
     def test_non_epsilon_cycle_is_fine(self):
         fst = Fst()
@@ -167,4 +230,4 @@ class TestEpsilonCycleCheck:
         fst.set_final(s1)
         fst.add_arc(s0, 1, 0, 0.0, s1)
         fst.add_arc(s1, 2, 0, 0.0, s0)
-        remove_epsilon_cycles(fst)  # should not raise
+        check_epsilon_acyclic(fst)  # should not raise
