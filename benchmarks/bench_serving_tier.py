@@ -1,0 +1,296 @@
+"""Benchmark: sharded serving tier under a bursty Poisson session load.
+
+A load generator replays a seeded bursty-Poisson arrival trace -- many
+short-lived sessions joining and leaving mid-flight, their chunks
+interleaved in virtual time -- against two serving stacks fed the exact
+same event sequence:
+
+* **single** -- one in-process :class:`StreamingServer` (the continuous-
+  batching baseline: every live session shares one fused sweep engine);
+* **tier** -- the sharded :class:`ServingTier` front door routing the
+  same sessions across N worker processes, each memory-mapping one
+  shared copy of the compiled graph.
+
+Correctness is absolute on both stacks: every session's words and path
+score must equal a one-shot ``BatchDecoder.decode`` of its utterance,
+and with the admission limit above the trace's peak concurrency the
+tier must shed **zero** joins and **zero** pushes.
+
+The throughput gate is core-aware.  With >= 2 usable cores the tier
+must reach ``SPEEDUP_TARGET`` (1.3x) the single-process aggregate
+frames/s -- the whole point of sharding.  On a single-core runner the
+workers time-slice one CPU and a parallel speedup is physically
+impossible, so the gate degrades to ``SINGLE_CORE_FLOOR``: the tier's
+IPC and routing overhead must not collapse throughput.  The result
+payload records which gate applied.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.common import GRAPH_CACHE, format_table, report, write_json
+from repro.datasets import SyntheticGraphConfig
+from repro.decoder import BatchDecoder, BeamSearchConfig
+from repro.decoder.session import chunk_matrix
+from repro.system import ServingTier, StreamingServer, TierConfig, make_memory_workload
+
+#: Serving-regime load: hundreds of bursty arrivals over a production-
+#: style tightly pruned graph.
+FULL_SHAPE = dict(num_states=8_000, utterances=8, sessions=128, frames=40,
+                  max_active=300, chunk_frames=8, burst=8, workers=4)
+#: CI smoke-gate load: tiny graph, a few dozen sessions, two shards.
+#: ``max_active`` sits in the compute-bound regime on purpose: with tiny
+#: frontiers a sweep is all numpy dispatch, which sharding cannot split.
+QUICK_SHAPE = dict(num_states=2_000, utterances=8, sessions=24, frames=16,
+                   max_active=300, chunk_frames=4, burst=6, workers=2)
+
+#: With >= 2 usable cores, the tier's aggregate frames/s must beat the
+#: single-process server by this factor.
+SPEEDUP_TARGET = 1.3
+#: On a single-core runner the shards time-slice one CPU, so the gate is
+#: only that routing + IPC overhead does not collapse throughput.
+SINGLE_CORE_FLOOR = 0.3
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def make_trace(num_sessions: int, num_chunks: int, burst: int, seed: int):
+    """Bursty Poisson arrival trace as a sorted virtual-time event list.
+
+    Burst epochs arrive as a Poisson process; each epoch admits a
+    Poisson-sized group of sessions at once (the bursty shape).  Session
+    ``s`` then streams chunk ``j`` at ``arrival_s + j`` virtual ticks, so
+    chunks of overlapping sessions interleave.  Returns
+    ``[(due, kind, session, chunk_index)]`` sorted by due time, with
+    ``kind`` in ``{"open", "push"}``, plus the trace's peak concurrency.
+    """
+    rng = np.random.default_rng(seed)
+    arrivals = []
+    t = 0.0
+    while len(arrivals) < num_sessions:
+        t += float(rng.exponential(scale=float(num_chunks) / burst))
+        group = 1 + int(rng.poisson(burst - 1))
+        arrivals.extend([t] * min(group, num_sessions - len(arrivals)))
+
+    events = []
+    for s, t0 in enumerate(arrivals):
+        events.append((t0, "open", s, -1))
+        for j in range(num_chunks):
+            events.append((t0 + j, "push", s, j))
+    events.sort(key=lambda e: (e[0], e[2], e[3]))
+
+    leaves = [t0 + num_chunks for t0 in arrivals]
+    peak = max(
+        sum(1 for a, b in zip(arrivals, leaves) if a <= t < b)
+        for t in arrivals
+    )
+    return events, peak
+
+
+def _replay(events, chunks, open_session, push, close_input, step=None):
+    """Drive one serving stack through the trace's event sequence.
+
+    Replays as fast as the stack accepts work -- virtual time fixes only
+    the interleaving (who is live when), which is what shapes the load.
+    Returns the session-id map.  ``step`` (the single-process server's
+    sweep) runs between event groups so the baseline decodes while the
+    trace is still arriving, exactly as the tier's workers do.
+    """
+    sids = {}
+    remaining = {s: len(chunk_list) for s, chunk_list in chunks.items()}
+    last_due = None
+    for due, kind, s, j in events:
+        if step is not None and due != last_due:
+            step()
+        last_due = due
+        if kind == "open":
+            sids[s] = open_session()
+        else:
+            push(sids[s], chunks[s][j])
+            remaining[s] -= 1
+            if remaining[s] == 0:
+                close_input(sids[s])
+    return sids
+
+
+def run_serving_tier(quick: bool = False, seed: int = 7) -> dict:
+    """Replay one bursty trace against both stacks; returns the payload."""
+    shape = QUICK_SHAPE if quick else FULL_SHAPE
+    workload = make_memory_workload(
+        num_utterances=shape["utterances"],
+        frames_per_utterance=shape["frames"],
+        beam=8.0,
+        max_active=shape["max_active"],
+        seed=seed,
+        graph_config=SyntheticGraphConfig(
+            num_states=shape["num_states"], num_phones=50, seed=seed
+        ),
+        graph_cache=GRAPH_CACHE,
+    )
+    config = BeamSearchConfig(beam=workload.beam, max_active=workload.max_active)
+    oneshot = BatchDecoder(workload.graph, config).decode_batch(workload.scores)
+
+    # Session s replays utterance s % U, pre-split into chunks.
+    num_sessions = shape["sessions"]
+    chunk_frames = shape["chunk_frames"]
+    matrices = [chunk_matrix(scores) for scores in workload.scores]
+    chunks = {
+        s: [
+            matrices[s % len(matrices)][i: i + chunk_frames]
+            for i in range(0, len(matrices[s % len(matrices)]), chunk_frames)
+        ]
+        for s in range(num_sessions)
+    }
+    num_chunks = max(len(c) for c in chunks.values())
+    events, peak = make_trace(num_sessions, num_chunks, shape["burst"], seed)
+    total_frames = sum(len(m) * (num_sessions // len(matrices)
+                                 + (1 if s < num_sessions % len(matrices) else 0))
+                       for s, m in enumerate(matrices))
+
+    def check_words(records_by_session, stack):
+        mismatches = [
+            s for s, record in records_by_session.items()
+            if record.error is not None
+            or record.result.words != oneshot[s % len(matrices)].words
+            or record.result.log_likelihood
+            != oneshot[s % len(matrices)].log_likelihood
+        ]
+        if mismatches:
+            raise AssertionError(
+                f"{stack} serving diverged from one-shot decoding on "
+                f"sessions {mismatches}"
+            )
+
+    def run_single():
+        server = StreamingServer(workload.graph, config)
+        t0 = time.perf_counter()
+        sids = _replay(events, chunks, server.open_session, server.push,
+                       server.close_input, step=server.step)
+        server.drain()
+        seconds = time.perf_counter() - t0
+        records = {s: server.result(sid) for s, sid in sids.items()}
+        return seconds, records
+
+    def run_tier():
+        tier = ServingTier(
+            graph=workload.graph,
+            search_config=config,
+            tier_config=TierConfig(
+                num_workers=shape["workers"],
+                max_sessions=num_sessions,  # above peak: nothing is shed
+                queue_depth=1_000_000,
+            ),
+        )
+        with tier:
+            # Warm every shard (page in the mmap'd graph, build the flat
+            # layout, heat the allocator) before the timed window, as
+            # run_single's warmup round does for the baseline.
+            warm = [tier.open_session() for _ in range(shape["workers"] * 2)]
+            for sid, matrix in zip(warm, matrices * 2):
+                tier.push(sid, matrix)
+                tier.close_input(sid)
+            for sid in warm:
+                tier.result(sid, timeout=120)
+            t0 = time.perf_counter()
+            sids = _replay(events, chunks, tier.open_session, tier.push,
+                           tier.close_input)
+            records = {s: tier.result(sids[s]) for s in sids}
+            seconds = time.perf_counter() - t0
+        return seconds, records, tier.stats
+
+    run_single()  # warm the flat layout and allocator
+    single_seconds, single_records = min(
+        (run_single() for _ in range(2)), key=lambda r: r[0]
+    )
+    tier_seconds, tier_records, tier_stats = min(
+        (run_tier() for _ in range(2)), key=lambda r: r[0]
+    )
+
+    check_words(single_records, "single-process")
+    check_words(tier_records, "sharded-tier")
+    if tier_stats.sessions_rejected or tier_stats.pushes_shed:
+        raise AssertionError(
+            f"tier shed work below the admission limit "
+            f"({tier_stats.sessions_rejected} joins, "
+            f"{tier_stats.pushes_shed} pushes)"
+        )
+
+    cores = _usable_cores()
+    target = SPEEDUP_TARGET if cores >= 2 else SINGLE_CORE_FLOOR
+    single_fps = total_frames / single_seconds
+    tier_fps = total_frames / tier_seconds
+    return {
+        "workload": {**shape, "beam": workload.beam, "seed": seed,
+                     "quick": quick},
+        "sessions": num_sessions,
+        "peak_concurrency": peak,
+        "total_frames": total_frames,
+        "usable_cores": cores,
+        "single_seconds": single_seconds,
+        "tier_seconds": tier_seconds,
+        "single_frames_per_second": single_fps,
+        "tier_frames_per_second": tier_fps,
+        "speedup": tier_fps / single_fps,
+        "speedup_target": target,
+        "parallel_gate": cores >= 2,
+        "sessions_rejected": tier_stats.sessions_rejected,
+        "pushes_shed": tier_stats.pushes_shed,
+        "slo": tier_stats.slo(),
+        "words_match": True,
+    }
+
+
+def _report(result: dict) -> None:
+    name = (
+        "serving_tier_quick" if result["workload"]["quick"] else "serving_tier"
+    )
+    rows = [
+        ["single process", result["total_frames"],
+         result["single_seconds"], result["single_frames_per_second"]],
+        [f"sharded tier ({result['workload']['workers']} workers)",
+         result["total_frames"], result["tier_seconds"],
+         result["tier_frames_per_second"]],
+    ]
+    gate = "parallel" if result["parallel_gate"] else "single-core floor"
+    slo = result["slo"]
+    text = format_table(
+        f"Serving tier -- {result['sessions']} bursty sessions (peak "
+        f"{result['peak_concurrency']} live), speedup "
+        f"{result['speedup']:.2f}x (gate >= "
+        f"{result['speedup_target']:.2f}x, {gate}, "
+        f"{result['usable_cores']} cores), p99 session latency "
+        f"{slo['p99_session_latency_s'] * 1e3:.1f}ms, zero shed, output "
+        f"identical to one-shot",
+        ["serving stack", "frames", "seconds", "frames/s"],
+        rows,
+    )
+    report(name, text)
+    write_json(name, result)
+
+
+def test_serving_tier(benchmark):
+    result = benchmark.pedantic(run_serving_tier, rounds=1, iterations=1)
+    _report(result)
+    assert result["words_match"]
+    assert result["sessions_rejected"] == 0 and result["pushes_shed"] == 0
+    assert result["speedup"] >= result["speedup_target"]
+
+
+@pytest.mark.parametrize("quick", [True])
+def test_serving_tier_quick(benchmark, quick):
+    """The CI smoke-gate shape: two shards, still lossless, zero shed."""
+    result = benchmark.pedantic(
+        run_serving_tier, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    _report(result)
+    assert result["words_match"]
+    assert result["sessions_rejected"] == 0 and result["pushes_shed"] == 0
+    assert result["speedup"] >= result["speedup_target"]

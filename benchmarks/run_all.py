@@ -12,11 +12,15 @@ only the benches that share the cached standard comparison.
 ``--quick`` is the CI smoke gate: tiny configurations that finish in
 seconds, a decoder-consistency check across every platform, the batch
 vs reference engine benchmark, the continuous-batching streaming
-session benchmark, the kernel-observer lattice benchmark, and a
-10-point design-space sweep gated against independent simulator runs
+session benchmark, the sharded serving tier under a bursty session
+load, the kernel-observer lattice benchmark, and a 10-point
+design-space sweep gated against independent simulator runs
 (cycle-identical, >= 3x).  Results land in
-``benchmarks/results/quick_summary.json`` (uploaded as a CI artifact); the
-process exits non-zero on any crash or decoder mismatch.
+``benchmarks/results/quick_summary.json`` (uploaded as a CI artifact)
+plus a normalized ``benchmarks/results/trajectory.json`` -- one
+frames/s + speedup point per bench -- that CI's perf-report step diffs
+against the previous main-branch run; the process exits non-zero on
+any crash or decoder mismatch.
 """
 
 from __future__ import annotations
@@ -44,6 +48,7 @@ def run_quick() -> int:
     from benchmarks import bench_batch_throughput as bench_batch
     from benchmarks import bench_graph_compile as bench_graph
     from benchmarks import bench_lattice_throughput as bench_lattice
+    from benchmarks import bench_serving_tier as bench_tier
     from benchmarks import bench_streaming_sessions as bench_stream
     from repro.datasets import SyntheticGraphConfig
     from repro.system import make_memory_workload
@@ -114,6 +119,23 @@ def run_quick() -> int:
             )
         return result
 
+    def serving_tier():
+        result = bench_tier.run_serving_tier(quick=True)
+        bench_tier._report(result)
+        if result["sessions_rejected"] or result["pushes_shed"]:
+            raise AssertionError(
+                f"serving tier shed work below the admission limit "
+                f"({result['sessions_rejected']} joins, "
+                f"{result['pushes_shed']} pushes)"
+            )
+        if result["speedup"] < result["speedup_target"]:
+            gate = "parallel" if result["parallel_gate"] else "single-core"
+            raise AssertionError(
+                f"serving-tier speedup {result['speedup']:.2f}x below the "
+                f"{result['speedup_target']:.2f}x {gate} gate"
+            )
+        return result
+
     def lattice_throughput():
         result = bench_lattice.run_lattice_throughput(quick=True)
         bench_lattice._report(result)
@@ -160,13 +182,59 @@ def run_quick() -> int:
     step("graph_compile_quick", graph_compile)
     step("batch_throughput_quick", batch_throughput)
     step("streaming_sessions_quick", streaming_sessions)
+    step("serving_tier_quick", serving_tier)
     step("lattice_throughput_quick", lattice_throughput)
     step("sweep_throughput_quick", sweep_throughput)
 
     summary["status"] = "failed" if failed else "ok"
     path = common.write_json("quick_summary", summary)
+    trajectory = _trajectory(summary)
+    tpath = common.write_json("trajectory", trajectory)
     print(f"[quick] summary written to {path}: {summary['status']}")
+    print(f"[quick] perf trajectory ({len(trajectory['benches'])} benches) "
+          f"written to {tpath}")
     return 1 if failed else 0
+
+
+#: Which result key is each quick bench's headline frames/s.  Benches not
+#: listed fall back to the first ``*_frames_per_second`` key they report
+#: (or contribute speedup only, like the graph-compile warm-load gate).
+_TRAJECTORY_FPS_KEYS = {
+    "batch_throughput_quick": "batch_frames_per_second",
+    "streaming_sessions_quick": "concurrent_frames_per_second",
+    "serving_tier_quick": "tier_frames_per_second",
+    "lattice_throughput_quick": "kernel_frames_per_second",
+}
+
+
+def _trajectory(summary: dict) -> dict:
+    """Normalize the quick-gate step payloads into one perf point.
+
+    The shape is deliberately flat and stable -- ``benches.<name>`` holds
+    at most ``frames_per_second`` and ``speedup`` -- so CI can diff
+    today's run against a cached previous run without knowing any
+    bench's internals (see ``tools/perf_report.py``).
+    """
+    benches: dict = {}
+    for name, step_data in summary["steps"].items():
+        result = step_data.get("result")
+        if not isinstance(result, dict):
+            continue
+        entry: dict = {}
+        key = _TRAJECTORY_FPS_KEYS.get(name)
+        if key is None:
+            key = next(
+                (k for k in sorted(result) if k.endswith("_frames_per_second")),
+                None,
+            )
+        if key is not None and isinstance(result.get(key), (int, float)):
+            entry["frames_per_second"] = round(float(result[key]), 3)
+        if isinstance(result.get("speedup"), (int, float)):
+            entry["speedup"] = round(float(result["speedup"]), 4)
+        if entry:
+            benches[name] = entry
+    return {"schema": 1, "mode": summary.get("mode", "quick"),
+            "benches": benches}
 
 
 def main() -> int:
@@ -193,6 +261,7 @@ def main() -> int:
         bench_batch_throughput as batch_tp,
         bench_graph_compile as graph_tp,
         bench_lattice_throughput as lattice_tp,
+        bench_serving_tier as tier_tp,
         bench_streaming_sessions as stream_tp,
         bench_sweep_throughput as sweep_tp,
         bench_fig01_pipeline_breakdown as fig01,
@@ -233,6 +302,7 @@ def main() -> int:
     graph_tp.test_graph_compile(bench)
     lattice_tp.test_lattice_throughput(bench)
     stream_tp.test_streaming_sessions(bench)
+    tier_tp.test_serving_tier(bench)
     sweep_tp.test_sweep_throughput(bench)
 
     if not options.fast:

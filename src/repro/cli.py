@@ -14,7 +14,9 @@ Seven subcommands cover the common workflows:
   ``--pruning adaptive --target-active N`` for the adaptive-beam
   strategy.
 * ``repro-asr serve``        -- continuous-batching serving demo: live
-  sessions join mid-flight and stream chunks through one fused engine.
+  sessions join mid-flight and stream chunks through one fused engine;
+  ``--workers N`` serves through the sharded multi-process tier over one
+  memory-mapped graph and reports p50/p99 SLO stats.
 * ``repro-asr simulate``     -- decode on the cycle-accurate accelerator
   simulator in any of the paper's four configurations.
 * ``repro-asr compare``      -- run the six-platform comparison on a
@@ -54,7 +56,9 @@ from repro.graph import (
 )
 from repro.system import (
     ServerConfig,
+    ServingTier,
     StreamingServer,
+    TierConfig,
     make_memory_workload,
     run_platform_comparison,
 )
@@ -297,13 +301,76 @@ def cmd_decode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_tier(args: argparse.Namespace, task) -> int:
+    """Serve the task through the sharded multi-process tier."""
+    tier = ServingTier(
+        graph=task.graph,
+        search_config=DecoderConfig(beam=args.beam),
+        tier_config=TierConfig(
+            num_workers=args.workers, max_batch=args.max_batch
+        ),
+    )
+    with tier:
+        matrices = [u.scores.matrix for u in task.utterances]
+        sids = []
+        for i, matrix in enumerate(matrices):
+            sid = tier.open_session()
+            sids.append(sid)
+            print(f"session {sid} joined -> shard {tier.worker_of(sid)} "
+                  f"({len(matrix)} frames)")
+        offsets = [0] * len(matrices)
+        while any(o < len(m) for o, m in zip(offsets, matrices)):
+            for i, (sid, matrix) in enumerate(zip(sids, matrices)):
+                if offsets[i] >= len(matrix):
+                    continue
+                chunk = matrix[offsets[i]: offsets[i] + args.chunk_frames]
+                tier.push(sid, chunk)
+                offsets[i] += len(chunk)
+                if offsets[i] >= len(matrix):
+                    tier.close_input(sid)
+        records = [tier.result(sid) for sid in sids]
+        stats = tier.stats
+
+    total_wer = 0.0
+    decoded = 0
+    for i, record in enumerate(records):
+        if record.error is not None:
+            print(f"session {record.session_id}: FAILED ({record.error})")
+            continue
+        utt = task.utterances[i]
+        wer = word_error_rate(utt.words, record.result.words)
+        total_wer += wer
+        decoded += 1
+        s = record.stats
+        print(f"session {record.session_id}: WER {wer:.2f}  "
+              f"{s.frames_decoded} frames, mean wait "
+              f"{s.mean_wait_s * 1e3:.2f} ms  "
+              f"{' '.join(task.transcript(record.result))}")
+    slo = stats.slo()
+    print(f"tier: {args.workers} shards served {stats.sessions_finished} "
+          f"sessions / {stats.frames_decoded} frames; aggregate "
+          f"{slo['aggregate_frames_per_second']:.0f} frames/s")
+    print(f"SLO: session latency p50 "
+          f"{slo['p50_session_latency_s'] * 1e3:.1f} ms / p99 "
+          f"{slo['p99_session_latency_s'] * 1e3:.1f} ms; frame wait p50 "
+          f"{slo['p50_mean_wait_s'] * 1e3:.2f} ms / p99 "
+          f"{slo['p99_mean_wait_s'] * 1e3:.2f} ms")
+    if decoded:
+        print(f"mean WER {total_wer / decoded:.3f}")
+    return 0 if decoded == len(records) else 1
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Continuous-batching demo: staggered live sessions, chunked input."""
     if args.chunk_frames < 1:
         raise ConfigError("--chunk-frames must be >= 1")
     if args.stagger < 0:
         raise ConfigError("--stagger must be >= 0")
+    if args.workers < 1:
+        raise ConfigError("--workers must be >= 1")
     task = _build_task(args)
+    if args.workers > 1:
+        return _serve_tier(args, task)
     server = StreamingServer(
         task.graph,
         DecoderConfig(beam=args.beam),
@@ -558,6 +625,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "session up front (default 3)")
     p.add_argument("--max-batch", type=int, default=64, dest="max_batch",
                    help="max sessions per lockstep sweep (default 64)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="decode worker processes; >= 2 serves through "
+                        "the sharded tier over one memory-mapped graph "
+                        "and prints p50/p99 SLO stats (default 1: "
+                        "in-process server)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("simulate", help="decode on the accelerator simulator")

@@ -24,3 +24,15 @@ class DecodeError(ReproError):
 
 class SimulationError(ReproError):
     """The cycle-accurate simulator reached an inconsistent state."""
+
+
+class TierError(ReproError):
+    """The sharded serving tier could not accept or route work."""
+
+
+class AdmissionError(TierError):
+    """A new session was load-shed at the front door (admission limit)."""
+
+
+class BackpressureError(TierError):
+    """A push was load-shed because its shard's queue is saturated."""

@@ -48,11 +48,22 @@ from repro.decoder.result import DecodeResult
 Chunk = Union[AcousticScores, np.ndarray]
 
 
-def _chunk_matrix(chunk: Chunk) -> np.ndarray:
+def chunk_matrix(chunk: Chunk) -> np.ndarray:
+    """Normalise a scores chunk to a 2-D ``frames x phone-scores`` matrix.
+
+    The shared front-door validation of every serving layer
+    (:class:`~repro.system.server.StreamingServer` and the sharded tier's
+    :class:`~repro.system.tier.ServingTier`): malformed chunks are
+    rejected before they are buffered, queued, or shipped to a worker.
+    """
     matrix = chunk.matrix if isinstance(chunk, AcousticScores) else np.asarray(chunk)
     if matrix.ndim != 2:
         raise DecodeError("scores chunk must be 2-D (frames x phone scores)")
     return matrix
+
+
+#: Backwards-compatible alias (pre-tier name).
+_chunk_matrix = chunk_matrix
 
 
 class DecodeSession:

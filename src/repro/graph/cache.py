@@ -20,13 +20,14 @@ when a directory is configured.  Properties:
 from __future__ import annotations
 
 import os
+import tempfile
 import zipfile
 from typing import Dict, Optional
 
 from repro.common.errors import GraphError
 from repro.graph.compiler import GraphArtifact, GraphCompiler, PassStats
 from repro.graph.recipe import GraphRecipe
-from repro.wfst.io import load_graph_bundle, save_graph_bundle
+from repro.wfst.io import load_graph_bundle, save_graph_bundle, save_graph_mmap
 
 #: Default on-disk artifact store of the CLI commands (content-addressed;
 #: safe to delete at any time -- see docs/ARCHITECTURE.md).
@@ -56,6 +57,7 @@ class GraphCache:
         )
         self.compiler = compiler or GraphCompiler()
         self._memory: Dict[str, GraphArtifact] = {}
+        self._tmp_root: Optional[str] = None
         self.compiles = 0  #: pipelines actually executed
         self.hits = 0      #: lookups satisfied without compiling
 
@@ -76,6 +78,29 @@ class GraphCache:
             self._store_to_disk(artifact)
         self._memory[key] = artifact
         return artifact
+
+    def mmap_dir(self, recipe: GraphRecipe) -> str:
+        """The mmap layout directory for ``recipe``'s artifact.
+
+        Compiles (or cache-loads) the artifact, then materialises it as an
+        uncompressed ``.npy`` directory (:func:`repro.wfst.io.save_graph_mmap`)
+        under the same content address, so every serving-tier worker can
+        memory-map one shared copy of the graph.  A memory-only cache
+        materialises into a per-cache temporary directory instead.
+        """
+        artifact = self.get(recipe)
+        if self.directory is not None:
+            os.makedirs(self.directory, exist_ok=True)
+            root = self.directory
+        else:
+            if self._tmp_root is None:
+                self._tmp_root = tempfile.mkdtemp(prefix="repro-graph-mmap-")
+            root = self._tmp_root
+        return save_graph_mmap(
+            artifact.graph,
+            os.path.join(root, f"{artifact.fingerprint}.graph.mmap"),
+            fingerprint=artifact.graph.fingerprint(),
+        )
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> str:

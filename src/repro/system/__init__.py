@@ -19,6 +19,11 @@ from repro.system.server import (
     SessionStats,
     StreamingServer,
 )
+from repro.system.tier import (
+    ServingTier,
+    TierConfig,
+    TierStats,
+)
 from repro.system.experiment import (
     ComparisonResult,
     MemoryWorkload,
@@ -47,4 +52,7 @@ __all__ = [
     "SessionRecord",
     "SessionStats",
     "StreamingServer",
+    "ServingTier",
+    "TierConfig",
+    "TierStats",
 ]

@@ -35,10 +35,10 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.common.errors import ConfigError, DecodeError
+from repro.common.errors import AdmissionError, ConfigError, DecodeError
 from repro.decoder.batch import BatchDecoder
 from repro.decoder.result import DecodeResult
-from repro.decoder.session import Chunk, _chunk_matrix, advance_sessions
+from repro.decoder.session import Chunk, advance_sessions, chunk_matrix
 from repro.decoder.viterbi import BeamSearchConfig
 from repro.wfst.layout import CompiledWfst
 
@@ -52,17 +52,25 @@ class ServerConfig:
             sessions beyond the cap wait for the next sweep, and served
             sessions rotate to the back of the queue (round-robin, so
             nobody starves).
+        max_sessions: admission limit on concurrently live sessions;
+            :meth:`StreamingServer.open_session` load-sheds with a typed
+            :class:`~repro.common.errors.AdmissionError` once this many
+            sessions are live (0 = unlimited).  The sharded tier uses it
+            to bound each worker's sweep queue.
         fused: advance the sweep's sessions in one fused numpy pass
             (False falls back to per-session pushes -- same results,
             useful for benchmarking the fusion win).
     """
 
     max_batch: int = 64
+    max_sessions: int = 0
     fused: bool = True
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
             raise ConfigError("max_batch must be >= 1")
+        if self.max_sessions < 0:
+            raise ConfigError("max_sessions must be >= 0")
 
 
 @dataclass
@@ -176,7 +184,18 @@ class StreamingServer:
     # Session lifecycle
     # ------------------------------------------------------------------
     def open_session(self) -> int:
-        """Admit a new live stream; returns its session id."""
+        """Admit a new live stream; returns its session id.
+
+        Raises:
+            AdmissionError: when ``max_sessions`` live sessions already
+                exist -- the join is load-shed without touching them.
+        """
+        limit = self.server_config.max_sessions
+        if limit and len(self._live) >= limit:
+            raise AdmissionError(
+                f"server at its admission limit ({limit} live sessions); "
+                f"retry after a session retires"
+            )
         sid = next(self._ids)
         self._live[sid] = _Live(
             self.decoder.open_session(), SessionStats(sid, self._clock())
@@ -195,7 +214,7 @@ class StreamingServer:
         live = self._require_live(session_id)
         if live.input_closed:
             raise DecodeError(f"input of session {session_id} is closed")
-        matrix = _chunk_matrix(chunk)
+        matrix = chunk_matrix(chunk)
         if len(matrix):
             width = matrix.shape[1]
             if width < self.decoder.min_score_width:
@@ -340,7 +359,7 @@ class StreamingServer:
             raise ConfigError("chunk_frames must be >= 1")
         if stagger < 0:
             raise ConfigError("stagger must be >= 0")
-        matrices = [_chunk_matrix(scores) for scores in scores_batch]
+        matrices = [chunk_matrix(scores) for scores in scores_batch]
         sids: List[Optional[int]] = [None] * len(matrices)
         offsets = [0] * len(matrices)
 

@@ -1,0 +1,648 @@
+"""Sharded serving tier: a front door routing live sessions to a pool of
+decode worker processes over one memory-mapped graph (beyond-paper
+serving layer; the ROADMAP's "millions of users" scaling step over the
+single-process :class:`~repro.system.server.StreamingServer`).
+
+The shape is the classic datacenter serving tier the paper's Section VI
+server-workload discussion assumes around the accelerator:
+
+* **front door** (:class:`ServingTier`) -- admits sessions, applies
+  admission control (``max_sessions`` live sessions tier-wide, load-shed
+  with a typed :class:`~repro.common.errors.AdmissionError`) and
+  backpressure (a bounded per-shard frame queue, saturated pushes shed
+  with a typed :class:`~repro.common.errors.BackpressureError`), and
+  routes every session **with affinity** to one shard: all of a
+  session's chunks decode on the worker that admitted it, so streaming
+  state never migrates.  Every method has an ``asyncio`` twin
+  (:meth:`ServingTier.aopen_session` etc.) so an async gateway can drive
+  the tier without blocking its event loop.
+* **shards** -- ``num_workers`` processes, each running a
+  :class:`StreamingServer` doing fused continuous-batching sweeps over
+  its sessions.  Workers load the graph from an **mmap layout**
+  (:func:`repro.wfst.io.load_graph_mmap`): uncompressed ``.npy`` arrays
+  mapped read-only, so N workers share one physical copy of the graph
+  through the OS page cache instead of N private copies.
+* **SLO accounting** -- per-session end-to-end latency and queue-wait /
+  decode-time records flow back with each retired session;
+  :meth:`TierStats.slo` summarises server-level p50/p99.
+
+Because each session decodes on exactly one worker's ``StreamingServer``
+(bit-identical to one-shot decoding), the tier's per-session output is
+word-for-word identical to ``BatchDecoder.decode`` -- the correctness
+anchor of ``benchmarks/bench_serving_tier.py`` and
+``tests/test_serving_tier.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import multiprocessing
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import (
+    AdmissionError,
+    BackpressureError,
+    ConfigError,
+    DecodeError,
+    ReproError,
+    TierError,
+)
+from repro.decoder.kernel import DecoderConfig
+from repro.decoder.result import DecodeResult
+from repro.decoder.session import Chunk, chunk_matrix
+from repro.system.server import (
+    ServerConfig,
+    ServerStats,
+    SessionRecord,
+    StreamingServer,
+)
+from repro.wfst.io import load_graph_mmap, save_graph_mmap
+from repro.wfst.layout import CompiledWfst
+
+
+def _default_start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+@dataclass(frozen=True)
+class TierConfig:
+    """Front-door and shard knobs.
+
+    Attributes:
+        num_workers: decode worker processes (shards).
+        max_sessions: tier-wide admission limit on concurrently live
+            sessions; joins beyond it are load-shed with a typed
+            :class:`AdmissionError` (0 = unlimited).
+        queue_depth: bound on frames per shard that have been shipped but
+            not yet acknowledged by the worker; pushes that would exceed
+            it are load-shed with a typed :class:`BackpressureError`.
+        max_batch: per-worker fused-sweep cap (forwarded to each shard's
+            :class:`~repro.system.server.ServerConfig`).
+        start_method: multiprocessing start method; ``None`` picks
+            ``fork`` where available (workers then inherit the mapped
+            graph pages directly), ``spawn`` elsewhere.
+    """
+
+    num_workers: int = 2
+    max_sessions: int = 0
+    queue_depth: int = 4096
+    max_batch: int = 64
+    start_method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ConfigError("num_workers must be >= 1")
+        if self.max_sessions < 0:
+            raise ConfigError("max_sessions must be >= 0")
+        if self.queue_depth < 1:
+            raise ConfigError("queue_depth must be >= 1")
+        if self.start_method is not None and (
+            self.start_method not in multiprocessing.get_all_start_methods()
+        ):
+            raise ConfigError(
+                f"unknown start method {self.start_method!r} (available: "
+                f"{multiprocessing.get_all_start_methods()})"
+            )
+
+
+@dataclass
+class TierStats:
+    """Front-door counters plus the per-session SLO samples."""
+
+    sessions_admitted: int = 0
+    sessions_rejected: int = 0   #: joins shed at the admission limit
+    pushes_shed: int = 0         #: pushes shed by shard backpressure
+    sessions_finished: int = 0
+    sessions_failed: int = 0
+    frames_pushed: int = 0
+    frames_decoded: int = 0
+    #: end-to-end seconds from admission to the record arriving back.
+    session_latencies_s: List[float] = field(default_factory=list)
+    #: per-session mean frame queue-wait seconds (from the shard server).
+    session_mean_waits_s: List[float] = field(default_factory=list)
+    #: per-session attributed decode seconds.
+    session_decode_s: List[float] = field(default_factory=list)
+    #: wall-clock of the serving window (first admission -> last record).
+    serving_seconds: float = 0.0
+
+    @property
+    def aggregate_frames_per_second(self) -> float:
+        """Decoded frames per wall-clock second of the serving window."""
+        if self.serving_seconds <= 0.0:
+            return 0.0
+        return self.frames_decoded / self.serving_seconds
+
+    def slo(self) -> Dict[str, float]:
+        """Server-level SLO summary: p50/p99 latency and queue wait."""
+        def pct(samples: List[float], q: float) -> float:
+            return float(np.percentile(samples, q)) if samples else 0.0
+
+        return {
+            "sessions": self.sessions_finished,
+            "p50_session_latency_s": pct(self.session_latencies_s, 50),
+            "p99_session_latency_s": pct(self.session_latencies_s, 99),
+            "p50_mean_wait_s": pct(self.session_mean_waits_s, 50),
+            "p99_mean_wait_s": pct(self.session_mean_waits_s, 99),
+            "aggregate_frames_per_second": self.aggregate_frames_per_second,
+        }
+
+
+class _TierSession:
+    """Front-door view of one routed session."""
+
+    __slots__ = ("sid", "worker", "opened_t", "closed", "record", "remote_error")
+
+    def __init__(self, sid: int, worker: "_WorkerHandle", opened_t: float) -> None:
+        self.sid = sid
+        self.worker = worker
+        self.opened_t = opened_t
+        self.closed = False
+        self.record: Optional[SessionRecord] = None
+        self.remote_error: Optional[str] = None
+
+
+class _WorkerHandle:
+    """One shard: its process, duplex pipe, and load accounting."""
+
+    __slots__ = ("index", "process", "conn", "live", "inflight_frames", "server_stats")
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.live = 0                 #: sessions currently routed here
+        self.inflight_frames = 0      #: shipped frames not yet acked
+        self.server_stats: Optional[ServerStats] = None
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _worker_main(conn, graph_dir, search_config, server_config) -> None:
+    """Shard main loop: a StreamingServer fed by the front-door pipe.
+
+    Commands: ``("open", sid)``, ``("push", sid, matrix)``,
+    ``("close", sid)``, ``("stop",)``.  Replies: ``("ack", sid, frames)``
+    for every push (consumed or not -- the ack releases the front door's
+    backpressure budget), ``("error", sid, type, text)`` when a command
+    fails, ``("record", sid, SessionRecord)`` when a session retires, and
+    one final ``("stats", ServerStats)`` before exit.
+
+    The loop blocks on the pipe only when no frames are buffered;
+    otherwise it polls and sweeps, so decode proceeds while the front
+    door is busy elsewhere.
+    """
+    graph = load_graph_mmap(graph_dir)
+    server = StreamingServer(graph, search_config, server_config)
+    to_internal: Dict[int, int] = {}
+    to_external: Dict[int, int] = {}
+    shipped = set()
+    running = True
+
+    def ship_finished() -> None:
+        for isid in server.finished_session_ids:
+            ext = to_external.get(isid)
+            if ext is None or ext in shipped:
+                continue
+            record = server.result(isid)
+            record.stats.session_id = ext
+            conn.send(("record", ext, dataclasses.replace(record, session_id=ext)))
+            shipped.add(ext)
+
+    while True:
+        idle = server.pending_frames == 0
+        if conn.poll(None if (idle and running) else 0):
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            op = msg[0]
+            if op == "open":
+                ext = msg[1]
+                try:
+                    isid = server.open_session()
+                except ReproError as exc:
+                    conn.send(("error", ext, type(exc).__name__, str(exc)))
+                else:
+                    to_internal[ext] = isid
+                    to_external[isid] = ext
+            elif op == "push":
+                ext, matrix = msg[1], msg[2]
+                try:
+                    server.push(to_internal[ext], matrix)
+                except (KeyError, ReproError) as exc:
+                    conn.send(("error", ext, type(exc).__name__, str(exc)))
+                conn.send(("ack", ext, len(matrix)))
+            elif op == "close":
+                ext = msg[1]
+                try:
+                    server.close_input(to_internal[ext])
+                except (KeyError, ReproError):
+                    pass  # already retired; its record is shipped below
+            elif op == "stop":
+                running = False
+        elif server.pending_frames:
+            server.step()
+        ship_finished()
+        if not running and not server.pending_frames:
+            # Shutdown: close whatever input is still open so every
+            # admitted session gets a terminal record.
+            for isid in list(to_external):
+                if server.is_live(isid):
+                    try:
+                        server.close_input(isid)
+                    except ReproError:
+                        pass
+            server.drain()
+            ship_finished()
+            break
+    conn.send(("stats", server.stats))
+    conn.close()
+
+
+# ----------------------------------------------------------------------
+# Front door
+# ----------------------------------------------------------------------
+class ServingTier:
+    """Route live decode sessions across a pool of worker shards.
+
+    Construct from either an in-memory ``graph`` (materialised to an mmap
+    layout in a temporary directory) or a pre-materialised ``graph_dir``
+    (e.g. :meth:`repro.graph.cache.GraphCache.mmap_dir`).  Use as a
+    context manager, or call :meth:`shutdown` explicitly.
+
+    The synchronous methods are thread-safe; the ``a``-prefixed
+    coroutines run them in a thread so an asyncio gateway can serve many
+    connections over one tier without blocking its loop.
+    """
+
+    def __init__(
+        self,
+        graph: Optional[CompiledWfst] = None,
+        search_config: DecoderConfig = DecoderConfig(),
+        tier_config: TierConfig = TierConfig(),
+        *,
+        graph_dir: Optional[str] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if (graph is None) == (graph_dir is None):
+            raise ConfigError(
+                "construct ServingTier with exactly one of graph= or graph_dir="
+            )
+        if graph is not None:
+            tmp = tempfile.mkdtemp(prefix="repro-tier-graph-")
+            graph_dir = save_graph_mmap(graph, os.path.join(tmp, "graph.mmap"))
+        self.graph_dir = graph_dir
+        self.tier_config = tier_config
+        self.search_config = search_config
+        self.stats = TierStats()
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._next_sid = 0
+        self._sessions: Dict[int, _TierSession] = {}
+        self._first_open_t: Optional[float] = None
+        self._last_record_t: Optional[float] = None
+        self._shut_down = False
+        # The mapped load touches no array data; the front door only needs
+        # the ilabel width to validate chunks before shipping them.
+        front_graph = graph if graph is not None else load_graph_mmap(graph_dir)
+        self._min_score_width = (
+            int(front_graph.arc_ilabel.max()) + 1
+            if len(front_graph.arc_ilabel)
+            else 1
+        )
+        self._frame_width: Optional[int] = None
+
+        ctx = multiprocessing.get_context(
+            tier_config.start_method or _default_start_method()
+        )
+        shard_config = ServerConfig(max_batch=tier_config.max_batch)
+        self._workers: List[_WorkerHandle] = []
+        for index in range(tier_config.num_workers):
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, graph_dir, search_config, shard_config),
+                daemon=True,
+                name=f"repro-tier-worker-{index}",
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append(_WorkerHandle(index, process, parent_conn))
+
+    # ------------------------------------------------------------------
+    # Session lifecycle (sync front door)
+    # ------------------------------------------------------------------
+    def open_session(self) -> int:
+        """Admit a new live stream and route it to the least-loaded shard.
+
+        Raises:
+            AdmissionError: the tier already serves ``max_sessions`` live
+                sessions; the join is load-shed, nobody else is affected.
+        """
+        with self._lock:
+            self._require_up()
+            self._pump()
+            limit = self.tier_config.max_sessions
+            live = sum(w.live for w in self._workers)
+            if limit and live >= limit:
+                self.stats.sessions_rejected += 1
+                raise AdmissionError(
+                    f"serving tier at its admission limit ({limit} live "
+                    f"sessions); retry after a session retires"
+                )
+            worker = min(self._workers, key=lambda w: (w.live, w.index))
+            sid = self._next_sid
+            self._next_sid += 1
+            now = self._clock()
+            self._sessions[sid] = _TierSession(sid, worker, now)
+            worker.live += 1
+            worker.conn.send(("open", sid))
+            self.stats.sessions_admitted += 1
+            if self._first_open_t is None:
+                self._first_open_t = now
+            return sid
+
+    def push(self, session_id: int, chunk: Chunk) -> int:
+        """Validate a chunk at the door and ship it to the session's shard.
+
+        Raises:
+            DecodeError: unknown/retired session, or a malformed chunk
+                (wrong rank, too narrow for the graph's phone ids, or a
+                width disagreeing with the fleet's established width) --
+                rejected here, before any IPC, so a bad chunk never
+                reaches a shard where other sessions' frames are in
+                flight.
+            BackpressureError: the shard's bounded queue is saturated;
+                the push is load-shed and may be retried.
+        """
+        matrix = chunk_matrix(chunk)
+        width = matrix.shape[1] if len(matrix) else None
+        with self._lock:
+            self._require_up()
+            self._pump()
+            session = self._require_live(session_id)
+            if width is not None:
+                if width < self._min_score_width:
+                    raise DecodeError(
+                        f"score rows must have at least "
+                        f"{self._min_score_width} entries (one per phone id "
+                        f"on the graph), got {width}"
+                    )
+                if self._frame_width is None:
+                    self._frame_width = width
+                elif width != self._frame_width:
+                    raise DecodeError(
+                        f"score rows must be {self._frame_width} wide like "
+                        f"every other session's (got {width}); one tier "
+                        f"serves one acoustic model"
+                    )
+            worker = session.worker
+            if worker.inflight_frames + len(matrix) > self.tier_config.queue_depth:
+                self._pump()  # acks may already be queued on the pipe
+            if worker.inflight_frames + len(matrix) > self.tier_config.queue_depth:
+                self.stats.pushes_shed += 1
+                raise BackpressureError(
+                    f"shard {worker.index} queue saturated "
+                    f"({worker.inflight_frames} frames in flight, depth "
+                    f"{self.tier_config.queue_depth}); retry later"
+                )
+            worker.conn.send(("push", session_id, np.ascontiguousarray(matrix)))
+            worker.inflight_frames += len(matrix)
+            self.stats.frames_pushed += len(matrix)
+            return len(matrix)
+
+    def close_input(self, session_id: int) -> None:
+        """Mark end of stream; the shard retires the session after its
+        buffered frames drain."""
+        with self._lock:
+            self._require_up()
+            session = self._require_live(session_id)
+            if not session.closed:
+                session.closed = True
+                session.worker.conn.send(("close", session_id))
+
+    def result(self, session_id: int, timeout: Optional[float] = None) -> SessionRecord:
+        """Block until the session's terminal record arrives back.
+
+        Raises:
+            DecodeError: unknown session id.
+            TierError: the record did not arrive within ``timeout``
+                seconds, or the session's worker died.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                session = self._sessions.get(session_id)
+                if session is None:
+                    raise DecodeError(f"unknown session {session_id}")
+                if session.record is not None:
+                    return session.record
+                self._pump(block_worker=session.worker)
+                if session.record is not None:
+                    return session.record
+                if not session.worker.process.is_alive():
+                    raise TierError(
+                        f"worker {session.worker.index} died before "
+                        f"returning session {session_id}"
+                        + (f" (last error: {session.remote_error})"
+                           if session.remote_error else "")
+                    )
+            if deadline is not None and time.monotonic() > deadline:
+                raise TierError(
+                    f"session {session_id} produced no record within "
+                    f"{timeout:.1f}s"
+                )
+
+    def poll(self) -> None:
+        """Drain any queued worker replies without blocking."""
+        with self._lock:
+            self._pump()
+
+    # ------------------------------------------------------------------
+    # Asyncio front door
+    # ------------------------------------------------------------------
+    async def aopen_session(self) -> int:
+        return await asyncio.to_thread(self.open_session)
+
+    async def apush(self, session_id: int, chunk: Chunk) -> int:
+        return await asyncio.to_thread(self.push, session_id, chunk)
+
+    async def aclose_input(self, session_id: int) -> None:
+        await asyncio.to_thread(self.close_input, session_id)
+
+    async def aresult(
+        self, session_id: int, timeout: Optional[float] = None
+    ) -> SessionRecord:
+        return await asyncio.to_thread(self.result, session_id, timeout)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def live_sessions(self) -> int:
+        """Sessions admitted whose terminal record has not arrived yet."""
+        with self._lock:
+            return sum(
+                1 for s in self._sessions.values() if s.record is None
+            )
+
+    def worker_of(self, session_id: int) -> int:
+        """Shard index the session is (or was) pinned to."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is None:
+                raise DecodeError(f"unknown session {session_id}")
+            return session.worker.index
+
+    @property
+    def worker_stats(self) -> List[Optional[ServerStats]]:
+        """Each shard's final ServerStats (populated at shutdown)."""
+        return [w.server_stats for w in self._workers]
+
+    # ------------------------------------------------------------------
+    # Convenience driver (mirrors StreamingServer.decode_streaming)
+    # ------------------------------------------------------------------
+    def decode_streaming(
+        self,
+        scores_batch: Sequence[Chunk],
+        chunk_frames: int = 10,
+    ) -> List[DecodeResult]:
+        """Serve whole utterances as concurrent chunked sessions.
+
+        Results come back in input order and match
+        ``BatchDecoder.decode_batch`` word for word; any session failure
+        raises its error as a :class:`DecodeError`.
+        """
+        if chunk_frames < 1:
+            raise ConfigError("chunk_frames must be >= 1")
+        matrices = [chunk_matrix(scores) for scores in scores_batch]
+        sids = [self.open_session() for _ in matrices]
+        offsets = [0] * len(matrices)
+        while True:
+            pushed = False
+            for i, (sid, matrix) in enumerate(zip(sids, matrices)):
+                if offsets[i] >= len(matrix):
+                    continue
+                chunk = matrix[offsets[i]: offsets[i] + chunk_frames]
+                self.push(sid, chunk)
+                offsets[i] += len(chunk)
+                pushed = True
+            if not pushed:
+                break
+        for sid in sids:
+            self.close_input(sid)
+        records = [self.result(sid) for sid in sids]
+        results = []
+        for record in records:
+            if record.error is not None:
+                raise DecodeError(f"session {record.session_id}: {record.error}")
+            results.append(record.result)
+        return results
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop every shard, collecting final records and shard stats."""
+        with self._lock:
+            if self._shut_down:
+                return
+            self._shut_down = True
+            for worker in self._workers:
+                try:
+                    worker.conn.send(("stop",))
+                except (OSError, ValueError):
+                    pass
+            deadline = time.monotonic() + timeout
+            for worker in self._workers:
+                while worker.server_stats is None and worker.process.is_alive():
+                    if time.monotonic() > deadline:
+                        break
+                    self._pump(block_worker=worker)
+                self._pump()
+            for worker in self._workers:
+                worker.process.join(max(0.1, deadline - time.monotonic()))
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(1.0)
+                worker.conn.close()
+
+    def __enter__(self) -> "ServingTier":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    def _require_up(self) -> None:
+        if self._shut_down:
+            raise TierError("serving tier is shut down")
+
+    def _require_live(self, session_id: int) -> _TierSession:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise DecodeError(f"unknown session {session_id}")
+        if session.record is not None:
+            why = session.record.error or "finished cleanly"
+            raise DecodeError(f"session {session_id} already retired: {why}")
+        return session
+
+    def _pump(self, block_worker: Optional[_WorkerHandle] = None) -> None:
+        """Drain worker replies; optionally wait briefly on one worker."""
+        for worker in self._workers:
+            timeout = 0.05 if worker is block_worker else 0
+            while True:
+                try:
+                    if not worker.conn.poll(timeout):
+                        break
+                    msg = worker.conn.recv()
+                except (EOFError, OSError):
+                    break
+                timeout = 0
+                kind = msg[0]
+                if kind == "ack":
+                    worker.inflight_frames = max(
+                        0, worker.inflight_frames - msg[2]
+                    )
+                elif kind == "record":
+                    self._finish(msg[1], msg[2])
+                elif kind == "error":
+                    session = self._sessions.get(msg[1])
+                    if session is not None and session.record is None:
+                        session.remote_error = f"{msg[2]}: {msg[3]}"
+                elif kind == "stats":
+                    worker.server_stats = msg[1]
+
+    def _finish(self, session_id: int, record: SessionRecord) -> None:
+        session = self._sessions.get(session_id)
+        if session is None or session.record is not None:
+            return
+        session.record = record
+        session.worker.live -= 1
+        now = self._clock()
+        self._last_record_t = now
+        stats = self.stats
+        if record.ok:
+            stats.sessions_finished += 1
+        else:
+            stats.sessions_failed += 1
+        stats.frames_decoded += record.stats.frames_decoded
+        stats.session_latencies_s.append(max(0.0, now - session.opened_t))
+        stats.session_mean_waits_s.append(record.stats.mean_wait_s)
+        stats.session_decode_s.append(record.stats.decode_seconds)
+        if self._first_open_t is not None:
+            stats.serving_seconds = max(0.0, now - self._first_open_t)

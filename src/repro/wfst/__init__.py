@@ -24,8 +24,10 @@ from repro.wfst.sorted_layout import SortedWfst, sort_states_by_arc_count
 from repro.wfst.io import (
     load_any_graph,
     load_graph_bundle,
+    load_graph_mmap,
     load_wfst,
     save_graph_bundle,
+    save_graph_mmap,
     save_wfst,
 )
 from repro.wfst.shortest import best_complete_path_score, shortest_distance
@@ -52,6 +54,8 @@ __all__ = [
     "load_wfst",
     "save_graph_bundle",
     "load_graph_bundle",
+    "save_graph_mmap",
+    "load_graph_mmap",
     "load_any_graph",
     "best_complete_path_score",
     "shortest_distance",

@@ -1,16 +1,22 @@
 """Serialisation of compiled decoding graphs (the Section III dataset the
 accelerator walks, persisted in its packed binary layout).
 
-Two on-disk formats live here, both ``.npz`` archives holding the packed
-arrays unchanged so a load/save round trip is bit-exact:
+Three on-disk formats live here, all holding the packed arrays unchanged
+so a load/save round trip is bit-exact:
 
 * **plain graphs** (:func:`save_wfst` / :func:`load_wfst`) -- just the
-  packed arrays plus a format version;
+  packed arrays plus a format version, in one ``.npz`` archive;
 * **graph bundles** (:func:`save_graph_bundle` / :func:`load_graph_bundle`)
   -- a plain graph extended with compiler provenance: the recipe that
   produced it, its content fingerprint and the per-pass statistics.  This
   is the artifact format of the content-addressed graph cache
-  (:mod:`repro.graph.cache`).
+  (:mod:`repro.graph.cache`);
+* **mmap layouts** (:func:`save_graph_mmap` / :func:`load_graph_mmap`) --
+  a directory of uncompressed ``.npy`` files, one per packed array, plus a
+  ``meta.json``.  Because nothing is compressed, every worker process of
+  the serving tier (:mod:`repro.system.tier`) can ``np.load(...,
+  mmap_mode="r")`` the arrays, so the OS page cache shares one physical
+  copy of the graph across the whole worker pool.
 
 All entry points accept ``str`` or :class:`pathlib.Path` and raise
 :class:`~repro.common.errors.GraphError` on missing files or format-version
@@ -21,8 +27,9 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 from pathlib import Path
-from typing import Dict, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -144,7 +151,10 @@ def load_graph_bundle(path: PathLike) -> Tuple[CompiledWfst, Dict]:
 
 
 def load_any_graph(path: PathLike) -> CompiledWfst:
-    """Load either a plain graph or a bundle, whichever ``path`` holds."""
+    """Load a plain graph, a bundle, or an mmap layout, whichever ``path``
+    holds (directories are treated as mmap layouts)."""
+    if os.path.isdir(os.fspath(path)):
+        return load_graph_mmap(path)
     resolved = _resolve(path)
     with np.load(resolved) as data:
         is_bundle = "bundle_version" in data
@@ -152,3 +162,108 @@ def load_any_graph(path: PathLike) -> CompiledWfst:
         graph, _ = load_graph_bundle(resolved)
         return graph
     return load_wfst(resolved)
+
+
+# ----------------------------------------------------------------------
+# Memory-mapped layout (the serving tier's shared-graph format)
+# ----------------------------------------------------------------------
+#: Version of the mmap directory layout.
+MMAP_FORMAT_VERSION = 1
+
+_MMAP_META = "meta.json"
+_MMAP_ARRAYS = (
+    "states_packed",
+    "arc_dest",
+    "arc_weight",
+    "arc_ilabel",
+    "arc_olabel",
+    "final_weights",
+)
+
+
+def save_graph_mmap(
+    graph: CompiledWfst,
+    directory: PathLike,
+    *,
+    fingerprint: Optional[str] = None,
+) -> str:
+    """Materialise ``graph`` as an mmap layout directory; returns its path.
+
+    Arrays are written as uncompressed ``.npy`` files so they can be
+    memory-mapped read-only by any number of processes.  The write is
+    atomic (temp directory + rename): a crashed or concurrent writer can
+    never leave a torn layout at the target path, and if another process
+    materialised the same directory first, its copy wins and the
+    temporary one is discarded (content-addressed layouts are
+    interchangeable).
+    """
+    directory = os.fspath(directory)
+    if _valid_mmap_dir(directory):
+        return directory
+    parent = os.path.dirname(os.path.abspath(directory))
+    os.makedirs(parent, exist_ok=True)
+    tmp = f"{directory}.{os.getpid()}.tmp"
+    os.makedirs(tmp, exist_ok=True)
+    try:
+        for name in _MMAP_ARRAYS:
+            np.save(
+                os.path.join(tmp, f"{name}.npy"),
+                np.ascontiguousarray(getattr(graph, name)),
+            )
+        meta = {
+            "version": MMAP_FORMAT_VERSION,
+            "start": graph.start,
+            "fingerprint": fingerprint or graph.fingerprint(),
+        }
+        with open(os.path.join(tmp, _MMAP_META), "w") as fh:
+            json.dump(meta, fh, sort_keys=True)
+        try:
+            os.rename(tmp, directory)
+        except OSError:
+            if not _valid_mmap_dir(directory):
+                raise
+    finally:
+        if os.path.isdir(tmp):
+            shutil.rmtree(tmp, ignore_errors=True)
+    return directory
+
+
+def _valid_mmap_dir(directory: str) -> bool:
+    return os.path.exists(os.path.join(directory, _MMAP_META))
+
+
+def load_graph_mmap(directory: PathLike) -> CompiledWfst:
+    """Load an mmap layout written by :func:`save_graph_mmap`.
+
+    The returned graph's arrays are read-only memory maps: constructing it
+    touches no array data, and concurrent loaders share the OS page cache
+    instead of each holding a private copy.
+
+    Raises:
+        GraphError: on a missing or torn layout, or one written by an
+            unsupported format version.
+    """
+    directory = os.fspath(directory)
+    meta_path = os.path.join(directory, _MMAP_META)
+    if not os.path.exists(meta_path):
+        raise GraphError(f"graph mmap layout not found: {directory!r}")
+    try:
+        with open(meta_path) as fh:
+            meta = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise GraphError(f"unreadable mmap layout meta: {exc}") from exc
+    version = meta.get("version")
+    if version != MMAP_FORMAT_VERSION:
+        raise GraphError(f"unsupported graph mmap layout version {version}")
+    arrays = {}
+    for name in _MMAP_ARRAYS:
+        path = os.path.join(directory, f"{name}.npy")
+        try:
+            arrays[name] = np.load(path, mmap_mode="r")
+        except (OSError, ValueError) as exc:
+            raise GraphError(
+                f"torn graph mmap layout {directory!r}: {exc}"
+            ) from exc
+    graph = CompiledWfst(start=int(meta["start"]), **arrays)
+    graph._fingerprint = meta.get("fingerprint")
+    return graph

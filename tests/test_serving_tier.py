@@ -1,0 +1,296 @@
+"""Tests for the sharded ServingTier.
+
+Correctness anchor: every session routed through the worker pool decodes
+to exactly the words and path score of a one-shot
+``BatchDecoder.decode``; every rejected operation (admission, back-
+pressure, malformed chunk) fails with a typed error and leaves the rest
+of the fleet undisturbed.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.common.errors import (
+    AdmissionError,
+    BackpressureError,
+    ConfigError,
+    DecodeError,
+    TierError,
+)
+from repro.decoder import BatchDecoder, BeamSearchConfig
+from repro.system import ServingTier, TierConfig
+from repro.wfst import save_graph_mmap
+
+
+@pytest.fixture()
+def config():
+    return BeamSearchConfig(beam=14.0, max_active=60)
+
+
+@pytest.fixture()
+def oneshot(small_task, config):
+    decoder = BatchDecoder(small_task.graph, config)
+    return decoder.decode_batch([u.scores for u in small_task.utterances])
+
+
+def make_tier(small_task, config, **kwargs):
+    return ServingTier(
+        graph=small_task.graph,
+        search_config=config,
+        tier_config=TierConfig(**kwargs),
+    )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("num_workers", [1, 2])
+    def test_decode_streaming_matches_oneshot(
+        self, small_task, config, oneshot, num_workers
+    ):
+        with make_tier(small_task, config, num_workers=num_workers) as tier:
+            results = tier.decode_streaming(
+                [u.scores for u in small_task.utterances], chunk_frames=4
+            )
+        for expected, got in zip(oneshot, results):
+            assert got.words == expected.words
+            assert got.log_likelihood == expected.log_likelihood
+            assert got.reached_final == expected.reached_final
+
+    def test_from_premapped_graph_dir(
+        self, tmp_path, small_task, config, oneshot
+    ):
+        """A tier built on a pre-materialised mmap layout (the graph
+        cache's product) decodes identically."""
+        directory = save_graph_mmap(
+            small_task.graph, str(tmp_path / "graph.mmap")
+        )
+        with ServingTier(
+            graph_dir=directory,
+            search_config=config,
+            tier_config=TierConfig(num_workers=2),
+        ) as tier:
+            results = tier.decode_streaming(
+                [u.scores for u in small_task.utterances], chunk_frames=5
+            )
+        for expected, got in zip(oneshot, results):
+            assert got.words == expected.words
+            assert got.log_likelihood == expected.log_likelihood
+
+    def test_sessions_have_worker_affinity(self, small_task, config):
+        """Every chunk of a session decodes on the shard that admitted
+        it, and the least-loaded router spreads sessions evenly."""
+        with make_tier(small_task, config, num_workers=2) as tier:
+            sids = [tier.open_session() for _ in range(4)]
+            homes = {sid: tier.worker_of(sid) for sid in sids}
+            assert sorted(homes.values()) == [0, 0, 1, 1]
+            matrix = small_task.utterances[0].scores.matrix
+            for offset in (0, 4, 8):
+                for sid in sids:
+                    tier.push(sid, matrix[offset: offset + 4])
+            for sid in sids:
+                assert tier.worker_of(sid) == homes[sid]
+                tier.close_input(sid)
+            for sid in sids:
+                record = tier.result(sid, timeout=60)
+                assert record.ok, record.error
+
+    def test_slo_stats_recorded(self, small_task, config):
+        with make_tier(small_task, config, num_workers=2) as tier:
+            tier.decode_streaming(
+                [u.scores for u in small_task.utterances], chunk_frames=4
+            )
+            stats = tier.stats
+        utts = small_task.utterances
+        assert stats.sessions_admitted == len(utts)
+        assert stats.sessions_finished == len(utts)
+        assert stats.sessions_failed == 0
+        assert stats.frames_decoded == sum(u.num_frames for u in utts)
+        assert len(stats.session_latencies_s) == len(utts)
+        slo = stats.slo()
+        assert slo["sessions"] == len(utts)
+        assert 0 < slo["p50_session_latency_s"] <= slo["p99_session_latency_s"]
+        assert slo["aggregate_frames_per_second"] > 0
+        final = [s for s in tier.worker_stats if s is not None]
+        assert sum(s.frames_decoded for s in final) == stats.frames_decoded
+
+
+class TestAdmissionAndBackpressure:
+    def test_admission_limit_sheds_typed_and_isolated(
+        self, small_task, config, oneshot
+    ):
+        utts = small_task.utterances
+        with make_tier(
+            small_task, config, num_workers=2, max_sessions=len(utts)
+        ) as tier:
+            sids = {i: tier.open_session() for i in range(len(utts))}
+            with pytest.raises(AdmissionError, match="admission limit"):
+                tier.open_session()
+            assert tier.stats.sessions_rejected == 1
+            # The shed join disturbed nobody: the fleet decodes exactly.
+            for i, sid in sids.items():
+                tier.push(sid, utts[i].scores)
+                tier.close_input(sid)
+            for i, sid in sids.items():
+                record = tier.result(sid, timeout=60)
+                assert record.ok, record.error
+                assert record.result.words == oneshot[i].words
+
+    def test_admission_reopens_after_retirement(self, small_task, config):
+        with make_tier(
+            small_task, config, num_workers=1, max_sessions=1
+        ) as tier:
+            sid = tier.open_session()
+            with pytest.raises(AdmissionError):
+                tier.open_session()
+            tier.push(sid, small_task.utterances[0].scores)
+            tier.close_input(sid)
+            tier.result(sid, timeout=60)
+            tier.open_session()  # slot freed by the retirement
+
+    def test_backpressure_sheds_typed_and_retryable(
+        self, small_task, config
+    ):
+        matrix = small_task.utterances[0].scores.matrix
+        with make_tier(
+            small_task, config, num_workers=1, queue_depth=8
+        ) as tier:
+            sid = tier.open_session()
+            with pytest.raises(BackpressureError, match="saturated"):
+                for _ in range(1000):
+                    tier.push(sid, matrix[:4])
+            assert tier.stats.pushes_shed == 1
+            # The shard drains; the same push then succeeds (retryable).
+            deadline_frames = tier.stats.frames_pushed
+            while True:
+                tier.poll()
+                try:
+                    tier.push(sid, matrix[:4])
+                    break
+                except BackpressureError:
+                    continue
+            assert tier.stats.frames_pushed == deadline_frames + 4
+            tier.close_input(sid)
+            assert tier.result(sid, timeout=60) is not None
+
+
+class TestErrors:
+    def test_requires_exactly_one_graph_source(self, small_task):
+        with pytest.raises(ConfigError):
+            ServingTier()
+        with pytest.raises(ConfigError):
+            ServingTier(graph=small_task.graph, graph_dir="/tmp/x")
+
+    def test_invalid_tier_config_rejected(self):
+        with pytest.raises(ConfigError):
+            TierConfig(num_workers=0)
+        with pytest.raises(ConfigError):
+            TierConfig(max_sessions=-1)
+        with pytest.raises(ConfigError):
+            TierConfig(queue_depth=0)
+        with pytest.raises(ConfigError):
+            TierConfig(start_method="martian")
+
+    def test_width_mismatch_bounces_at_the_door(
+        self, small_task, config, oneshot
+    ):
+        """A mid-stream width change raises synchronously at the front
+        door -- no worker round trip -- and other sessions are unhurt."""
+        utts = small_task.utterances
+        width = utts[0].scores.matrix.shape[1]
+        with make_tier(small_task, config, num_workers=2) as tier:
+            sids = {i: tier.open_session() for i in range(len(utts))}
+            tier.push(sids[0], utts[0].scores.matrix[:4])
+            with pytest.raises(DecodeError, match="wide like"):
+                tier.push(sids[0], np.full((2, width + 5), -1.0))
+            with pytest.raises(DecodeError, match="at least"):
+                tier.push(sids[1], np.zeros((2, 1)))
+            tier.push(sids[0], utts[0].scores.matrix[4:])
+            for i, sid in sids.items():
+                if i != 0:
+                    tier.push(sid, utts[i].scores)
+                tier.close_input(sid)
+            for i, sid in sids.items():
+                record = tier.result(sid, timeout=60)
+                assert record.ok, record.error
+                assert record.result.words == oneshot[i].words
+                assert record.result.log_likelihood == oneshot[i].log_likelihood
+
+    def test_unknown_and_retired_sessions_rejected(self, small_task, config):
+        with make_tier(small_task, config, num_workers=1) as tier:
+            with pytest.raises(DecodeError, match="unknown"):
+                tier.push(99, np.zeros((1, 5)))
+            with pytest.raises(DecodeError, match="unknown"):
+                tier.result(99)
+            with pytest.raises(DecodeError, match="unknown"):
+                tier.worker_of(99)
+            sid = tier.open_session()
+            tier.push(sid, small_task.utterances[0].scores)
+            tier.close_input(sid)
+            tier.result(sid, timeout=60)
+            with pytest.raises(DecodeError, match="retired"):
+                tier.push(sid, small_task.utterances[0].scores)
+
+    def test_result_timeout_is_typed(self, small_task, config):
+        with make_tier(small_task, config, num_workers=1) as tier:
+            sid = tier.open_session()  # input never closed: no record
+            with pytest.raises(TierError, match="no record"):
+                tier.result(sid, timeout=0.2)
+
+    def test_shutdown_finalizes_open_sessions_and_closes_the_door(
+        self, small_task, config
+    ):
+        tier = make_tier(small_task, config, num_workers=2)
+        sid = tier.open_session()
+        tier.push(sid, small_task.utterances[0].scores)
+        tier.shutdown()
+        record = tier._sessions[sid].record
+        assert record is not None and record.ok
+        assert all(s is not None for s in tier.worker_stats)
+        with pytest.raises(TierError, match="shut down"):
+            tier.open_session()
+        tier.shutdown()  # idempotent
+
+
+class TestAsyncFrontDoor:
+    def test_async_session_round_trip(self, small_task, config, oneshot):
+        async def main():
+            with make_tier(small_task, config, num_workers=2) as tier:
+                utts = small_task.utterances
+                sids = [await tier.aopen_session() for _ in utts]
+                for sid, utt in zip(sids, utts):
+                    matrix = utt.scores.matrix
+                    for i in range(0, len(matrix), 4):
+                        await tier.apush(sid, matrix[i: i + 4])
+                for sid in sids:
+                    await tier.aclose_input(sid)
+                return [await tier.aresult(sid, 60) for sid in sids]
+
+        records = asyncio.run(main())
+        for expected, record in zip(oneshot, records):
+            assert record.ok, record.error
+            assert record.result.words == expected.words
+            assert record.result.log_likelihood == expected.log_likelihood
+
+    def test_concurrent_async_clients(self, small_task, config, oneshot):
+        """Many coroutines each driving their own session concurrently
+        over one tier, as an asyncio gateway would."""
+
+        async def client(tier, utt):
+            sid = await tier.aopen_session()
+            matrix = utt.scores.matrix
+            for i in range(0, len(matrix), 5):
+                await tier.apush(sid, matrix[i: i + 5])
+            await tier.aclose_input(sid)
+            return await tier.aresult(sid, 60)
+
+        async def main():
+            with make_tier(small_task, config, num_workers=2) as tier:
+                return await asyncio.gather(
+                    *(client(tier, u) for u in small_task.utterances)
+                )
+
+        records = asyncio.run(main())
+        for expected, record in zip(oneshot, records):
+            assert record.ok, record.error
+            assert record.result.words == expected.words

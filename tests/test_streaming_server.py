@@ -8,7 +8,7 @@ path scores of one-shot ``BatchDecoder.decode_batch``.
 import numpy as np
 import pytest
 
-from repro.common.errors import ConfigError, DecodeError
+from repro.common.errors import AdmissionError, ConfigError, DecodeError
 from repro.decoder import BatchDecoder, BeamSearchConfig
 from repro.system import ServerConfig, StreamingServer
 
@@ -303,3 +303,85 @@ class TestErrors:
 
     def test_empty_batch(self, small_graph):
         assert StreamingServer(small_graph).decode_streaming([]) == []
+
+
+class TestErrorIsolation:
+    """Every rejected operation is typed and leaves other live sessions
+    undisturbed: they keep decoding to exactly their one-shot words."""
+
+    def _serve_out(self, server, sids, utts, oneshot, offsets=None):
+        """Stream the fleet to completion and check it against one-shot.
+
+        ``offsets`` carries frames already pushed before the error under
+        test, so nothing is pushed twice."""
+        offsets = dict(offsets or {})
+        for i in sids:
+            offsets.setdefault(i, 0)
+        while any(offsets[i] < utts[i].num_frames for i in sids):
+            for i, sid in sids.items():
+                matrix = utts[i].scores.matrix
+                if offsets[i] >= len(matrix):
+                    continue
+                server.push(sid, matrix[offsets[i]: offsets[i] + 4])
+                offsets[i] += len(matrix[offsets[i]: offsets[i] + 4])
+                if offsets[i] >= len(matrix):
+                    server.close_input(sid)
+            server.step()
+        server.drain()
+        for i, sid in sids.items():
+            record = server.result(sid)
+            assert record.ok, record.error
+            assert record.result.words == oneshot[i].words
+            assert record.result.log_likelihood == oneshot[i].log_likelihood
+
+    def test_push_after_close_leaves_others_undisturbed(
+        self, small_task, config, oneshot
+    ):
+        server = StreamingServer(small_task.graph, config)
+        utts = small_task.utterances
+        sids = {i: server.open_session() for i in range(len(utts))}
+        victim = server.open_session()
+        server.push(victim, utts[0].scores.matrix[:3])
+        server.close_input(victim)
+        with pytest.raises(DecodeError, match="closed"):
+            server.push(victim, utts[0].scores.matrix[3:6])
+        self._serve_out(server, sids, utts, oneshot)
+
+    def test_join_at_admission_limit_leaves_others_undisturbed(
+        self, small_task, config, oneshot
+    ):
+        """A join while the sweep queue is saturated (every admission
+        slot holds a live session with buffered frames) sheds with a
+        typed AdmissionError; the saturated fleet is untouched."""
+        utts = small_task.utterances
+        server = StreamingServer(
+            small_task.graph, config, ServerConfig(max_sessions=len(utts))
+        )
+        sids = {i: server.open_session() for i in range(len(utts))}
+        for i, sid in sids.items():
+            server.push(sid, utts[i].scores.matrix[:4])
+        with pytest.raises(AdmissionError, match="admission limit"):
+            server.open_session()
+        assert server.stats.sessions_opened == len(utts)
+        self._serve_out(
+            server, sids, utts, oneshot, offsets={i: 4 for i in sids}
+        )
+
+    def test_mid_stream_width_mismatch_leaves_others_undisturbed(
+        self, small_task, config, oneshot
+    ):
+        """A session that switches score width mid-stream bounces at
+        push() with a typed DecodeError; its own earlier frames and
+        every other session keep decoding normally."""
+        utts = small_task.utterances
+        server = StreamingServer(small_task.graph, config)
+        sids = {i: server.open_session() for i in range(len(utts))}
+        offender = sids[0]
+        width = utts[0].scores.matrix.shape[1]
+        server.push(offender, utts[0].scores.matrix[:4])
+        server.step()
+        with pytest.raises(DecodeError, match="wide like"):
+            server.push(offender, np.full((2, width + 5), -1.0))
+        # The offender continues with correctly shaped frames, so the
+        # fleet (offender included) still matches one-shot decoding.
+        self._serve_out(server, sids, utts, oneshot, offsets={0: 4})

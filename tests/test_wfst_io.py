@@ -9,8 +9,10 @@ from repro.common.errors import GraphError
 from repro.wfst import (
     load_any_graph,
     load_graph_bundle,
+    load_graph_mmap,
     load_wfst,
     save_graph_bundle,
+    save_graph_mmap,
     save_wfst,
 )
 
@@ -112,3 +114,74 @@ class TestBundles:
         )
         for path in (plain, bundle):
             assert_graphs_bit_exact(load_any_graph(path), small_graph)
+
+
+class TestMmapLayout:
+    def test_round_trip_is_bit_exact_and_mapped(self, tmp_path, small_graph):
+        directory = str(tmp_path / "g.mmap")
+        assert save_graph_mmap(small_graph, directory) == directory
+        loaded = load_graph_mmap(directory)
+        assert_graphs_bit_exact(loaded, small_graph)
+        # The arrays really are memory-mapped, not materialised copies.
+        assert isinstance(loaded.arc_dest, np.memmap)
+        assert isinstance(loaded.states_packed, np.memmap)
+
+    def test_save_is_idempotent(self, tmp_path, small_graph):
+        directory = str(tmp_path / "g.mmap")
+        save_graph_mmap(small_graph, directory)
+        before = (tmp_path / "g.mmap" / "meta.json").stat().st_mtime_ns
+        save_graph_mmap(small_graph, directory)  # second writer: no-op
+        after = (tmp_path / "g.mmap" / "meta.json").stat().st_mtime_ns
+        assert before == after
+
+    def test_fingerprint_is_stamped(self, tmp_path, small_graph):
+        directory = str(tmp_path / "g.mmap")
+        save_graph_mmap(
+            small_graph, directory, fingerprint=small_graph.fingerprint()
+        )
+        loaded = load_graph_mmap(directory)
+        assert loaded.fingerprint() == small_graph.fingerprint()
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(GraphError):
+            load_graph_mmap(tmp_path / "nope.mmap")
+
+    def test_version_mismatch_raises(self, tmp_path, small_graph):
+        import json
+
+        directory = tmp_path / "g.mmap"
+        save_graph_mmap(small_graph, str(directory))
+        meta = json.loads((directory / "meta.json").read_text())
+        meta["version"] = 999
+        (directory / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(GraphError, match="version"):
+            load_graph_mmap(directory)
+
+    def test_torn_layout_raises(self, tmp_path, small_graph):
+        directory = tmp_path / "g.mmap"
+        save_graph_mmap(small_graph, str(directory))
+        (directory / "arc_dest.npy").unlink()
+        with pytest.raises(GraphError):
+            load_graph_mmap(directory)
+
+    def test_load_any_graph_dispatches_on_directory(
+        self, tmp_path, small_graph
+    ):
+        directory = tmp_path / "g.mmap"
+        save_graph_mmap(small_graph, str(directory))
+        assert_graphs_bit_exact(load_any_graph(directory), small_graph)
+
+    def test_cache_mmap_dir_is_content_addressed(self, tmp_path):
+        from repro.datasets import SyntheticGraphConfig
+        from repro.graph import GraphCache, GraphRecipe
+
+        cache = GraphCache(str(tmp_path / "cache"))
+        recipe = GraphRecipe.synthetic_graph(
+            SyntheticGraphConfig(num_states=50, num_phones=8, seed=3)
+        )
+        first = cache.mmap_dir(recipe)
+        second = cache.mmap_dir(recipe)  # idempotent, same address
+        assert first == second
+        assert cache.get(recipe).fingerprint in first
+        loaded = load_graph_mmap(first)
+        assert_graphs_bit_exact(loaded, cache.get(recipe).graph)
