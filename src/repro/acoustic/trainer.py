@@ -35,6 +35,10 @@ class TrainConfig:
             raise ConfigError("epochs and batch_size must be positive")
         if self.learning_rate <= 0:
             raise ConfigError("learning_rate must be positive")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ConfigError("momentum must be in [0, 1)")
+        if self.seed < 0:
+            raise ConfigError("seed must be non-negative")
 
 
 def train_dnn(

@@ -1,0 +1,45 @@
+"""Invariant linter for the repro codebase (``repro lint``).
+
+The repo's load-bearing guarantees -- bit-identical output across every
+decode engine, cycle-identical trace replay, and content-addressed cache
+identity -- are behavioural invariants that a single stray nondeterministic
+walk or un-fingerprinted config field can silently break long before a
+runtime test notices.  This package encodes those invariants as
+machine-checked AST rules:
+
+========  ============================================================
+rule id   invariant
+========  ============================================================
+REP001    determinism -- no ``random``/``time``/``os.environ`` use or
+          unordered-set iteration inside the kernel/replay hot paths
+REP002    typed errors -- every ``raise`` uses the
+          :mod:`repro.common.errors` taxonomy; no bare/broad excepts
+          without re-raise
+REP003    fingerprint completeness -- every config/recipe field is
+          reachable from its fingerprint or pricing computation, and
+          fingerprinted sources cannot change without a version bump
+          or an explicit re-attestation
+REP004    argument purity -- WFST ops and compiler passes never mutate
+          their FST/array arguments
+REP005    validation completeness -- every field of a validated config
+          dataclass is range/type-checked
+========  ============================================================
+
+See ``docs/INVARIANTS.md`` for the catalogue and the suppression
+protocol (``# repro-lint: disable=REPnnn``).
+"""
+
+from repro.analysis.core import Project, Rule, SourceFile, Violation
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import AnalysisReport, main, run_analysis
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisReport",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "Violation",
+    "main",
+    "run_analysis",
+]

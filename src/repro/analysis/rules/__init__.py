@@ -1,0 +1,33 @@
+"""Rule registry: the five invariant rules, built from one config."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import Rule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.fingerprint import FingerprintRule
+from repro.analysis.rules.purity import ArgPurityRule
+from repro.analysis.rules.typed_errors import TypedErrorsRule
+from repro.analysis.rules.validation import ValidationCompletenessRule
+
+__all__ = [
+    "ArgPurityRule",
+    "DeterminismRule",
+    "FingerprintRule",
+    "TypedErrorsRule",
+    "ValidationCompletenessRule",
+    "default_rules",
+]
+
+
+def default_rules(config: AnalysisConfig) -> Tuple[Rule, ...]:
+    """Every rule, in report order (ids ascending)."""
+    return (
+        DeterminismRule(config),
+        TypedErrorsRule(config),
+        FingerprintRule(config),
+        ArgPurityRule(config),
+        ValidationCompletenessRule(config),
+    )

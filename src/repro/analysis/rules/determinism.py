@@ -1,0 +1,155 @@
+"""REP001 -- determinism of the kernel/replay hot paths.
+
+Cross-engine word identity and cycle-identical trace replay both require
+the hot paths to be pure functions of (graph, scores, config): no wall
+clock, no RNG, no environment reads, no iteration order that Python does
+not guarantee.  Sets are the one stdlib container with unspecified
+iteration order, so iterating one without sorting is flagged even when
+today's CPython happens to be stable for the values involved.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import Project, Rule, SourceFile, Violation
+
+#: Modules whose very import marks a hot path as nondeterministic.
+_BANNED_MODULES = ("random", "time")
+#: ``os`` attributes that read ambient process state.
+_OS_READS = frozenset({"environ", "getenv", "getenvb"})
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+class DeterminismRule(Rule):
+    rule_id = "REP001"
+    name = "determinism"
+    rationale = (
+        "kernel/replay hot paths must be pure functions of "
+        "(graph, scores, config) for bit-identical engines and "
+        "cycle-identical replay"
+    )
+
+    def __init__(self, config: AnalysisConfig) -> None:
+        self.config = config
+
+    def check(self, project: Project) -> Iterable[Violation]:
+        for rel in self.config.hot_modules:
+            src = project.get(rel)
+            if src is not None:
+                yield from self._check_file(src)
+
+    # ------------------------------------------------------------------
+    def _check_file(self, src: SourceFile) -> Iterator[Violation]:
+        numpy_aliases: Set[str] = set()
+        os_aliases: Set[str] = set()
+        set_names: Set[str] = set()
+
+        def report(node: ast.AST, message: str) -> Violation:
+            return Violation(
+                rule=self.rule_id, path=src.rel,
+                line=getattr(node, "lineno", 1), message=message,
+            )
+
+        # Pass 1: imports and names bound to set expressions.
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    if top == "numpy":
+                        numpy_aliases.add(alias.asname or top)
+                    elif top == "os":
+                        os_aliases.add(alias.asname or top)
+            elif isinstance(node, ast.Assign):
+                if (
+                    len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and _is_set_expr(node.value)
+                ):
+                    set_names.add(node.targets[0].id)
+
+        # Pass 2: violations.
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    if top in _BANNED_MODULES:
+                        yield report(node, self._module_msg(alias.name))
+                    elif alias.name.startswith("numpy.random"):
+                        yield report(node, self._module_msg("numpy.random"))
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                top = module.split(".")[0]
+                if top in _BANNED_MODULES or module.startswith("numpy.random"):
+                    yield report(node, self._module_msg(module))
+                elif top == "numpy" and any(
+                    alias.name == "random" for alias in node.names
+                ):
+                    yield report(node, self._module_msg("numpy.random"))
+                elif top == "os" and any(
+                    alias.name in _OS_READS for alias in node.names
+                ):
+                    yield report(node, self._environ_msg())
+            elif isinstance(node, ast.Attribute):
+                if (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id in numpy_aliases
+                    and node.attr == "random"
+                ):
+                    yield report(node, self._module_msg("numpy.random"))
+                elif (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id in os_aliases
+                    and node.attr in _OS_READS
+                ):
+                    yield report(node, self._environ_msg())
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iter(node.iter, set_names, report)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                       ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    yield from self._check_iter(
+                        generator.iter, set_names, report
+                    )
+
+    def _check_iter(
+        self,
+        iter_node: ast.AST,
+        set_names: Set[str],
+        report,
+    ) -> Iterator[Violation]:
+        if _is_set_expr(iter_node) or (
+            isinstance(iter_node, ast.Name) and iter_node.id in set_names
+        ):
+            yield report(
+                iter_node,
+                "nondeterminism hazard: iterates over an unordered set; "
+                "wrap in sorted(...) or use an order-preserving container",
+            )
+
+    @staticmethod
+    def _module_msg(module: str) -> str:
+        return (
+            f"nondeterminism hazard: uses the '{module}' module in a hot "
+            f"path; derive values from explicit config fields and seeds"
+        )
+
+    @staticmethod
+    def _environ_msg() -> str:
+        return (
+            "nondeterminism hazard: reads the process environment in a "
+            "hot path; thread the value through an explicit config field"
+        )

@@ -1,0 +1,154 @@
+"""REP004 -- argument purity of WFST ops and compiler passes.
+
+Graph operations and compiler passes feed the content-addressed artifact
+cache: a pass that mutates its input FST in place corrupts whatever else
+holds a reference to that object (the exact ``CompiledWfst.from_fst``
+bug PR 5 fixed) and breaks compile-twice bit-identity.  This rule flags
+attribute/subscript assignment, deletion, in-place operators and known
+mutating method calls whose target chain roots at a function parameter --
+including closures that mutate an enclosing function's argument.
+
+Limitations (documented, not silent): rebinding a bare parameter name is
+allowed (it cannot affect the caller), and mutation through an alias
+(``x = fst; x.start = 0``) is not tracked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Optional, Set
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import Project, Rule, SourceFile, Violation
+
+#: Methods that mutate their receiver: stdlib containers, numpy arrays,
+#: and this repo's Fst mutator surface.
+MUTATING_METHODS = frozenset({
+    # containers
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "add", "discard", "update", "setdefault", "sort", "reverse",
+    "appendleft", "extendleft", "popleft",
+    # numpy in-place
+    "fill", "itemset", "resize", "put", "byteswap",
+    # repro.wfst.fst.Fst mutators
+    "add_state", "add_states", "add_arc", "set_start", "set_final",
+    "replace_arcs",
+})
+
+_SELF_NAMES = frozenset({"self", "cls"})
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _chain_root(node: ast.AST) -> Optional[ast.Name]:
+    """The leftmost Name of an Attribute/Subscript chain, if any."""
+    depth = 0
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+        depth += 1
+    if depth and isinstance(node, ast.Name):
+        return node
+    return None
+
+
+class ArgPurityRule(Rule):
+    rule_id = "REP004"
+    name = "arg-purity"
+    rationale = (
+        "ops/compiler passes must return new graphs; in-place mutation "
+        "of arguments corrupts shared references and cached artifacts"
+    )
+
+    def __init__(self, config: AnalysisConfig) -> None:
+        self.config = config
+
+    def check(self, project: Project) -> Iterable[Violation]:
+        for rel in self.config.pure_modules:
+            src = project.get(rel)
+            if src is not None:
+                yield from self._walk(src, src.tree, set())
+
+    # ------------------------------------------------------------------
+    def _walk(
+        self, src: SourceFile, node: ast.AST, params: Set[str]
+    ) -> Iterator[Violation]:
+        """Recursive scope-aware walk: entering a function (or lambda)
+        adds its parameters to the in-force set, so closures mutating an
+        enclosing argument are caught with the right attribution."""
+        if isinstance(node, _FUNC_NODES):
+            params = params | self._params(node)
+        else:
+            yield from self._check_node(src, node, params)
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk(src, child, params)
+
+    @staticmethod
+    def _params(func: ast.AST) -> Set[str]:
+        args = func.args
+        names = [a.arg for a in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs
+        )]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return {n for n in names if n not in _SELF_NAMES}
+
+    def _check_node(
+        self, src: SourceFile, node: ast.AST, params: Set[str]
+    ) -> Iterator[Violation]:
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        elif isinstance(node, ast.Call):
+            yield from self._check_call(src, node, params)
+            return
+
+        for target in targets:
+            root = _chain_root(target)
+            if root is not None and root.id in params:
+                yield Violation(
+                    rule=self.rule_id, path=src.rel, line=node.lineno,
+                    message=(
+                        f"mutates argument '{root.id}' via "
+                        f"'{ast.unparse(target)}'; ops and compiler "
+                        f"passes must build and return new objects"
+                    ),
+                )
+
+    def _check_call(
+        self, src: SourceFile, node: ast.Call, params: Set[str]
+    ) -> Iterator[Violation]:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in MUTATING_METHODS:
+            root: Optional[ast.Name]
+            if isinstance(func.value, ast.Name):
+                root = func.value
+            else:
+                root = _chain_root(func.value)
+            if root is not None and root.id in params:
+                yield Violation(
+                    rule=self.rule_id, path=src.rel, line=node.lineno,
+                    message=(
+                        f"calls mutating method '.{func.attr}()' on "
+                        f"argument '{root.id}'; copy first or build a "
+                        f"new object"
+                    ),
+                )
+        elif (
+            isinstance(func, ast.Name)
+            and func.id in ("setattr", "delattr")
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id in params
+        ):
+            yield Violation(
+                rule=self.rule_id, path=src.rel, line=node.lineno,
+                message=(
+                    f"calls {func.id}() on argument "
+                    f"'{node.args[0].id}'; arguments are read-only here"
+                ),
+            )

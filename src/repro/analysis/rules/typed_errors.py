@@ -1,0 +1,147 @@
+"""REP002 -- typed-error discipline.
+
+Every error the library raises must derive from the
+:mod:`repro.common.errors` taxonomy so callers can catch library failures
+without catching unrelated bugs, and broad handlers must not swallow the
+taxonomy along with everything else.  The allowed class set is parsed
+from the taxonomy module itself, so adding a new typed error there is
+immediately allowed here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional, Set
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import (
+    Project,
+    Rule,
+    SourceFile,
+    Violation,
+    class_defs,
+    dotted_name,
+)
+
+#: Raises of these names are always acceptable: abstract-method markers.
+_ALWAYS_ALLOWED = frozenset({"NotImplementedError"})
+#: Exception-looking builtins without the Error/Exception/Warning suffix.
+_KNOWN_EXCEPTIONS = frozenset({
+    "StopIteration", "StopAsyncIteration", "SystemExit",
+    "KeyboardInterrupt", "GeneratorExit",
+})
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _looks_like_exception_class(name: str) -> bool:
+    return name.endswith(("Error", "Exception", "Warning")) or (
+        name in _KNOWN_EXCEPTIONS
+    )
+
+
+class TypedErrorsRule(Rule):
+    rule_id = "REP002"
+    name = "typed-errors"
+    rationale = (
+        "library failures must be catchable as ReproError subclasses "
+        "without catching unrelated bugs"
+    )
+
+    def __init__(self, config: AnalysisConfig) -> None:
+        self.config = config
+
+    def check(self, project: Project) -> Iterable[Violation]:
+        allowed = self._allowed_names(project)
+        for src in project.files():
+            yield from self._check_file(src, allowed)
+
+    # ------------------------------------------------------------------
+    def _allowed_names(self, project: Project) -> Set[str]:
+        allowed = set(_ALWAYS_ALLOWED)
+        taxonomy = project.get(self.config.errors_module)
+        if taxonomy is not None:
+            allowed.update(node.name for node in class_defs(taxonomy.tree))
+        return allowed
+
+    def _check_file(
+        self, src: SourceFile, allowed: Set[str]
+    ) -> Iterator[Violation]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Raise):
+                name = self._raised_class(node)
+                if (
+                    name is not None
+                    and _looks_like_exception_class(name)
+                    and name not in allowed
+                ):
+                    yield Violation(
+                        rule=self.rule_id, path=src.rel, line=node.lineno,
+                        message=(
+                            f"raises {name} outside the repro.common.errors "
+                            f"taxonomy; raise (or derive) a ReproError "
+                            f"subclass so callers can catch library "
+                            f"failures precisely"
+                        ),
+                    )
+            elif isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(src, node)
+
+    @staticmethod
+    def _raised_class(node: ast.Raise) -> Optional[str]:
+        exc = node.exc
+        if exc is None:  # bare re-raise
+            return None
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        name = dotted_name(target)
+        return name.split(".")[-1] if name else None
+
+    def _check_handler(
+        self, src: SourceFile, node: ast.ExceptHandler
+    ) -> Iterator[Violation]:
+        if node.type is None:
+            yield Violation(
+                rule=self.rule_id, path=src.rel, line=node.lineno,
+                message=(
+                    "bare 'except:' swallows every failure including "
+                    "typed errors; catch specific exception classes"
+                ),
+            )
+            return
+        caught = []
+        types = (
+            node.type.elts if isinstance(node.type, ast.Tuple)
+            else [node.type]
+        )
+        for type_node in types:
+            name = dotted_name(type_node)
+            if name and name.split(".")[-1] in _BROAD:
+                caught.append(name.split(".")[-1])
+        if caught and not self._reraises(node):
+            yield Violation(
+                rule=self.rule_id, path=src.rel, line=node.lineno,
+                message=(
+                    f"catches {'/'.join(caught)} without re-raising; "
+                    f"catch the specific typed errors instead (or "
+                    f"re-raise after handling)"
+                ),
+            )
+
+    @classmethod
+    def _reraises(cls, handler: ast.ExceptHandler) -> bool:
+        """True when the handler body contains a bare ``raise`` (nested
+        function bodies do not count -- they run later, if ever)."""
+        def scan(nodes: Iterable[ast.AST]) -> bool:
+            for node in nodes:
+                if isinstance(
+                    node,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                     ast.ClassDef),
+                ):
+                    continue
+                if isinstance(node, ast.Raise) and node.exc is None:
+                    return True
+                if scan(ast.iter_child_nodes(node)):
+                    return True
+            return False
+
+        return scan(handler.body)

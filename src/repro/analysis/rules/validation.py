@@ -1,0 +1,124 @@
+"""REP005 -- config-validation completeness.
+
+A config dataclass that validates *some* fields promises callers that
+construction-time errors are :class:`ConfigError`; fields that slip past
+``__post_init__`` break that promise and surface later as inscrutable
+numpy/shape errors deep in a decode.  For every dataclass named
+``*Config``/``*Recipe`` that defines ``__post_init__`` or ``validate``,
+this rule requires every field to be read by that validator (directly or
+through the class's own properties/methods, found by fixpoint).
+
+Fields that need no range check are exempt by *type*, not by name:
+``bool`` fields (any value is valid) and nested ``*Config``/``*Recipe``
+fields (they validate themselves on construction).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator, Set
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import (
+    Project,
+    Rule,
+    SourceFile,
+    Violation,
+    class_defs,
+    dataclass_fields,
+    is_dataclass,
+    self_attribute_reads,
+)
+
+_VALIDATORS = ("__post_init__", "validate")
+_OPTIONAL = re.compile(r"^(?:typing\.)?Optional\[(.*)\]$")
+
+
+class ValidationCompletenessRule(Rule):
+    rule_id = "REP005"
+    name = "validation-completeness"
+    rationale = (
+        "a config that validates some fields must validate all of them, "
+        "or bad values surface as inscrutable errors mid-decode"
+    )
+
+    def __init__(self, config: AnalysisConfig) -> None:
+        self.config = config
+
+    def check(self, project: Project) -> Iterable[Violation]:
+        for src in project.files():
+            yield from self._check_file(src)
+
+    # ------------------------------------------------------------------
+    def _check_file(self, src: SourceFile) -> Iterator[Violation]:
+        for cls in class_defs(src.tree):
+            if not is_dataclass(cls):
+                continue
+            if not cls.name.endswith(self.config.validated_class_suffixes):
+                continue
+            validators = [
+                node for node in cls.body
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in _VALIDATORS
+            ]
+            if not validators:
+                continue
+            yield from self._check_class(src, cls, validators)
+
+    def _check_class(
+        self,
+        src: SourceFile,
+        cls: ast.ClassDef,
+        validators: Iterable[ast.AST],
+    ) -> Iterator[Violation]:
+        coverage: Set[str] = set()
+        for validator in validators:
+            coverage |= self_attribute_reads(validator)
+        coverage = self._expand(cls, coverage)
+
+        for field_name, annotation in dataclass_fields(cls):
+            if field_name.startswith("_"):
+                continue
+            if self._exempt_annotation(annotation):
+                continue
+            if field_name in coverage:
+                continue
+            yield Violation(
+                rule=self.rule_id, path=src.rel, line=cls.lineno,
+                message=(
+                    f"field '{cls.name}.{field_name}' has no range/type "
+                    f"check in {'/'.join(_VALIDATORS)}; validate it (or "
+                    f"make its type self-validating)"
+                ),
+            )
+
+    def _exempt_annotation(self, annotation: str) -> bool:
+        inner = annotation.strip().strip("\"'")
+        match = _OPTIONAL.match(inner)
+        if match:
+            inner = match.group(1).strip()
+        if inner == "bool":
+            return True
+        # Nested configs/recipes validate themselves on construction.
+        tail = inner.split("[")[0].split(".")[-1]
+        return tail.endswith(self.config.validated_class_suffixes)
+
+    @staticmethod
+    def _expand(cls: ast.ClassDef, coverage: Set[str]) -> Set[str]:
+        """Fixpoint through the class's own members: a validator that
+        checks ``self.resolved_max_beam`` covers ``max_beam``."""
+        member_reads = {
+            node.name: self_attribute_reads(node)
+            for node in cls.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        expanded = set(coverage)
+        changed = True
+        while changed:
+            changed = False
+            for member, reads in member_reads.items():
+                if member in expanded and not reads <= expanded:
+                    expanded |= reads
+                    changed = True
+        return expanded

@@ -37,6 +37,7 @@ import time
 from typing import List, Optional
 
 from repro.accel import AcceleratorConfig, AcceleratorSimulator
+from repro.analysis import engine as analysis_engine
 from repro.common.errors import ConfigError
 from repro.datasets import SyntheticGraphConfig, TaskConfig, generate_task
 from repro.decoder import (
@@ -419,7 +420,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     task = _build_task(args)
     config = _accel_config(args.config)
     sorted_graph = (
-        sort_states_by_arc_count(task.graph)
+        sort_states_by_arc_count(
+            task.graph, max_direct_arcs=config.state_direct_max_arcs
+        )
         if config.state_direct_enabled
         else None
     )
@@ -540,6 +543,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.csv:
         print(f"CSV artifact: {result.to_csv(args.csv)}")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    return analysis_engine.run_from_options(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -683,6 +690,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", help="write the sweep result as JSON")
     p.add_argument("--csv", help="write the sweep result as CSV")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the invariant linter (determinism, typed errors, "
+             "fingerprint completeness, arg purity, validation "
+             "completeness; see docs/INVARIANTS.md)",
+    )
+    analysis_engine.add_arguments(p)
+    p.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -26,6 +26,11 @@ class SimulationError(ReproError):
     """The cycle-accurate simulator reached an inconsistent state."""
 
 
+class AnalysisError(ReproError):
+    """The static-analysis framework could not run (bad config, unreadable
+    source, corrupt baseline or version-guard file)."""
+
+
 class TierError(ReproError):
     """The sharded serving tier could not accept or route work."""
 

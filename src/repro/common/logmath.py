@@ -15,6 +15,8 @@ import math
 
 import numpy as np
 
+from repro.common.errors import ConfigError
+
 # A large negative sentinel standing in for log(0).  Chosen so that adding a
 # handful of weights to it can never overflow to -inf in float32 pipelines
 # while still being unreachable by any real path score.
@@ -33,10 +35,10 @@ def from_prob(p: float) -> float:
     """Convert a linear probability to log space.
 
     Raises:
-        ValueError: if ``p`` is negative.
+        ConfigError: if ``p`` is negative.
     """
     if p < 0.0:
-        raise ValueError(f"probability must be non-negative, got {p}")
+        raise ConfigError(f"probability must be non-negative, got {p}")
     if p == 0.0:
         return LOG_ZERO
     return math.log(p)

@@ -58,6 +58,24 @@ class AudioTaskConfig:
             raise ConfigError("vocab_size must be >= 2")
         if self.num_utterances < 1 or self.train_utterances < 1:
             raise ConfigError("utterance counts must be >= 1")
+        if self.corpus_sentences < 1:
+            raise ConfigError("corpus_sentences must be >= 1")
+        if self.utterance_words < 1:
+            raise ConfigError("utterance_words must be >= 1")
+        if self.train_phones_per_utterance < 1:
+            raise ConfigError("train_phones_per_utterance must be >= 1")
+        if self.mean_frames_per_phone < 1:
+            raise ConfigError("mean_frames_per_phone must be >= 1")
+        if not self.hidden_dims or any(d < 1 for d in self.hidden_dims):
+            raise ConfigError("hidden_dims must be positive and non-empty")
+        if self.epochs < 1:
+            raise ConfigError("epochs must be >= 1")
+        if self.splice_context < 0:
+            raise ConfigError("splice_context must be >= 0")
+        if self.acoustic_scale <= 0.0:
+            raise ConfigError("acoustic_scale must be positive")
+        if self.seed < 0:
+            raise ConfigError("seed must be non-negative")
 
 
 @dataclass

@@ -39,6 +39,10 @@ class CorpusConfig:
             raise ConfigError("mean_sentence_len must be >= 1")
         if self.branching < 1:
             raise ConfigError("branching must be >= 1")
+        if self.zipf_exponent <= 0.0:
+            raise ConfigError("zipf_exponent must be positive")
+        if self.seed < 0:
+            raise ConfigError("seed must be non-negative")
 
 
 def generate_corpus(config: CorpusConfig) -> List[List[int]]:

@@ -51,6 +51,16 @@ class SyntheticGraphConfig:
             raise ConfigError("epsilon_fraction must be in [0, 1)")
         if self.max_arcs_per_state < 1:
             raise ConfigError("max_arcs_per_state must be >= 1")
+        if self.degree_power <= 0.0:
+            raise ConfigError("degree_power must be positive")
+        if self.num_phones < 1 or self.num_words < 1:
+            raise ConfigError("num_phones and num_words must be >= 1")
+        if not 0.0 <= self.final_fraction <= 1.0:
+            raise ConfigError("final_fraction must be in [0, 1]")
+        if not 0.0 <= self.locality <= 1.0:
+            raise ConfigError("locality must be in [0, 1]")
+        if self.seed < 0:
+            raise ConfigError("seed must be non-negative")
 
 
 def generate_kaldi_like_graph(config: SyntheticGraphConfig) -> CompiledWfst:

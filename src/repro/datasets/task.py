@@ -77,6 +77,18 @@ class TaskConfig:
             raise ConfigError("utterance_words must be >= 1")
         if self.lm_order not in (2, 3):
             raise ConfigError("lm_order must be 2 (bigram) or 3 (trigram)")
+        if self.corpus_sentences < 1:
+            raise ConfigError("corpus_sentences must be >= 1")
+        if self.mean_frames_per_phone < 1:
+            raise ConfigError("mean_frames_per_phone must be >= 1")
+        if not 0.0 <= self.silence_prob < 1.0:
+            raise ConfigError("silence_prob must be in [0, 1)")
+        if self.score_separation <= 0.0:
+            raise ConfigError("score_separation must be positive")
+        if self.score_noise < 0.0:
+            raise ConfigError("score_noise must be >= 0")
+        if self.seed < 0:
+            raise ConfigError("seed must be non-negative")
 
 
 @dataclass

@@ -138,7 +138,7 @@ class SweepResult:
         for p in self.points:
             if p.label == label:
                 return p
-        raise KeyError(f"no sweep point labelled {label!r}")
+        raise ConfigError(f"no sweep point labelled {label!r}")
 
     def rows(self) -> List[Dict[str, Any]]:
         return [p.row() for p in self.points]
@@ -258,11 +258,11 @@ class SweepRunner:
         cached = self._sorted_layouts.get(max_direct_arcs)
         if cached is not None:
             return cached
+        layout = getattr(self.workload, "sorted_graph", None)
         if max_direct_arcs is None:
-            layout = getattr(self.workload, "sorted_graph", None)
             if layout is None:
                 layout = sort_states_by_arc_count(self.workload.graph)
-        else:
+        elif layout is None or layout.max_direct_arcs != max_direct_arcs:
             layout = sort_states_by_arc_count(
                 self.workload.graph, max_direct_arcs=max_direct_arcs
             )
@@ -320,7 +320,9 @@ class SweepRunner:
                 pruning=pruning, target_active=target_active,
             )
             if config.state_direct_enabled:
-                n = overrides.get("sorted.max_direct_arcs")
+                n = overrides.get(
+                    "sorted.max_direct_arcs", config.state_direct_max_arcs
+                )
                 sorted_graph = self._sorted_layout(n)
                 layout_id = ("sorted", sorted_graph.max_direct_arcs)
                 trace_graph = sorted_graph.graph

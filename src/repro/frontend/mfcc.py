@@ -47,6 +47,10 @@ class MfccConfig:
             raise ConfigError("pre_emphasis must be in [0, 1)")
         if self.high_freq_hz > self.sample_rate / 2:
             raise ConfigError("high_freq_hz above Nyquist")
+        if self.frame_len_ms <= 0.0 or self.frame_hop_ms <= 0.0:
+            raise ConfigError("frame_len_ms and frame_hop_ms must be positive")
+        if not 0.0 <= self.low_freq_hz < self.high_freq_hz:
+            raise ConfigError("low_freq_hz must be in [0, high_freq_hz)")
 
     @property
     def frame_len(self) -> int:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.datasets.corpus import CorpusConfig, generate_corpus
 from repro.datasets.synthetic_graph import generate_kaldi_like_graph
@@ -53,7 +53,7 @@ class PassStats:
     eps_out: int
     seconds: float
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, Any]:
         return {
             "name": self.name,
             "states_in": self.states_in,
@@ -66,7 +66,7 @@ class PassStats:
         }
 
     @classmethod
-    def from_dict(cls, payload: Dict) -> "PassStats":
+    def from_dict(cls, payload: Dict[str, Any]) -> "PassStats":
         return cls(**payload)
 
 

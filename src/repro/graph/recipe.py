@@ -23,7 +23,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import asdict, dataclass, field, fields
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime only
+    from repro.datasets.task import TaskConfig
 
 from repro.common.errors import ConfigError
 from repro.datasets.synthetic_graph import SyntheticGraphConfig
@@ -93,12 +96,16 @@ class GraphRecipe:
                 raise ConfigError("vocab_size must be >= 2")
             if self.corpus_sentences < 1:
                 raise ConfigError("corpus_sentences must be >= 1")
+            if not 0.0 <= self.silence_prob < 1.0:
+                raise ConfigError("silence_prob must be in [0, 1)")
+        if self.seed < 0:
+            raise ConfigError("seed must be non-negative")
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def composed(cls, **kwargs) -> "GraphRecipe":
+    def composed(cls, **kwargs: Any) -> "GraphRecipe":
         return cls(kind="composed", **kwargs)
 
     @classmethod
@@ -108,7 +115,7 @@ class GraphRecipe:
         return cls(kind="synthetic", synthetic=config, arcsort=arcsort)
 
     @classmethod
-    def from_task_config(cls, config) -> "GraphRecipe":
+    def from_task_config(cls, config: "TaskConfig") -> "GraphRecipe":
         """The recipe of a :class:`repro.datasets.task.TaskConfig`'s graph."""
         return cls(
             kind="composed",
@@ -124,12 +131,12 @@ class GraphRecipe:
     # ------------------------------------------------------------------
     # Identity
     # ------------------------------------------------------------------
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable field dict (nested configs expanded)."""
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, payload: Dict) -> "GraphRecipe":
+    def from_dict(cls, payload: Dict[str, Any]) -> "GraphRecipe":
         payload = dict(payload)
         synthetic = payload.pop("synthetic", None)
         if synthetic is not None:
@@ -174,7 +181,7 @@ class GraphRecipe:
         )
 
 
-def _flatten(payload: Dict, prefix: str = "") -> Dict[str, object]:
+def _flatten(payload: Dict[str, Any], prefix: str = "") -> Dict[str, object]:
     flat: Dict[str, object] = {}
     for key, value in payload.items():
         name = f"{prefix}{key}"

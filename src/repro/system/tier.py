@@ -105,6 +105,8 @@ class TierConfig:
             raise ConfigError("max_sessions must be >= 0")
         if self.queue_depth < 1:
             raise ConfigError("queue_depth must be >= 1")
+        if self.max_batch < 1:
+            raise ConfigError("max_batch must be >= 1")
         if self.start_method is not None and (
             self.start_method not in multiprocessing.get_all_start_methods()
         ):

@@ -29,7 +29,7 @@ import json
 import os
 import shutil
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -66,7 +66,7 @@ def _graph_payload(graph: CompiledWfst) -> Dict[str, np.ndarray]:
     )
 
 
-def _graph_from_archive(data) -> CompiledWfst:
+def _graph_from_archive(data: Mapping[str, np.ndarray]) -> CompiledWfst:
     return CompiledWfst(
         start=int(data["start"]),
         states_packed=data["states_packed"].copy(),
@@ -106,8 +106,8 @@ def save_graph_bundle(
     path: PathLike,
     *,
     fingerprint: str,
-    recipe: Dict,
-    passes: list,
+    recipe: Dict[str, Any],
+    passes: List[Dict[str, Any]],
 ) -> None:
     """Write a graph artifact bundle: packed arrays + compiler provenance.
 

@@ -18,7 +18,7 @@ from collections import deque
 from typing import Dict, List, Tuple
 
 from repro.common.errors import GraphError
-from repro.wfst.fst import EPSILON, Fst
+from repro.wfst.fst import EPSILON, Arc, Fst
 from repro.wfst.semiring import LogProbSemiring
 
 
@@ -102,7 +102,7 @@ def connect(fst: Fst) -> Fst:
     return out
 
 
-def arc_sort_key(arc) -> Tuple[bool, int, int, int]:
+def arc_sort_key(arc: Arc) -> Tuple[bool, int, int, int]:
     """The canonical arc ordering: non-epsilon first, then by labels.
 
     Shared by :func:`arcsort` and the packed-layout builder

@@ -224,7 +224,7 @@ class TestRunner:
             [{}, {"prefetch_enabled": True}], labels=["base", "prefetch"]
         )
         assert result.point("prefetch").cycles <= result.point("base").cycles
-        with pytest.raises(KeyError):
+        with pytest.raises(ConfigError):
             result.point("missing")
         with pytest.raises(ConfigError):
             SweepRunner(workload).run([{}], labels=["a", "b"])

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.common.errors import ConfigError
 from repro.common.logmath import (
     LOG_ZERO,
     from_prob,
@@ -28,7 +29,7 @@ class TestConversions:
         assert is_log_zero(from_prob(0.0))
 
     def test_from_prob_negative_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             from_prob(-0.1)
 
     def test_to_prob_of_log_zero(self):

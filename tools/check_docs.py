@@ -17,6 +17,7 @@ Exits non-zero with a per-failure report.
 
 from __future__ import annotations
 
+import argparse
 import glob
 import importlib
 import os
@@ -31,11 +32,11 @@ _LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
 _BADGE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)\)")
 
 
-def check_markdown_links() -> list:
+def check_markdown_links(root: str = REPO_ROOT) -> list:
     failures = []
     pages = sorted(
-        glob.glob(os.path.join(REPO_ROOT, "*.md"))
-        + glob.glob(os.path.join(REPO_ROOT, "docs", "**", "*.md"),
+        glob.glob(os.path.join(root, "*.md"))
+        + glob.glob(os.path.join(root, "docs", "**", "*.md"),
                     recursive=True)
     )
     for page in pages:
@@ -51,7 +52,7 @@ def check_markdown_links() -> list:
             )
             if not os.path.exists(path):
                 failures.append(
-                    f"{os.path.relpath(page, REPO_ROOT)}: broken link "
+                    f"{os.path.relpath(page, root)}: broken link "
                     f"-> {target}"
                 )
         # Badges referencing workflow files inside the repo should resolve
@@ -65,7 +66,7 @@ def check_markdown_links() -> list:
             )
             if not os.path.exists(path):
                 failures.append(
-                    f"{os.path.relpath(page, REPO_ROOT)}: broken image "
+                    f"{os.path.relpath(page, root)}: broken image "
                     f"-> {target}"
                 )
     print(f"[docs] link check: {len(pages)} pages scanned")
@@ -93,8 +94,19 @@ def check_pydoc_importability() -> list:
     return failures
 
 
-def main() -> int:
-    failures = check_markdown_links() + check_pydoc_importability()
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="tree whose markdown is link-checked "
+                             "(default: this repo)")
+    parser.add_argument("--skip-pydoc", action="store_true",
+                        help="run only the link check (used by tests "
+                             "over fixture trees)")
+    options = parser.parse_args(argv)
+
+    failures = check_markdown_links(options.root)
+    if not options.skip_pydoc:
+        failures += check_pydoc_importability()
     for failure in failures:
         print(f"[docs] FAIL {failure}")
     if failures:
