@@ -47,6 +47,7 @@ def run_quick() -> int:
     """CI smoke gate: small, fast, and strict about consistency."""
     from benchmarks import bench_batch_throughput as bench_batch
     from benchmarks import bench_graph_compile as bench_graph
+    from benchmarks import bench_kernel_backends as bench_backends
     from benchmarks import bench_lattice_throughput as bench_lattice
     from benchmarks import bench_serving_tier as bench_tier
     from benchmarks import bench_streaming_sessions as bench_stream
@@ -161,6 +162,19 @@ def run_quick() -> int:
             )
         return result
 
+    def kernel_backends():
+        result = bench_backends.run_kernel_backends(quick=True)
+        bench_backends._report(result)
+        if result["numba_available"] and (
+            result["speedup"] < result["speedup_target"]
+        ):
+            gate = "parallel" if result["parallel_gate"] else "single-core"
+            raise AssertionError(
+                f"compiled-backend speedup {result['speedup']:.2f}x below "
+                f"the {result['speedup_target']:.2f}x {gate} gate"
+            )
+        return result
+
     def sweep_throughput():
         from benchmarks import bench_sweep_throughput as bench_sweep
 
@@ -183,6 +197,7 @@ def run_quick() -> int:
     step("batch_throughput_quick", batch_throughput)
     step("streaming_sessions_quick", streaming_sessions)
     step("serving_tier_quick", serving_tier)
+    step("kernel_backends_quick", kernel_backends)
     step("lattice_throughput_quick", lattice_throughput)
     step("sweep_throughput_quick", sweep_throughput)
 
@@ -203,6 +218,7 @@ _TRAJECTORY_FPS_KEYS = {
     "batch_throughput_quick": "batch_frames_per_second",
     "streaming_sessions_quick": "concurrent_frames_per_second",
     "serving_tier_quick": "tier_frames_per_second",
+    "kernel_backends_quick": "fused_frames_per_second",
     "lattice_throughput_quick": "kernel_frames_per_second",
 }
 

@@ -43,11 +43,13 @@ from repro.datasets import SyntheticGraphConfig, TaskConfig, generate_task
 from repro.decoder import (
     BatchDecoder,
     DecoderConfig,
+    KERNEL_BACKENDS,
     LatticeDecoder,
     PRUNING_STRATEGIES,
     ViterbiDecoder,
     word_error_rate,
 )
+from repro.decoder.backends import resolve_backend
 from repro.energy import AcceleratorEnergyModel
 from repro.graph import (
     DEFAULT_GRAPH_CACHE,
@@ -130,6 +132,18 @@ def _build_task(args: argparse.Namespace):
     )
 
 
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--kernel-backend", choices=KERNEL_BACKENDS,
+                        default="auto", dest="kernel_backend",
+                        help="search-kernel array backend: 'numpy' "
+                             "(portable default), 'numba' (compiled; "
+                             "needs the [compiled] extra, falls back to "
+                             "numpy with a warning), or 'auto' (reads "
+                             "REPRO_KERNEL_BACKEND, then numpy). Purely "
+                             "a speed knob: every backend decodes "
+                             "bit-identically (default: auto)")
+
+
 def _add_pruning_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--pruning", choices=PRUNING_STRATEGIES,
                         default="beam",
@@ -152,6 +166,7 @@ def _decoder_config(args: argparse.Namespace) -> DecoderConfig:
         max_active=getattr(args, "max_active", 0),
         pruning=getattr(args, "pruning", "beam"),
         target_active=getattr(args, "target_active", 0),
+        backend=getattr(args, "kernel_backend", "auto"),
     )
 
 
@@ -290,8 +305,13 @@ def cmd_decode(args: argparse.Namespace) -> int:
             print(line)
     frames = sum(u.num_frames for u in task.utterances)
     engine = "streaming" if args.streaming else args.engine
-    print(f"engine '{engine}': {frames} frames in {elapsed * 1e3:.1f} ms "
-          f"({frames / elapsed:.0f} frames/s)")
+    # The scalar reference discipline has no array backend to report.
+    backend = (
+        "" if (args.engine == "reference" and not args.streaming)
+        else f" [{resolve_backend(config.backend).name} kernel]"
+    )
+    print(f"engine '{engine}'{backend}: {frames} frames in "
+          f"{elapsed * 1e3:.1f} ms ({frames / elapsed:.0f} frames/s)")
     if server is not None:
         stats = server.stats
         print(f"streaming: {stats.sweeps} sweeps, mean occupancy "
@@ -306,7 +326,9 @@ def _serve_tier(args: argparse.Namespace, task) -> int:
     """Serve the task through the sharded multi-process tier."""
     tier = ServingTier(
         graph=task.graph,
-        search_config=DecoderConfig(beam=args.beam),
+        search_config=DecoderConfig(
+            beam=args.beam, backend=args.kernel_backend
+        ),
         tier_config=TierConfig(
             num_workers=args.workers, max_batch=args.max_batch
         ),
@@ -349,7 +371,8 @@ def _serve_tier(args: argparse.Namespace, task) -> int:
               f"{' '.join(task.transcript(record.result))}")
     slo = stats.slo()
     print(f"tier: {args.workers} shards served {stats.sessions_finished} "
-          f"sessions / {stats.frames_decoded} frames; aggregate "
+          f"sessions / {stats.frames_decoded} frames on the "
+          f"{stats.kernel_backend} kernel backend; aggregate "
           f"{slo['aggregate_frames_per_second']:.0f} frames/s")
     print(f"SLO: session latency p50 "
           f"{slo['p50_session_latency_s'] * 1e3:.1f} ms / p99 "
@@ -374,7 +397,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return _serve_tier(args, task)
     server = StreamingServer(
         task.graph,
-        DecoderConfig(beam=args.beam),
+        DecoderConfig(beam=args.beam, backend=args.kernel_backend),
         ServerConfig(max_batch=args.max_batch),
     )
 
@@ -406,6 +429,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"mean wait {s.mean_wait_s * 1e3:.2f} ms  "
               f"{' '.join(task.transcript(record.result))}")
     stats = server.stats
+    print(f"kernel backend: {server.kernel_backend}")
     print(f"served {stats.sessions_finalized} sessions / "
           f"{stats.frames_decoded} frames in {stats.sweeps} sweeps "
           f"(mean occupancy {stats.mean_occupancy:.1f}, "
@@ -601,6 +625,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_task_args(p)
     _add_graph_args(p)
     _add_pruning_args(p)
+    _add_backend_arg(p)
     p.add_argument("--engine",
                    choices=("reference", "batch", "lattice", "gpu"),
                    default="reference",
@@ -624,6 +649,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="continuous-batching live serving demo")
     _add_task_args(p)
     _add_graph_args(p)
+    _add_backend_arg(p)
     p.add_argument("--chunk-frames", type=int, default=10,
                    dest="chunk_frames",
                    help="frames per streamed chunk (default 10)")

@@ -13,6 +13,14 @@ histogram cap, adaptive beam) and instrumentation observers plug into the
 kernel rather than into individual engines.
 """
 
+from repro.decoder.backends import (
+    BackendFallbackWarning,
+    KERNEL_BACKENDS,
+    KernelBackend,
+    available_backends,
+    numba_available,
+    resolve_backend,
+)
 from repro.decoder.kernel import (
     AdaptiveBeamPruning,
     BeamSearchConfig,
@@ -37,6 +45,7 @@ from repro.decoder.wer import word_error_rate, levenshtein
 
 __all__ = [
     "AdaptiveBeamPruning",
+    "BackendFallbackWarning",
     "BatchDecoder",
     "BeamSearchConfig",
     "ClosureEvent",
@@ -46,6 +55,8 @@ __all__ = [
     "ExpandEvent",
     "FixedBeamPruning",
     "Frontier",
+    "KERNEL_BACKENDS",
+    "KernelBackend",
     "KernelObserver",
     "Lattice",
     "LatticeDecoder",
@@ -58,6 +69,9 @@ __all__ = [
     "SearchStats",
     "ViterbiDecoder",
     "advance_sessions",
+    "available_backends",
     "levenshtein",
+    "numba_available",
+    "resolve_backend",
     "word_error_rate",
 ]

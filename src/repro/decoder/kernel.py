@@ -38,6 +38,20 @@ path likelihoods and every order-independent counter (``tokens_pruned``,
 order-dependent ``tokens_updated`` / ``epsilon_arcs_processed`` counters
 are discipline approximations in the vectorized kernel.
 
+Kernel backends
+---------------
+The vectorized discipline's pure-array inner loops (CSR arc gather,
+fused gather+score expansion, segment-best merge) are pluggable through
+:mod:`repro.decoder.backends`: ``numpy`` is the portable default and
+``numba`` (optional, ``pip install repro-asr[compiled]``) provides
+compiled parallel kernels.  Selection flows through
+``DecoderConfig.backend`` (``"auto"`` consults the
+``REPRO_KERNEL_BACKEND`` environment variable); every backend is
+bit-identical -- word output, path scores, counters and observer event
+streams -- which ``tests/test_backend_equivalence.py`` asserts
+differentially.  All pruning, merge policy, trace and observer logic
+stays in this module, shared by every backend.
+
 Pruning strategies
 ------------------
 Pruning is a pluggable per-utterance strategy created from
@@ -89,6 +103,8 @@ import numpy as np
 from repro.common.errors import ConfigError, DecodeError
 from repro.common.logmath import LOG_ZERO
 from repro.acoustic.scorer import AcousticScores
+from repro.decoder.backends import KERNEL_BACKENDS, KernelBackend, resolve_backend
+from repro.decoder.backends.numpy_backend import csr_gather, segment_best
 from repro.decoder.result import DecodeResult, SearchStats
 from repro.wfst.layout import CompiledWfst, FlatLayout
 
@@ -117,6 +133,12 @@ class DecoderConfig:
         adapt_rate: exponent of the multiplicative update
             ``beam *= (target_active / survivors) ** adapt_rate``;
             in (0, 1], higher reacts faster.
+        backend: kernel array backend for the vectorized discipline:
+            ``"numpy"`` (portable default), ``"numba"`` (compiled; falls
+            back to numpy with a typed warning when not installed) or
+            ``"auto"`` (consults the ``REPRO_KERNEL_BACKEND`` environment
+            variable, then numpy).  Purely a speed knob: every backend
+            is bit-identical on words, scores, counters and events.
     """
 
     beam: float = 12.0
@@ -126,10 +148,16 @@ class DecoderConfig:
     min_beam: float = 1.0
     max_beam: float = 0.0
     adapt_rate: float = 0.5
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.beam <= 0:
             raise ConfigError("beam must be positive")
+        if self.backend not in KERNEL_BACKENDS:
+            raise ConfigError(
+                f"unknown kernel backend {self.backend!r} "
+                f"(choose from {KERNEL_BACKENDS})"
+            )
         if self.max_active < 0:
             raise ConfigError("max_active must be >= 0")
         if self.pruning not in PRUNING_STRATEGIES:
@@ -406,38 +434,13 @@ class TokenTrace:
 
 
 # ----------------------------------------------------------------------
-# Array helpers shared by the vectorized kernel and the GPU model
+# Array helpers shared by the vectorized kernel and the GPU model.  The
+# implementations moved to repro.decoder.backends.numpy_backend (they
+# define the bit-level contract every backend reproduces); these aliases
+# keep the historical import path working.
 # ----------------------------------------------------------------------
-def _csr_gather(first: np.ndarray, counts: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Flatten CSR arc blocks into ``(arc_indices, source_rows)``.
-
-    ``first[i]`` / ``counts[i]`` describe a contiguous block of arcs; the
-    result enumerates every arc of every block in block order, plus the row
-    ``i`` each arc came from.
-    """
-    total = int(counts.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty
-    src = np.repeat(np.arange(len(first), dtype=np.int64), counts)
-    ends = np.cumsum(counts)
-    offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
-    return first[src] + offsets, src
-
-
-def _segment_best(dest: np.ndarray, score: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Per unique destination, the position of its best-scoring candidate.
-
-    Returns ``(unique_dests_sorted, winner_positions)``.  Ties keep the
-    earliest candidate (source-major, arc order), mirroring the reference
-    discipline's first-wins relaxation.
-    """
-    order = np.lexsort((-score, dest))
-    sorted_dest = dest[order]
-    first = np.empty(len(order), dtype=bool)
-    first[0] = True
-    first[1:] = sorted_dest[1:] != sorted_dest[:-1]
-    return sorted_dest[first], order[first]
+_csr_gather = csr_gather
+_segment_best = segment_best
 
 
 # ----------------------------------------------------------------------
@@ -487,10 +490,18 @@ class SearchKernel:
         self.graph = graph
         self.config = config
         self.flat: FlatLayout = graph.flat()
+        #: The array backend running the inner sweeps, resolved once per
+        #: kernel from ``config.backend`` (see repro.decoder.backends).
+        self.backend: KernelBackend = resolve_backend(config.backend)
         #: Shortest score row that every arc's ilabel can index safely.
         self.min_score_width: int = (
             int(self.flat.arc_ilabel.max()) + 1 if self.flat.num_arcs else 1
         )
+
+    @property
+    def backend_name(self) -> str:
+        """Resolved name of the active array backend ("numpy"/"numba")."""
+        return self.backend.name
 
     # ------------------------------------------------------------------
     def init_frontier(
@@ -569,17 +580,15 @@ class SearchKernel:
         stats.states_expanded += states.size
         stats.visited_state_degrees.extend(flat.out_degree[states].tolist())
 
-        # Bulk gather of every surviving state's non-epsilon arc block.
+        # Fused gather + score accumulation over every surviving state's
+        # non-epsilon arc block, on the active backend.
         first = flat.first_arc[states]
         n_arcs = flat.num_non_eps[states]
-        arc_idx, src = _csr_gather(first, n_arcs)
+        arc_idx, src, dest, new_scores = self.backend.expand_frame(
+            first, n_arcs, scores,
+            flat.arc_dest, flat.arc_weight64, flat.arc_ilabel, frame_scores,
+        )
         stats.arcs_processed += arc_idx.size
-        dest = flat.arc_dest[arc_idx]
-        new_scores = (
-            scores[src]
-            + flat.arc_weight64[arc_idx]
-            + frame_scores[flat.arc_ilabel[arc_idx]]
-        ) if arc_idx.size else np.empty(0, dtype=np.float64)
 
         if observers:
             event = ExpandEvent(
@@ -605,7 +614,7 @@ class SearchKernel:
             return
 
         # Segment-max merge: best incoming arc per destination token.
-        next_states, winners = _segment_best(dest, new_scores)
+        next_states, winners = self.backend.segment_best(dest, new_scores)
         trace_idx = frontier.trace.append_bulk(
             bps[src[winners]], flat.arc_olabel[arc_idx[winners]]
         )
@@ -630,13 +639,12 @@ class SearchKernel:
             states, scores, bps = active
             eps_first = flat.eps_first[states]
             n_eps = flat.num_eps[states]
-            arc_idx, src = _csr_gather(eps_first, n_eps)
+            arc_idx, src, dest, cand_scores = self.backend.expand_closure(
+                eps_first, n_eps, scores, flat.arc_dest, flat.arc_weight64
+            )
             if arc_idx.size == 0:
                 break
             stats.epsilon_arcs_processed += arc_idx.size
-
-            dest = flat.arc_dest[arc_idx]
-            cand_scores = scores[src] + flat.arc_weight64[arc_idx]
 
             if observers:
                 # Per-arc improvement vs the pre-round token scores (the
@@ -666,7 +674,7 @@ class SearchKernel:
                     observer.on_closure(event)
             round_index += 1
 
-            uniq, winners = _segment_best(dest, cand_scores)
+            uniq, winners = self.backend.segment_best(dest, cand_scores)
             cand_scores = cand_scores[winners]
             cand_prev = bps[src[winners]]
             cand_word = flat.arc_olabel[arc_idx[winners]]
@@ -810,8 +818,13 @@ class SearchKernel:
             frontier.stats.states_expanded += int(kept[i])
             frontier.stats.visited_state_degrees.extend(deg.tolist())
 
-        # Bulk arc gather across every session's surviving states at once.
-        arc_idx, src = _csr_gather(flat.first_arc[states], flat.num_non_eps[states])
+        # Fused gather + score accumulation across every session's
+        # surviving states at once (the backend's widest parallel sweep:
+        # its row space spans all sessions).
+        arc_idx, src, dest, new_scores = self.backend.expand_fused(
+            flat.first_arc[states], flat.num_non_eps[states], scores, seg,
+            flat.arc_dest, flat.arc_weight64, flat.arc_ilabel, frame_stack,
+        )
         arc_seg = seg[src]
         arc_counts = np.bincount(arc_seg, minlength=n)
         for frontier, c in zip(frontiers, arc_counts):
@@ -821,16 +834,9 @@ class SearchKernel:
                 _set_empty(frontier)
             return
 
-        dest = flat.arc_dest[arc_idx]
-        new_scores = (
-            scores[src]
-            + flat.arc_weight64[arc_idx]
-            + frame_stack[arc_seg, flat.arc_ilabel[arc_idx]]
-        )
-
         # Segment-max merge on the combined (session, state) key.
         combined = arc_seg * num_states + dest
-        uniq, winners = _segment_best(combined, new_scores)
+        uniq, winners = self.backend.segment_best(combined, new_scores)
         win_seg = arc_seg[winners]
         win_counts = np.bincount(win_seg, minlength=n)
         win_bounds = np.cumsum(win_counts)[:-1]
@@ -873,8 +879,9 @@ class SearchKernel:
         act_comb, act_scores, act_bps = f_comb, f_scores, f_bps
         while act_comb.size:
             act_seg, act_states = np.divmod(act_comb, num_states)
-            arc_idx, src = _csr_gather(
-                flat.eps_first[act_states], flat.num_eps[act_states]
+            arc_idx, src, dest, cand = self.backend.expand_closure(
+                flat.eps_first[act_states], flat.num_eps[act_states],
+                act_scores, flat.arc_dest, flat.arc_weight64,
             )
             if arc_idx.size == 0:
                 break
@@ -883,9 +890,9 @@ class SearchKernel:
             for frontier, c in zip(frontiers, eps_counts):
                 frontier.stats.epsilon_arcs_processed += int(c)
 
-            dest = flat.arc_dest[arc_idx]
-            cand = act_scores[src] + flat.arc_weight64[arc_idx]
-            uniq, winners = _segment_best(arc_seg * num_states + dest, cand)
+            uniq, winners = self.backend.segment_best(
+                arc_seg * num_states + dest, cand
+            )
             cand_scores = cand[winners]
             cand_prev = act_bps[src[winners]]
             cand_word = flat.arc_olabel[arc_idx[winners]]

@@ -30,6 +30,13 @@ continuous-batching server beat sequential single-session serving.  The
 fused sweep is bit-identical per session to
 :meth:`DecodeSession.push_frame`, including every
 :class:`SearchStats` counter.
+
+The fused sweep's gather/expand/merge array work runs on the decoder's
+configured kernel backend (``DecoderConfig.backend``; see
+:mod:`repro.decoder.backends`).  The compiled numba backend parallelizes
+the fused expansion across the concatenated rows of *all* sessions in
+the sweep, so continuous batching is where it pays most -- with
+bit-identical per-session results, as the backend contract requires.
 """
 
 from __future__ import annotations

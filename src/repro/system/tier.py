@@ -55,6 +55,7 @@ from repro.common.errors import (
     ReproError,
     TierError,
 )
+from repro.decoder.backends import resolve_backend
 from repro.decoder.kernel import DecoderConfig
 from repro.decoder.result import DecodeResult
 from repro.decoder.session import Chunk, chunk_matrix
@@ -120,6 +121,10 @@ class TierConfig:
 class TierStats:
     """Front-door counters plus the per-session SLO samples."""
 
+    #: Resolved kernel array backend every shard's fused sweeps run on
+    #: ("numpy"/"numba"); recorded at tier construction from the search
+    #: config (workers resolve the same config, so the names agree).
+    kernel_backend: str = ""
     sessions_admitted: int = 0
     sessions_rejected: int = 0   #: joins shed at the admission limit
     pushes_shed: int = 0         #: pushes shed by shard backpressure
@@ -306,7 +311,12 @@ class ServingTier:
         self.graph_dir = graph_dir
         self.tier_config = tier_config
         self.search_config = search_config
-        self.stats = TierStats()
+        # Resolve here with the same rules every worker applies to the
+        # pickled search config, so the recorded name matches the shards
+        # (and any numba-missing fallback warns in the front door too).
+        self.stats = TierStats(
+            kernel_backend=resolve_backend(search_config.backend).name
+        )
         self._clock = clock
         self._lock = threading.RLock()
         self._next_sid = 0

@@ -71,7 +71,13 @@ class FlatLayout:
       vectorized score accumulation bit-identical to the scalar decoder's
       ``float(arc_weight[a])`` arithmetic.
 
-    All arrays are read-only views shared by every decoder on the graph.
+    All arrays are read-only views shared by every decoder on the graph,
+    and all are guaranteed **C-contiguous**: each state's arc block is a
+    dense ``[first_arc, first_arc + out_degree)`` slice of the arc
+    columns (non-epsilon arcs first), so compiled kernel backends
+    (:mod:`repro.decoder.backends`) can walk ``arc_dest`` /
+    ``arc_ilabel`` / ``arc_olabel`` / ``arc_weight64`` with unit-stride
+    loads and no per-call copies.
     """
 
     first_arc: np.ndarray
@@ -114,6 +120,13 @@ class FlatLayout:
             arc_weight64=graph.arc_weight.astype(np.float64),
             final_weights=graph.final_weights.copy(),
         )
+        # The contiguity guarantee compiled kernel backends rely on:
+        # astype()/copy() already produce C-order arrays, but make it an
+        # invariant of the view, not an accident of construction (the
+        # source arrays may be mmap-backed or sliced).
+        arrays = {
+            name: np.ascontiguousarray(arr) for name, arr in arrays.items()
+        }
         for arr in arrays.values():
             arr.setflags(write=False)
         return cls(**arrays)

@@ -10,7 +10,9 @@ Two checks:
 2. **pydoc-importability** -- every module under the public ``repro``
    package must import cleanly and render under :mod:`pydoc`, so
    ``python -m pydoc repro.<anything>`` always works and no module grows
-   an import-time dependency on test/bench state.
+   an import-time dependency on test/bench state.  Modules that wrap an
+   *optional* extra (``_OPTIONAL_MODULES``) are skipped -- not failed --
+   when that extra is absent, and still checked when it is installed.
 
 Exits non-zero with a per-failure report.
 """
@@ -20,6 +22,7 @@ from __future__ import annotations
 import argparse
 import glob
 import importlib
+import importlib.util
 import os
 import pkgutil
 import pydoc
@@ -73,6 +76,14 @@ def check_markdown_links(root: str = REPO_ROOT) -> list:
     return failures
 
 
+#: Modules whose *only* job is wrapping an optional extra's dependency
+#: (pyproject ``[project.optional-dependencies]``): importable -- and
+#: then fully checked -- iff the named distribution is installed.
+_OPTIONAL_MODULES = {
+    "repro.decoder.backends.numba_backend": "numba",
+}
+
+
 def check_pydoc_importability() -> list:
     failures = []
     import repro
@@ -80,7 +91,12 @@ def check_pydoc_importability() -> list:
     names = ["repro"]
     for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
         names.append(info.name)
+    skipped = 0
     for name in sorted(names):
+        dep = _OPTIONAL_MODULES.get(name)
+        if dep is not None and importlib.util.find_spec(dep) is None:
+            skipped += 1
+            continue
         try:
             module = importlib.import_module(name)
             pydoc.plaintext.document(module)
@@ -90,7 +106,9 @@ def check_pydoc_importability() -> list:
             doc = module.__doc__
             if not doc or not doc.strip():
                 failures.append(f"{name}: missing module docstring")
-    print(f"[docs] pydoc check: {len(names)} modules rendered")
+    optional = f", {skipped} optional-extra skipped" if skipped else ""
+    print(f"[docs] pydoc check: {len(names) - skipped} modules "
+          f"rendered{optional}")
     return failures
 
 
