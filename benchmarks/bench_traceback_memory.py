@@ -1,0 +1,262 @@
+"""Benchmark: windowed committed-prefix traceback vs append-only history.
+
+Streams one long utterance through a :class:`DecodeSession` two ways:
+
+* **append-only** -- ``commit_interval=0``, the historical buffer: every
+  backpointer record survives for the whole utterance, so peak trace
+  memory grows linearly with its length and every ``partial()`` walks
+  the full best path from scratch;
+* **windowed** -- ``commit_interval=K``: every K frames the session
+  finds the convergence point of the live frontier, emits the committed
+  words once, and compacts away everything unreachable, so peak trace
+  memory plateaus at O(active tokens x window) and partials only walk
+  the uncommitted tail.
+
+Three gates, run on CI's smoke tier (``--quick``) and nightly (full):
+
+* the windowed buffer's peak memory is **flat** -- the high-water mark
+  at the full stream length is within ``WINDOWED_GROWTH_MAX`` of the
+  half-length mark, while the append-only buffer keeps growing
+  (``APPEND_GROWTH_MIN``);
+* second-half partials are at least ``PARTIAL_SPEEDUP_TARGET`` faster
+  under the window;
+* committed + tail output is word- and score-identical to one-shot
+  ``BatchDecoder.decode``, the committed prefix is monotone and never
+  retracted, and the compiled backend (when installed) agrees
+  bit-for-bit with numpy.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import GRAPH_CACHE, format_table, report, write_json
+from repro.datasets import SyntheticGraphConfig
+from repro.decoder import BatchDecoder, DecoderConfig
+from repro.decoder.backends import numba_available
+from repro.system import make_memory_workload
+
+#: Nightly shape: a long stream (minutes of speech at 100 frames/s) on a
+#: production-style tightly pruned search.
+FULL_SHAPE = dict(num_states=8_000, frames=1_200, max_active=300,
+                  commit_interval=25)
+#: CI smoke shape: long enough that append-only growth and the windowed
+#: plateau are unambiguous, small enough to finish in seconds.
+QUICK_SHAPE = dict(num_states=2_000, frames=400, max_active=100,
+                   commit_interval=25)
+
+#: Peak trace memory at the full stream length may exceed the half-length
+#: high-water mark by at most this factor under the window (flat growth;
+#: measured ratio is 1.0 -- the buffer plateaus within the first few
+#: windows).
+WINDOWED_GROWTH_MAX = 1.3
+#: The append-only buffer must keep growing past the half-way mark by at
+#: least this factor (measured ~2x: capacity doubles with the record
+#: count), or the baseline being compared against is not linear.
+APPEND_GROWTH_MIN = 1.5
+#: Second-half partials must be at least this much faster under the
+#: window.  Measured headroom is several-fold (the walk shrinks from
+#: O(frames) to O(window)); the gate sits low so noisy CI runners cannot
+#: flake it while still catching a regression to not-faster.
+PARTIAL_SPEEDUP_TARGET = 1.1
+
+
+def _stream(workload, commit_interval: int, backend: str = "numpy") -> dict:
+    """Stream the workload's single utterance frame by frame.
+
+    Calls ``partial()`` after every frame of the second half (the live
+    captioning pattern) and returns timings, the traceback high-water
+    marks at T/2 and T, every committed prefix observed, and the final
+    result.
+    """
+    config = DecoderConfig(
+        beam=workload.beam,
+        max_active=workload.max_active,
+        backend=backend,
+        commit_interval=commit_interval,
+    )
+    decoder = BatchDecoder(workload.graph, config)
+    matrix = workload.scores[0].matrix
+    total = len(matrix)
+    session = decoder.open_session()
+    peak_half = 0
+    partial_seconds = 0.0
+    partials = 0
+    committed_prefixes = []
+    for t, row in enumerate(matrix):
+        session.push_frame(row)
+        if t + 1 == total // 2:
+            peak_half = session.trace_peak_bytes
+        if t + 1 > total // 2:
+            t0 = time.perf_counter()
+            hypothesis = session.partial()
+            partial_seconds += time.perf_counter() - t0
+            partials += 1
+            committed_prefixes.append(tuple(hypothesis.committed))
+    peak_full = session.trace_peak_bytes
+    result = session.finalize()
+    return {
+        "peak_half_bytes": peak_half,
+        "peak_full_bytes": peak_full,
+        "partial_seconds": partial_seconds,
+        "partials": partials,
+        "committed_prefixes": committed_prefixes,
+        "result": result,
+    }
+
+
+def _check_committed(run: dict, final_words) -> None:
+    """Committed prefixes must be monotone and never retracted."""
+    prev_len = 0
+    for prefix in run["committed_prefixes"]:
+        if len(prefix) < prev_len:
+            raise AssertionError(
+                f"committed prefix shrank from {prev_len} to {len(prefix)} "
+                f"words"
+            )
+        prev_len = len(prefix)
+        if tuple(final_words[: len(prefix)]) != prefix:
+            raise AssertionError(
+                f"committed prefix {prefix} retracted by the final "
+                f"hypothesis {final_words}"
+            )
+
+
+def run_traceback_memory(quick: bool = False, seed: int = 9) -> dict:
+    """Measure both buffer disciplines on one stream; returns the payload."""
+    shape = QUICK_SHAPE if quick else FULL_SHAPE
+    workload = make_memory_workload(
+        num_utterances=1,
+        frames_per_utterance=shape["frames"],
+        beam=8.0,
+        max_active=shape["max_active"],
+        seed=seed,
+        graph_config=SyntheticGraphConfig(
+            num_states=shape["num_states"], num_phones=50, seed=seed
+        ),
+        graph_cache=GRAPH_CACHE,
+    )
+    interval = shape["commit_interval"]
+    offline = BatchDecoder(
+        workload.graph,
+        DecoderConfig(beam=workload.beam, max_active=workload.max_active),
+    ).decode(workload.scores[0])
+
+    _stream(workload, 0)  # warm the graph layout and allocator
+    append = _stream(workload, 0)
+    windowed = _stream(workload, interval)
+
+    for name, run in (("append-only", append), ("windowed", windowed)):
+        result = run["result"]
+        if (result.words != offline.words
+                or result.log_likelihood != offline.log_likelihood):
+            raise AssertionError(
+                f"{name} streaming diverged from one-shot decoding"
+            )
+        _check_committed(run, offline.words)
+
+    backends_checked = ["numpy"]
+    if numba_available():
+        compiled = _stream(workload, interval, backend="numba")
+        if (compiled["result"].words != offline.words
+                or compiled["result"].log_likelihood
+                != offline.log_likelihood):
+            raise AssertionError(
+                "compiled-backend windowed streaming diverged from numpy"
+            )
+        _check_committed(compiled, offline.words)
+        backends_checked.append("numba")
+
+    windowed_growth = windowed["peak_full_bytes"] / windowed["peak_half_bytes"]
+    append_growth = append["peak_full_bytes"] / append["peak_half_bytes"]
+    partial_speedup = windowed["partials"] * append["partial_seconds"] / (
+        append["partials"] * windowed["partial_seconds"]
+    )
+    return {
+        "workload": {**shape, "beam": workload.beam, "seed": seed,
+                     "quick": quick},
+        "total_frames": workload.total_frames,
+        "append_peak_half_bytes": append["peak_half_bytes"],
+        "append_peak_bytes": append["peak_full_bytes"],
+        "append_growth": append_growth,
+        "windowed_peak_half_bytes": windowed["peak_half_bytes"],
+        "windowed_peak_bytes": windowed["peak_full_bytes"],
+        "windowed_growth": windowed_growth,
+        "memory_reduction": (
+            append["peak_full_bytes"] / windowed["peak_full_bytes"]
+        ),
+        "append_partial_seconds": append["partial_seconds"],
+        "windowed_partial_seconds": windowed["partial_seconds"],
+        "partials": windowed["partials"],
+        "partial_speedup": partial_speedup,
+        "committed_frames": windowed["result"].committed_len,
+        "backends_checked": backends_checked,
+        "words_match": True,
+        "windowed_growth_max": WINDOWED_GROWTH_MAX,
+        "append_growth_min": APPEND_GROWTH_MIN,
+        "partial_speedup_target": PARTIAL_SPEEDUP_TARGET,
+    }
+
+
+def _report(result: dict) -> None:
+    name = (
+        "traceback_memory_quick"
+        if result["workload"]["quick"]
+        else "traceback_memory"
+    )
+    rows = [
+        ["append-only (interval 0)",
+         result["append_peak_half_bytes"] / 1024,
+         result["append_peak_bytes"] / 1024,
+         result["append_growth"],
+         result["append_partial_seconds"] * 1e3],
+        [f"windowed (interval {result['workload']['commit_interval']})",
+         result["windowed_peak_half_bytes"] / 1024,
+         result["windowed_peak_bytes"] / 1024,
+         result["windowed_growth"],
+         result["windowed_partial_seconds"] * 1e3],
+    ]
+    text = format_table(
+        f"Traceback buffer -- {result['total_frames']}-frame stream, "
+        f"{result['memory_reduction']:.1f}x peak-memory reduction, "
+        f"partials {result['partial_speedup']:.2f}x faster "
+        f"(target >= {result['partial_speedup_target']:.2f}x), output "
+        f"identical to one-shot on {'/'.join(result['backends_checked'])}",
+        ["buffer discipline", "peak @T/2 KiB", "peak @T KiB",
+         "growth", "partial ms"],
+        rows,
+    )
+    report(name, text)
+    write_json(name, result)
+
+
+def _assert_gates(result: dict) -> None:
+    assert result["words_match"]
+    assert result["windowed_growth"] <= WINDOWED_GROWTH_MAX, (
+        f"windowed trace memory grew {result['windowed_growth']:.2f}x "
+        f"past the half-way mark (flat-growth gate {WINDOWED_GROWTH_MAX}x)"
+    )
+    assert result["append_growth"] >= APPEND_GROWTH_MIN, (
+        f"append-only baseline grew only {result['append_growth']:.2f}x "
+        f"(expected linear growth >= {APPEND_GROWTH_MIN}x)"
+    )
+    assert result["partial_speedup"] >= PARTIAL_SPEEDUP_TARGET, (
+        f"windowed partials {result['partial_speedup']:.2f}x below the "
+        f"{PARTIAL_SPEEDUP_TARGET:.2f}x gate"
+    )
+
+
+def test_traceback_memory(benchmark):
+    result = benchmark.pedantic(run_traceback_memory, rounds=1, iterations=1)
+    _report(result)
+    _assert_gates(result)
+
+
+@pytest.mark.parametrize("quick", [True])
+def test_traceback_memory_quick(benchmark, quick):
+    """The CI smoke-gate shape: shorter stream, same three gates."""
+    result = benchmark.pedantic(
+        run_traceback_memory, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    _report(result)
+    _assert_gates(result)

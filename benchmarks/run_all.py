@@ -13,12 +13,14 @@ only the benches that share the cached standard comparison.
 seconds, a decoder-consistency check across every platform, the batch
 vs reference engine benchmark, the continuous-batching streaming
 session benchmark, the sharded serving tier under a bursty session
-load, the kernel-observer lattice benchmark, and a 10-point
-design-space sweep gated against independent simulator runs
-(cycle-identical, >= 3x).  Results land in
-``benchmarks/results/quick_summary.json`` (uploaded as a CI artifact)
-plus a normalized ``benchmarks/results/trajectory.json`` -- one
-frames/s + speedup point per bench -- that CI's perf-report step diffs
+load, the kernel-observer lattice benchmark, the long-stream
+traceback-memory gate (flat windowed growth, faster partials, output
+identical to one-shot), and a 10-point design-space sweep gated
+against independent simulator runs (cycle-identical, >= 3x).  Results
+land in ``benchmarks/results/quick_summary.json`` (uploaded as a CI
+artifact) plus a normalized ``benchmarks/results/trajectory.json`` --
+one frames/s + speedup (and, for the traceback bench, peak-memory +
+partial-latency) point per bench -- that CI's perf-report step diffs
 against the previous main-branch run; the process exits non-zero on
 any crash or decoder mismatch.
 """
@@ -51,6 +53,7 @@ def run_quick() -> int:
     from benchmarks import bench_lattice_throughput as bench_lattice
     from benchmarks import bench_serving_tier as bench_tier
     from benchmarks import bench_streaming_sessions as bench_stream
+    from benchmarks import bench_traceback_memory as bench_traceback
     from repro.datasets import SyntheticGraphConfig
     from repro.system import make_memory_workload
 
@@ -175,6 +178,12 @@ def run_quick() -> int:
             )
         return result
 
+    def traceback_memory():
+        result = bench_traceback.run_traceback_memory(quick=True)
+        bench_traceback._report(result)
+        bench_traceback._assert_gates(result)
+        return result
+
     def sweep_throughput():
         from benchmarks import bench_sweep_throughput as bench_sweep
 
@@ -199,6 +208,7 @@ def run_quick() -> int:
     step("serving_tier_quick", serving_tier)
     step("kernel_backends_quick", kernel_backends)
     step("lattice_throughput_quick", lattice_throughput)
+    step("traceback_memory_quick", traceback_memory)
     step("sweep_throughput_quick", sweep_throughput)
 
     summary["status"] = "failed" if failed else "ok"
@@ -227,9 +237,11 @@ def _trajectory(summary: dict) -> dict:
     """Normalize the quick-gate step payloads into one perf point.
 
     The shape is deliberately flat and stable -- ``benches.<name>`` holds
-    at most ``frames_per_second`` and ``speedup`` -- so CI can diff
+    at most ``frames_per_second``, ``speedup``, and (for the traceback
+    bench) ``peak_trace_kib`` + ``partial_latency_ms`` -- so CI can diff
     today's run against a cached previous run without knowing any
-    bench's internals (see ``tools/perf_report.py``).
+    bench's internals (see ``tools/perf_report.py``, which knows which
+    metrics are lower-is-better).
     """
     benches: dict = {}
     for name, step_data in summary["steps"].items():
@@ -247,6 +259,18 @@ def _trajectory(summary: dict) -> dict:
             entry["frames_per_second"] = round(float(result[key]), 3)
         if isinstance(result.get("speedup"), (int, float)):
             entry["speedup"] = round(float(result["speedup"]), 4)
+        elif isinstance(result.get("partial_speedup"), (int, float)):
+            entry["speedup"] = round(float(result["partial_speedup"]), 4)
+        if isinstance(result.get("windowed_peak_bytes"), (int, float)):
+            entry["peak_trace_kib"] = round(
+                float(result["windowed_peak_bytes"]) / 1024, 1
+            )
+        if (isinstance(result.get("windowed_partial_seconds"), (int, float))
+                and result.get("partials")):
+            entry["partial_latency_ms"] = round(
+                1e3 * float(result["windowed_partial_seconds"])
+                / float(result["partials"]), 4
+            )
         if entry:
             benches[name] = entry
     return {"schema": 1, "mode": summary.get("mode", "quick"),
@@ -280,6 +304,7 @@ def main() -> int:
         bench_serving_tier as tier_tp,
         bench_streaming_sessions as stream_tp,
         bench_sweep_throughput as sweep_tp,
+        bench_traceback_memory as traceback_tp,
         bench_fig01_pipeline_breakdown as fig01,
         bench_fig04_cache_miss_ratio as fig04,
         bench_fig05_hash_entries as fig05,
@@ -319,6 +344,7 @@ def main() -> int:
     lattice_tp.test_lattice_throughput(bench)
     stream_tp.test_streaming_sessions(bench)
     tier_tp.test_serving_tier(bench)
+    traceback_tp.test_traceback_memory(bench)
     sweep_tp.test_sweep_throughput(bench)
 
     if not options.fast:

@@ -149,6 +149,19 @@ class AcceleratorConfig:
     #: Extra per-frame fixed overhead (hash swap, control), in cycles.
     frame_overhead_cycles: int = 16
 
+    #: Windowed-traceback design axis: frames between traceback-buffer
+    #: commits.  Every window the backpointer records written since the
+    #: last commit are re-read and the still-live chain records rewritten
+    #: compacted (the software protocol of
+    #: :mod:`repro.decoder.traceback`), pricing the buffer's DRAM traffic
+    #: and stall cycles instead of assuming free unbounded history.
+    #: 0 (the default) models the historical append-only buffer: no
+    #: commit traffic, no timing change.
+    traceback_window_frames: int = 0
+    #: Cycles charged per traceback record touched during a commit
+    #: (read of a window record or rewrite of a retained one).
+    traceback_cycles_per_record: int = 1
+
     def __post_init__(self) -> None:
         if self.frequency_hz <= 0:
             raise ConfigError("frequency must be positive")
@@ -187,6 +200,10 @@ class AcceleratorConfig:
             )
         if self.frame_overhead_cycles < 0:
             raise ConfigError("frame overhead must be >= 0 cycles")
+        if self.traceback_window_frames < 0:
+            raise ConfigError("traceback_window_frames must be >= 0")
+        if self.traceback_cycles_per_record < 0:
+            raise ConfigError("traceback_cycles_per_record must be >= 0")
 
     # Convenience constructors for the paper's four configurations --------
     def with_prefetch(self) -> "AcceleratorConfig":

@@ -197,6 +197,42 @@ class TraceReplayer:
             len(trace.emit_states) + len(trace.eps_states) - direct_total
         )
 
+        # --- traceback-buffer commit schedule --------------------------
+        # Windowed-traceback pricing (the design axis of
+        # repro.decoder.traceback): every ``traceback_window_frames``
+        # frames the commit re-reads each backpointer record written
+        # since the last commit plus the records the previous commit
+        # retained, then rewrites the records still reachable from the
+        # live tokens (approximated by the next frame's token-walk
+        # count, which is exactly the live frontier the commit keeps).
+        # Per-group write counts and per-frame walk counts are config-
+        # independent, so one precomputation serves a whole sweep.
+        tb_win = cfg.traceback_window_frames
+        tb_cpr = cfg.traceback_cycles_per_record
+        if tb_win > 0:
+            cached = memo.get("traceback")
+            if cached is None:
+                eimp_cum = np.concatenate(
+                    ([0], np.cumsum(trace.emit_improved, dtype=np.int64))
+                )
+                zimp_cum = np.concatenate(
+                    ([0], np.cumsum(trace.eps_improved, dtype=np.int64))
+                )
+                eao = trace.emit_arc_offsets
+                zao = trace.eps_arc_offsets
+                group_writes = [int(zimp_cum[zao[1]] - zimp_cum[zao[0]])]
+                for g in range(1, F + 1):
+                    group_writes.append(
+                        int(eimp_cum[eao[g]] - eimp_cum[eao[g - 1]])
+                        + int(zimp_cum[zao[g + 1]] - zimp_cum[zao[g]])
+                    )
+                walk_counts = np.diff(trace.read_offsets).tolist()
+                cached = (group_writes, walk_counts)
+                memo["traceback"] = cached
+            tb_group_writes, tb_walk_counts = cached
+        else:
+            tb_group_writes = tb_walk_counts = None
+
         # --- hash-table chain behaviour --------------------------------
         hcfg = cfg.hash_table
         key = ("hash", hcfg.num_entries, hcfg.backup_entries, hcfg.perfect)
@@ -546,6 +582,9 @@ class TraceReplayer:
         # --- decode timeline -------------------------------------------
         frame_overhead = cfg.frame_overhead_cycles
         frame_cycles: List[int] = []
+        r_traceback = w_traceback = 0
+        tb_pending = tb_group_writes[0] if tb_win else 0
+        tb_retained = 0
         cycle = run_eps(0, 0)
         for f in range(F):
             cycle += frame_overhead
@@ -564,6 +603,22 @@ class TraceReplayer:
                         read_done[i] = mem_req(fb + i)
             cycle = run_emit(f, cycle, fb, read_done)
             cycle = run_eps(f + 1, cycle)
+            if tb_win:
+                tb_pending += tb_group_writes[f + 1]
+                if (f + 1) % tb_win == 0:
+                    # Commit stall lands inside this frame's latency: read
+                    # everything written this window plus last commit's
+                    # survivors, rewrite the live frontier's records.
+                    reads = tb_retained + tb_pending
+                    if f + 1 < F:
+                        retained = tb_walk_counts[f + 1]
+                    else:
+                        retained = tb_walk_counts[F - 1] if F else 0
+                    cycle += (reads + retained) * tb_cpr
+                    r_traceback += reads * TOKEN_RECORD_BYTES
+                    w_traceback += retained * TOKEN_RECORD_BYTES
+                    tb_pending = 0
+                    tb_retained = retained
             frame_cycles.append(cycle - fb)
 
         # Flush of dirty token-record lines (CPU reads them to backtrack).
@@ -602,11 +657,14 @@ class TraceReplayer:
         for region, nbytes in (
             ("states", r_states), ("arcs", r_arcs),
             ("tokens", r_tokens), ("overflow", r_overflow),
+            ("traceback", r_traceback),
         ):
             if nbytes:
                 stats.traffic.add(region, nbytes, write=False)
         if w_tokens:
             stats.traffic.add("tokens", w_tokens, write=True)
+        if w_traceback:
+            stats.traffic.add("traceback", w_traceback, write=True)
 
         return AcceleratorResult(
             words=trace.words,

@@ -63,6 +63,7 @@ class AnalysisConfig:
         "src/repro/decoder/kernel.py",
         "src/repro/decoder/batch.py",
         "src/repro/decoder/session.py",
+        "src/repro/decoder/traceback.py",
         "src/repro/decoder/backends/__init__.py",
         "src/repro/decoder/backends/numpy_backend.py",
         "src/repro/decoder/backends/numba_backend.py",

@@ -167,6 +167,7 @@ def _decoder_config(args: argparse.Namespace) -> DecoderConfig:
         pruning=getattr(args, "pruning", "beam"),
         target_active=getattr(args, "target_active", 0),
         backend=getattr(args, "kernel_backend", "auto"),
+        commit_interval=getattr(args, "commit_interval", 0),
     )
 
 
@@ -327,7 +328,8 @@ def _serve_tier(args: argparse.Namespace, task) -> int:
     tier = ServingTier(
         graph=task.graph,
         search_config=DecoderConfig(
-            beam=args.beam, backend=args.kernel_backend
+            beam=args.beam, backend=args.kernel_backend,
+            commit_interval=args.commit_interval,
         ),
         tier_config=TierConfig(
             num_workers=args.workers, max_batch=args.max_batch
@@ -379,6 +381,10 @@ def _serve_tier(args: argparse.Namespace, task) -> int:
           f"{slo['p99_session_latency_s'] * 1e3:.1f} ms; frame wait p50 "
           f"{slo['p50_mean_wait_s'] * 1e3:.2f} ms / p99 "
           f"{slo['p99_mean_wait_s'] * 1e3:.2f} ms")
+    print(f"traceback: peak trace memory "
+          f"{slo['trace_memory_bytes'] / 1024:.1f} KiB/session, "
+          f"{slo['committed_frames']:.0f} committed frames "
+          f"(commit interval {args.commit_interval})")
     if decoded:
         print(f"mean WER {total_wer / decoded:.3f}")
     return 0 if decoded == len(records) else 1
@@ -397,7 +403,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return _serve_tier(args, task)
     server = StreamingServer(
         task.graph,
-        DecoderConfig(beam=args.beam, backend=args.kernel_backend),
+        DecoderConfig(beam=args.beam, backend=args.kernel_backend,
+                      commit_interval=args.commit_interval),
         ServerConfig(max_batch=args.max_batch),
     )
 
@@ -435,6 +442,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"(mean occupancy {stats.mean_occupancy:.1f}, "
           f"max {stats.max_occupancy}); aggregate "
           f"{stats.aggregate_frames_per_second:.0f} frames/s")
+    peak_trace = max(
+        (r.stats.trace_peak_bytes for r in records if r.error is None),
+        default=0,
+    )
+    committed = sum(
+        r.stats.committed_frames for r in records if r.error is None
+    )
+    print(f"traceback: peak trace memory {peak_trace / 1024:.1f} "
+          f"KiB/session, {committed} committed frames "
+          f"(commit interval {args.commit_interval})")
     if decoded:
         print(f"mean WER {total_wer / decoded:.3f}")
     return 0 if decoded == len(records) else 1
@@ -643,6 +660,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk-frames", type=int, default=10,
                    dest="chunk_frames",
                    help="frames per streamed chunk (default 10)")
+    p.add_argument("--commit-interval", type=int, default=0,
+                   dest="commit_interval",
+                   help="with --streaming: frames between committed-"
+                        "prefix traceback commits (bounds trace memory "
+                        "and makes partials stable; 0 disables, "
+                        "default 0)")
     p.set_defaults(func=cmd_decode)
 
     p = sub.add_parser("serve",
@@ -653,6 +676,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk-frames", type=int, default=10,
                    dest="chunk_frames",
                    help="frames per streamed chunk (default 10)")
+    p.add_argument("--commit-interval", type=int, default=0,
+                   dest="commit_interval",
+                   help="frames between committed-prefix traceback "
+                        "commits: bounds per-session trace memory and "
+                        "keeps partial output stable (0 disables, "
+                        "default 0)")
     p.add_argument("--stagger", type=int, default=3,
                    help="rounds between session arrivals; 0 admits every "
                         "session up front (default 3)")

@@ -140,6 +140,21 @@ class KernelBackend:
         """
         raise NotImplementedError
 
+    def trace_reachable(
+        self, prev: np.ndarray, size: int, bps: np.ndarray, anchor: int
+    ) -> np.ndarray:
+        """Keep-mask over ``prev[:size]``: records reachable from ``bps``.
+
+        The traceback compaction's mark phase: follow predecessor links
+        from every live backpointer, stopping at already-marked records
+        (``anchor`` is pre-marked; every live chain passes through it).
+        The mask is a pure function of its inputs and must be
+        bit-identical across backends -- it decides which trace records
+        survive a commit, so a divergent mask would desynchronize
+        renumbered backpointers between numpy and numba decodes.
+        """
+        raise NotImplementedError
+
 
 # ----------------------------------------------------------------------
 # Registry and resolution

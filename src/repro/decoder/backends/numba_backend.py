@@ -148,6 +148,23 @@ def _run_best(sorted_keys, sorted_scores):
     return uniq[:m], win[:m]
 
 
+@njit(nogil=True, cache=True)
+def _trace_reachable(prev, bps, keep):
+    """Mark phase of traceback compaction: chain walks with early exit.
+
+    Sequential on purpose: chains overlap heavily near the anchor, and
+    the early exit on an already-marked record (which a parallel version
+    would race on) is what keeps the walk O(kept records) total.  The
+    resulting mask is identical to the numpy frontier-marking version --
+    both mark exactly the records on some bps-to-anchor chain.
+    """
+    for i in range(bps.shape[0]):
+        j = bps[i]
+        while j >= 0 and not keep[j]:
+            keep[j] = True
+            j = prev[j]
+
+
 _EMPTY_I64 = np.empty(0, dtype=np.int64)
 _EMPTY_F64 = np.empty(0, dtype=np.float64)
 
@@ -243,3 +260,13 @@ class NumbaBackend(KernelBackend):
             arc_dest, arc_weight, arc_ilabel,
             np.ascontiguousarray(frame_stack),
         )
+
+    def trace_reachable(
+        self, prev: np.ndarray, size: int, bps: np.ndarray, anchor: int
+    ) -> np.ndarray:
+        keep = np.zeros(size, dtype=np.bool_)
+        keep[anchor] = True
+        _trace_reachable(
+            np.ascontiguousarray(prev), np.ascontiguousarray(bps), keep
+        )
+        return keep

@@ -126,3 +126,10 @@ class NumpyBackend(KernelBackend):
             + frame_stack[seg[src], arc_ilabel[arc_idx]]
         )
         return arc_idx, src, dest, cand
+
+    def trace_reachable(
+        self, prev: np.ndarray, size: int, bps: np.ndarray, anchor: int
+    ) -> np.ndarray:
+        from repro.decoder.traceback import trace_reachable_numpy
+
+        return trace_reachable_numpy(prev, size, bps, anchor)

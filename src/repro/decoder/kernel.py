@@ -106,6 +106,10 @@ from repro.acoustic.scorer import AcousticScores
 from repro.decoder.backends import KERNEL_BACKENDS, KernelBackend, resolve_backend
 from repro.decoder.backends.numpy_backend import csr_gather, segment_best
 from repro.decoder.result import DecodeResult, SearchStats
+# The shared backpointer trace of the vectorized discipline lives in
+# repro.decoder.traceback (windowed compaction + committed-prefix
+# protocol); re-exported here to keep the historical import path.
+from repro.decoder.traceback import TokenTrace
 from repro.wfst.layout import CompiledWfst, FlatLayout
 
 #: Pruning strategies selectable through :class:`DecoderConfig`.
@@ -139,6 +143,15 @@ class DecoderConfig:
             ``"auto"`` (consults the ``REPRO_KERNEL_BACKEND`` environment
             variable, then numpy).  Purely a speed knob: every backend
             is bit-identical on words, scores, counters and events.
+        commit_interval: frames between committed-prefix commits of the
+            streaming traceback buffer (see
+            :mod:`repro.decoder.traceback`): every ``commit_interval``
+            frames a session emits the words all live hypotheses agree
+            on and garbage-collects unreachable trace records, bounding
+            peak trace memory by the window instead of the utterance.
+            0 (the default) keeps the historical append-only behaviour.
+            Word output is identical either way; only partial-latency
+            and memory change.
     """
 
     beam: float = 12.0
@@ -149,10 +162,13 @@ class DecoderConfig:
     max_beam: float = 0.0
     adapt_rate: float = 0.5
     backend: str = "auto"
+    commit_interval: int = 0
 
     def __post_init__(self) -> None:
         if self.beam <= 0:
             raise ConfigError("beam must be positive")
+        if self.commit_interval < 0:
+            raise ConfigError("commit_interval must be >= 0")
         if self.backend not in KERNEL_BACKENDS:
             raise ConfigError(
                 f"unknown kernel backend {self.backend!r} "
@@ -380,60 +396,6 @@ class KernelObserver:
 
 
 # ----------------------------------------------------------------------
-# Shared backpointer trace (vectorized discipline)
-# ----------------------------------------------------------------------
-class TokenTrace:
-    """Append-only token trace with bulk (array) appends.
-
-    One ``(predecessor index, word)`` record per token write -- the
-    software analogue of the accelerator's token array in main memory.
-    Records arrive a frame's worth at a time into capacity-doubling
-    arrays, so appends are amortized O(1) and backtracking is O(path
-    length) at any point (streaming sessions backtrack repeatedly for
-    partials).
-    """
-
-    def __init__(self) -> None:
-        self._prev = np.empty(64, dtype=np.int64)
-        self._word = np.empty(64, dtype=np.int64)
-        self._size = 0
-
-    def append_bulk(self, prev: np.ndarray, word: np.ndarray) -> np.ndarray:
-        """Append records; returns their trace indices."""
-        new_size = self._size + len(prev)
-        if new_size > len(self._prev):
-            capacity = max(new_size, 2 * len(self._prev))
-            self._prev = np.concatenate(
-                [self._prev[: self._size],
-                 np.empty(capacity - self._size, dtype=np.int64)]
-            )
-            self._word = np.concatenate(
-                [self._word[: self._size],
-                 np.empty(capacity - self._size, dtype=np.int64)]
-            )
-        indices = np.arange(self._size, new_size, dtype=np.int64)
-        self._prev[self._size: new_size] = prev
-        self._word[self._size: new_size] = word
-        self._size = new_size
-        return indices
-
-    def backtrack(self, index: int) -> List[int]:
-        prev, word = self._prev, self._word
-        words: List[int] = []
-        i = int(index)
-        while i >= 0:
-            w = int(word[i])
-            if w != 0:
-                words.append(w)
-            i = int(prev[i])
-        words.reverse()
-        return words
-
-    def __len__(self) -> int:
-        return self._size
-
-
-# ----------------------------------------------------------------------
 # Array helpers shared by the vectorized kernel and the GPU model.  The
 # implementations moved to repro.decoder.backends.numpy_backend (they
 # define the bit-level contract every backend reproduces); these aliases
@@ -508,7 +470,9 @@ class SearchKernel:
         self, observers: Sequence[KernelObserver] = ()
     ) -> Frontier:
         """A fresh frontier at the start state, epsilon closure applied."""
-        trace = TokenTrace()
+        trace = TokenTrace(
+            commit_interval=self.config.commit_interval, backend=self.backend
+        )
         root = trace.append_bulk(
             np.array([-1], dtype=np.int64), np.array([0], dtype=np.int64)
         )
@@ -737,12 +701,17 @@ class SearchKernel:
             bp = int(frontier.bps[i])
             reached_final = False
 
-        words = frontier.trace.backtrack(bp)
+        # Full hypothesis = stable committed prefix + tail backtrack.
+        # With commit_interval=0 the committed prefix is empty and this
+        # is the historical full-path walk.
+        committed = frontier.trace.committed
+        words = committed + tuple(frontier.trace.backtrack(bp))
         return DecodeResult(
-            words=tuple(words),
+            words=words,
             log_likelihood=score,
             reached_final=reached_final,
             stats=frontier.stats,
+            committed_len=len(committed),
         )
 
     # ------------------------------------------------------------------

@@ -9,8 +9,54 @@ replayer cross-check against them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Iterator, List, Sequence, Tuple
+
+
+class _PrefixView(Sequence):
+    """Immutable length-pinned view of an append-only list.
+
+    The per-frame stats lists (``visited_state_degrees``,
+    ``active_tokens_per_frame``) only ever grow, so pinning today's
+    length over the live list is a true point-in-time snapshot at O(1)
+    cost -- the cheap alternative to the O(T) copies streaming partials
+    used to take on every call.
+    """
+
+    __slots__ = ("_data", "_length")
+
+    def __init__(self, data: List[int], length: int) -> None:
+        self._data = data
+        self._length = length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._data[: self._length][index])
+        n = self._length
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            # The Sequence protocol requires IndexError here (for-loop
+            # and unpacking termination), not a ReproError subclass.
+            raise IndexError(  # repro-lint: disable=REP002
+                "prefix view index out of range"
+            )
+        return self._data[index]
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._length):
+            yield self._data[i]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (list, tuple, _PrefixView)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"_PrefixView({list(self)!r})"
 
 
 @dataclass
@@ -46,6 +92,25 @@ class SearchStats:
             self.active_tokens_per_frame
         )
 
+    def snapshot(self) -> "SearchStats":
+        """A detached point-in-time copy, O(1) in the decode length.
+
+        Scalar counters are copied by the dataclass ``replace``; the two
+        per-frame lists -- which only ever grow -- are wrapped in
+        length-pinned :class:`_PrefixView` instances instead of being
+        deep-copied, so streaming ``partial()`` calls stay cheap no
+        matter how long the session has run.
+        """
+        return replace(
+            self,
+            visited_state_degrees=_PrefixView(
+                self.visited_state_degrees, len(self.visited_state_degrees)
+            ),
+            active_tokens_per_frame=_PrefixView(
+                self.active_tokens_per_frame, len(self.active_tokens_per_frame)
+            ),
+        )
+
     @classmethod
     def merge(cls, stats_list) -> "SearchStats":
         """Aggregate the counters of several decodes (e.g. a test set)."""
@@ -65,7 +130,7 @@ class SearchStats:
 
 @dataclass(frozen=True)
 class DecodeResult:
-    """Output of one utterance decode.
+    """Output of one utterance decode (or one streaming partial).
 
     Attributes:
         words: best-path word ids in spoken order.
@@ -73,9 +138,26 @@ class DecodeResult:
         reached_final: True when the best token was in a final state
             (otherwise the decoder fell back to the best live token).
         stats: functional operation counts.
+        committed_len: length of the stable prefix of ``words`` -- words
+            the committed-prefix protocol has already emitted and will
+            never retract (see :mod:`repro.decoder.traceback`).  0 for
+            offline decodes and sessions running append-only
+            (``commit_interval=0``).
     """
 
     words: Tuple[int, ...]
     log_likelihood: float
     reached_final: bool
     stats: SearchStats
+    committed_len: int = 0
+
+    @property
+    def committed(self) -> Tuple[int, ...]:
+        """The stable (never-retracted) prefix of :attr:`words`."""
+        return self.words[: self.committed_len]
+
+    @property
+    def tail(self) -> Tuple[int, ...]:
+        """The still-revisable suffix of :attr:`words` beyond the
+        committed prefix -- the part a later partial may rewrite."""
+        return self.words[self.committed_len:]

@@ -106,6 +106,25 @@ class DecodeSession:
         """False once the beam emptied the search; the next push raises."""
         return self._frontier.states.size > 0
 
+    @property
+    def trace_memory_bytes(self) -> int:
+        """Current traceback-buffer capacity, in bytes."""
+        return self._frontier.trace.nbytes
+
+    @property
+    def trace_peak_bytes(self) -> int:
+        """High-water mark of the traceback buffer, in bytes.
+
+        With ``commit_interval=0`` this grows with the utterance; with
+        commits enabled it plateaus at O(active tokens x window).
+        """
+        return self._frontier.trace.peak_bytes
+
+    @property
+    def committed_frames(self) -> int:
+        """Frames covered by the committed (never-retracted) prefix."""
+        return self._frontier.trace.committed_frames
+
     # ------------------------------------------------------------------
     def push_frame(self, frame_scores: np.ndarray) -> None:
         """Advance the search by one frame of acoustic scores."""
@@ -132,16 +151,16 @@ class DecodeSession:
         """Best hypothesis over the frames seen so far.
 
         Non-destructive: the session keeps accepting frames afterwards.
-        The returned stats are a snapshot, detached from the live session.
+        The returned stats are a snapshot, detached from the live
+        session.  Incremental under ``commit_interval > 0``: the
+        committed prefix is reused as-is and only the tail beyond the
+        last commit is backtracked, and the stats snapshot pins views
+        over the append-only per-frame lists instead of copying them --
+        partial cost stays O(window), not O(frames so far).
         """
         self._require_open()
         result = self._kernel.finalize(self._frontier)
-        stats = replace(
-            result.stats,
-            visited_state_degrees=list(result.stats.visited_state_degrees),
-            active_tokens_per_frame=list(result.stats.active_tokens_per_frame),
-        )
-        return replace(result, stats=stats)
+        return replace(result, stats=result.stats.snapshot())
 
     def finalize(self) -> DecodeResult:
         """End the session and return the final hypothesis.
@@ -161,8 +180,16 @@ class DecodeSession:
             raise DecodeError("session is already finalized")
 
     def _count_frame(self) -> None:
-        self._frontier.num_frames += 1
-        self._frontier.stats.frames += 1
+        frontier = self._frontier
+        frontier.num_frames += 1
+        frontier.stats.frames += 1
+        # Committed-prefix commit point: between frames (never
+        # mid-closure), after solo and fused sweeps alike.  Skipped when
+        # the beam emptied this frame -- there is no live frontier to
+        # converge, and the session is about to raise anyway.
+        trace = frontier.trace
+        if frontier.states.size and trace.should_commit(frontier.num_frames):
+            frontier.bps = trace.commit(frontier.bps, frontier.num_frames)
 
 
 # ----------------------------------------------------------------------

@@ -86,6 +86,11 @@ class SessionStats:
     max_wait_s: float = 0.0
     decode_seconds: float = 0.0
     finalized_s: Optional[float] = None
+    #: High-water mark of the session's traceback buffer, in bytes
+    #: (bounded by the commit window under ``commit_interval > 0``).
+    trace_peak_bytes: int = 0
+    #: Frames whose words were committed (stable-prefix output).
+    committed_frames: int = 0
 
     @property
     def mean_wait_s(self) -> float:
@@ -464,6 +469,8 @@ class StreamingServer:
                 error: Optional[str] = None) -> None:
         stats = live.stats
         stats.finalized_s = self._clock()
+        stats.trace_peak_bytes = live.session.trace_peak_bytes
+        stats.committed_frames = live.session.committed_frames
         self._records[stats.session_id] = SessionRecord(
             stats.session_id, result=result, error=error, stats=stats
         )

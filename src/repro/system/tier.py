@@ -140,6 +140,12 @@ class TierStats:
     session_decode_s: List[float] = field(default_factory=list)
     #: wall-clock of the serving window (first admission -> last record).
     serving_seconds: float = 0.0
+    #: largest per-session traceback-buffer high-water mark, in bytes --
+    #: flat in session length once commits are enabled, the tier-level
+    #: signal that long sessions do not grow memory without bound.
+    trace_peak_bytes: int = 0
+    #: committed (stable-prefix) frames summed over finished sessions.
+    committed_frames: int = 0
 
     @property
     def aggregate_frames_per_second(self) -> float:
@@ -160,6 +166,8 @@ class TierStats:
             "p50_mean_wait_s": pct(self.session_mean_waits_s, 50),
             "p99_mean_wait_s": pct(self.session_mean_waits_s, 99),
             "aggregate_frames_per_second": self.aggregate_frames_per_second,
+            "trace_memory_bytes": float(self.trace_peak_bytes),
+            "committed_frames": float(self.committed_frames),
         }
 
 
@@ -656,5 +664,9 @@ class ServingTier:
         stats.session_latencies_s.append(max(0.0, now - session.opened_t))
         stats.session_mean_waits_s.append(record.stats.mean_wait_s)
         stats.session_decode_s.append(record.stats.decode_seconds)
+        stats.trace_peak_bytes = max(
+            stats.trace_peak_bytes, record.stats.trace_peak_bytes
+        )
+        stats.committed_frames += record.stats.committed_frames
         if self._first_open_t is not None:
             stats.serving_seconds = max(0.0, now - self._first_open_t)

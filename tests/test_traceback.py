@@ -1,0 +1,374 @@
+"""Committed-prefix traceback: property suite and edge pins.
+
+The contract of :mod:`repro.decoder.traceback`: under any
+``commit_interval``, any chunking, any pruning strategy and any array
+backend,
+
+* every committed prefix observed during streaming is a prefix of the
+  offline ``BatchDecoder.decode`` output and is never retracted;
+* the finalized hypothesis (``committed + tail``) is word- and
+  score-identical to the offline decode;
+* compaction is invisible to every downstream consumer -- including the
+  fused multi-session sweep.
+
+Plus unit pins for the buffer itself (append growth, backtrack,
+commit/compaction arithmetic) and the ``_PrefixView`` stats snapshot.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError, DecodeError
+from repro.decoder import (
+    BatchDecoder,
+    DecoderConfig,
+    advance_sessions,
+    numba_available,
+)
+from repro.decoder.result import _PrefixView
+from repro.decoder.traceback import (
+    TRACE_RECORD_BYTES,
+    TokenTrace,
+    trace_reachable_numpy,
+)
+from repro.wfst import CompiledWfst, Fst
+
+#: Every backend importable in this environment ("numpy" always).
+BACKENDS = ["numpy"] + (["numba"] if numba_available() else [])
+
+#: The three pruning strategies of the kernel, exercised as configs.
+PRUNING_CONFIGS = {
+    "beam": dict(beam=14.0),
+    "beam+max_active": dict(beam=14.0, max_active=60),
+    "adaptive": dict(beam=14.0, pruning="adaptive", target_active=50),
+}
+
+RAGGED_CHUNKINGS = [(1,), (3,), (1, 5, 2), (4, 1, 1, 9)]
+
+
+def chunks_of(matrix, sizes):
+    """Split a score matrix into consecutive chunks of the given sizes."""
+    out, at = [], 0
+    while at < len(matrix):
+        for size in sizes:
+            out.append(matrix[at: at + size])
+            at += size
+            if at >= len(matrix):
+                break
+    return [c for c in out if len(c)]
+
+
+def stream_with_commits(decoder, matrix, sizes):
+    """Push ``matrix`` chunk by chunk, observing a partial per chunk.
+
+    Returns the finalized result plus every committed prefix observed.
+    """
+    session = decoder.open_session()
+    prefixes = []
+    for chunk in chunks_of(matrix, sizes):
+        session.push(chunk)
+        partial = session.partial()
+        assert partial.words[: partial.committed_len] == partial.committed
+        prefixes.append(partial.committed)
+    return session.finalize(), prefixes
+
+
+def assert_prefixes_stable(prefixes, final_words):
+    """Committed prefixes must be monotone and prefixes of the final."""
+    prev_len = 0
+    for prefix in prefixes:
+        assert len(prefix) >= prev_len, "committed prefix shrank"
+        prev_len = len(prefix)
+        assert final_words[: len(prefix)] == prefix, (
+            "committed words were retracted by the final hypothesis"
+        )
+
+
+class TestCommittedPrefixProperty:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("pruning", sorted(PRUNING_CONFIGS))
+    @pytest.mark.parametrize("sizes", RAGGED_CHUNKINGS)
+    def test_committed_is_prefix_of_offline(
+        self, small_task, backend, pruning, sizes
+    ):
+        config = DecoderConfig(
+            backend=backend, commit_interval=3, **PRUNING_CONFIGS[pruning]
+        )
+        decoder = BatchDecoder(small_task.graph, config)
+        for utt in small_task.utterances:
+            offline = decoder.decode(utt.scores)
+            result, prefixes = stream_with_commits(
+                decoder, utt.scores.matrix, sizes
+            )
+            assert result.words == offline.words
+            assert result.log_likelihood == offline.log_likelihood
+            assert result.reached_final == offline.reached_final
+            assert_prefixes_stable(prefixes, offline.words)
+            assert result.committed + result.tail == result.words
+
+    @pytest.mark.parametrize("interval", [1, 2, 5, 8])
+    def test_every_interval_is_lossless(self, small_task, interval):
+        baseline = BatchDecoder(
+            small_task.graph, DecoderConfig(beam=14.0, max_active=60)
+        )
+        decoder = BatchDecoder(
+            small_task.graph,
+            DecoderConfig(beam=14.0, max_active=60, commit_interval=interval),
+        )
+        for utt in small_task.utterances:
+            offline = baseline.decode(utt.scores)
+            result, prefixes = stream_with_commits(
+                decoder, utt.scores.matrix, (1,)
+            )
+            assert result.words == offline.words
+            assert result.log_likelihood == offline.log_likelihood
+            assert_prefixes_stable(prefixes, offline.words)
+
+    @pytest.mark.skipif(not numba_available(), reason="numba not installed")
+    def test_backends_commit_identically(self, small_task):
+        """The compiled reachability mark must not change one committed
+        word, one trace byte, or the final score."""
+        runs = {}
+        for backend in ("numpy", "numba"):
+            decoder = BatchDecoder(
+                small_task.graph,
+                DecoderConfig(beam=14.0, backend=backend, commit_interval=2),
+            )
+            utt = small_task.utterances[0]
+            result, prefixes = stream_with_commits(
+                decoder, utt.scores.matrix, (2,)
+            )
+            runs[backend] = (
+                result.words, result.log_likelihood, result.committed_len,
+                prefixes,
+            )
+        assert runs["numpy"] == runs["numba"]
+
+    def test_trace_memory_is_bounded(self, small_task):
+        """Windowed peak trace memory must undercut append-only's."""
+        utt = max(small_task.utterances, key=lambda u: u.num_frames)
+
+        def peak(interval):
+            decoder = BatchDecoder(
+                small_task.graph,
+                DecoderConfig(beam=14.0, commit_interval=interval),
+            )
+            session = decoder.open_session()
+            session.push(utt.scores)
+            assert session.committed_frames == (
+                0 if interval == 0
+                else utt.num_frames - utt.num_frames % interval
+            )
+            session.finalize()
+            return session.trace_peak_bytes
+
+        assert peak(2) < peak(0)
+
+
+class TestFusedSweepCommits:
+    def test_fused_commits_match_solo_and_offline(self, small_task):
+        config = DecoderConfig(beam=12.0, max_active=40, commit_interval=3)
+        decoder = BatchDecoder(small_task.graph, config)
+        utts = small_task.utterances
+        solo = [decoder.decode(u.scores) for u in utts]
+
+        sessions = [decoder.open_session() for _ in utts]
+        max_frames = max(u.num_frames for u in utts)
+        for frame in range(max_frames):
+            advance_sessions(
+                [
+                    (s, u.scores.frame(frame))
+                    for s, u in zip(sessions, utts)
+                    if frame < u.num_frames
+                ]
+            )
+        for expected, session, utt in zip(solo, sessions, utts):
+            assert session.committed_frames > 0
+            result = session.finalize()
+            assert result.words == expected.words
+            assert result.log_likelihood == expected.log_likelihood
+            assert result.committed + result.tail == result.words
+
+
+class TestEdgePins:
+    def test_commit_skipped_when_beam_empties(self):
+        """s0 --A--> s1(final, no out-arcs): frame 2 empties the frontier
+        with commits due every frame -- the dead frame must skip its
+        commit, keep the emptied-beam diagnostics, and not crash."""
+        fst = Fst()
+        s0, s1 = fst.add_states(2)
+        fst.set_start(s0)
+        fst.add_arc(s0, 1, 1, math.log(0.9), s1)
+        fst.set_final(s1, 0.0)
+        graph = CompiledWfst.from_fst(fst)
+        decoder = BatchDecoder(
+            graph, DecoderConfig(beam=20.0, commit_interval=1)
+        )
+        frame = np.full(3, -50.0)
+        frame[1] = -0.1
+        session = decoder.open_session()
+        session.push_frame(frame)
+        assert session.committed_frames == 1  # committed while alive
+        session.push_frame(frame)  # absorbed; frontier now empty
+        assert not session.alive
+        assert session.committed_frames == 1  # the dead frame skipped
+        with pytest.raises(DecodeError, match="beam emptied .* frame 2"):
+            session.push_frame(frame)
+        with pytest.raises(DecodeError, match="no active tokens"):
+            session.finalize()
+
+    def test_zero_frame_session(self, small_task):
+        decoder = BatchDecoder(
+            small_task.graph, DecoderConfig(beam=14.0, commit_interval=1)
+        )
+        session = decoder.open_session()
+        assert session.committed_frames == 0
+        assert session.trace_memory_bytes == 64 * TRACE_RECORD_BYTES
+        with pytest.raises(DecodeError, match="no frames"):
+            session.finalize()
+
+    def test_window_larger_than_utterance(self, small_task):
+        """A window the utterance never fills must behave exactly like
+        the append-only buffer: no commits, identical peak memory."""
+        utt = small_task.utterances[0]
+        results = {}
+        for interval in (0, 10_000):
+            decoder = BatchDecoder(
+                small_task.graph,
+                DecoderConfig(beam=14.0, commit_interval=interval),
+            )
+            session = decoder.open_session()
+            session.push(utt.scores)
+            assert session.committed_frames == 0
+            result = session.finalize()
+            assert result.committed_len == 0
+            assert result.committed == ()
+            assert result.tail == result.words
+            results[interval] = (
+                result.words, result.log_likelihood, session.trace_peak_bytes
+            )
+        assert results[0] == results[10_000]
+
+    def test_negative_interval_rejected(self, small_task):
+        with pytest.raises(ConfigError, match="commit_interval"):
+            DecoderConfig(beam=14.0, commit_interval=-1)
+        with pytest.raises(ConfigError, match="commit_interval"):
+            TokenTrace(commit_interval=-1)
+
+
+class TestTokenTraceUnit:
+    def _chain(self, trace, words):
+        """Append a single chain root -> ... -> tip; returns tip index."""
+        tip = -1
+        for word in words:
+            (tip,) = trace.append_bulk(
+                np.array([tip], dtype=np.int64),
+                np.array([word], dtype=np.int64),
+            )
+        return int(tip)
+
+    def test_historical_import_path(self):
+        from repro.decoder.kernel import TokenTrace as KernelTokenTrace
+
+        assert KernelTokenTrace is TokenTrace
+
+    def test_append_bulk_grows_once_per_resize(self):
+        trace = TokenTrace()
+        assert trace.nbytes == 64 * TRACE_RECORD_BYTES
+        indices = trace.append_bulk(
+            np.full(100, -1, dtype=np.int64),
+            np.arange(100, dtype=np.int64),
+        )
+        assert list(indices) == list(range(100))
+        assert len(trace) == 100
+        assert trace.nbytes == 128 * TRACE_RECORD_BYTES
+        assert trace.peak_bytes == trace.nbytes
+        assert trace.backtrack(int(indices[5])) == [5]  # word 0 dropped
+
+    def test_commit_emits_and_compacts(self):
+        # Two chains sharing the prefix [1, 2]: the LCA commits it and
+        # the buffer shrinks to the anchor plus the two live tails.
+        trace = TokenTrace(commit_interval=4)
+        a = self._chain(trace, [1, 2, 3])
+        (b,) = trace.append_bulk(
+            np.array([a - 1], dtype=np.int64), np.array([4], dtype=np.int64)
+        )
+        assert trace.should_commit(4)
+        bps = np.array([a, b], dtype=np.int64)
+        new_bps = trace.commit(bps, num_frames=4)
+        assert trace.committed == (1, 2)
+        assert trace.commits == 1
+        assert trace.committed_frames == 4
+        assert len(trace) == 3  # anchor root + the [3] and [4] tails
+        assert trace.backtrack(int(new_bps[0])) == [3]
+        assert trace.backtrack(int(new_bps[1])) == [4]
+
+    def test_commit_with_nothing_to_emit(self):
+        # Frontier forked directly at the wordless root: the LCA is the
+        # root, nothing commits, every record survives the compaction.
+        trace = TokenTrace(commit_interval=1)
+        (root,) = trace.append_bulk(
+            np.array([-1], dtype=np.int64), np.array([0], dtype=np.int64)
+        )
+        forks = trace.append_bulk(
+            np.array([root, root], dtype=np.int64),
+            np.array([1, 2], dtype=np.int64),
+        )
+        new_bps = trace.commit(forks.copy(), num_frames=1)
+        assert trace.committed == ()
+        assert trace.commits == 1
+        assert len(trace) == 3
+        assert trace.backtrack(int(new_bps[0])) == [1]
+        assert trace.backtrack(int(new_bps[1])) == [2]
+
+    def test_multi_root_trace_commits_as_a_noop(self):
+        # Live chains reaching *distinct* roots have no anchor; commit
+        # must leave the buffer and backpointers untouched (kernel
+        # traces are single-rooted, this pins the hand-built case).
+        trace = TokenTrace(commit_interval=1)
+        indices = trace.append_bulk(
+            np.array([-1, -1], dtype=np.int64),
+            np.array([1, 2], dtype=np.int64),
+        )
+        new_bps = trace.commit(indices.copy(), num_frames=1)
+        assert trace.committed == ()
+        assert trace.commits == 0
+        assert list(new_bps) == list(indices)
+        assert trace.backtrack(int(new_bps[0])) == [1]
+        assert trace.backtrack(int(new_bps[1])) == [2]
+
+    def test_reachability_reference_mask(self):
+        # 0 <- 1 <- 2 and 0 <- 3; frontier {2}: record 3 is garbage.
+        prev = np.array([-1, 0, 1, 0], dtype=np.int64)
+        keep = trace_reachable_numpy(
+            prev, 4, np.array([2], dtype=np.int64), anchor=0
+        )
+        assert keep.tolist() == [True, True, True, False]
+
+
+class TestPrefixView:
+    def test_pins_length_and_supports_sequence_ops(self):
+        data = [10, 20, 30]
+        view = _PrefixView(data, 3)
+        data.append(40)  # the live list keeps growing underneath
+        assert len(view) == 3
+        assert list(view) == [10, 20, 30]
+        assert view[-1] == 30
+        assert view[1:] == [20, 30]
+        assert view == [10, 20, 30]
+        assert view == (10, 20, 30)
+        with pytest.raises(IndexError):
+            view[3]
+
+    def test_snapshot_stats_freeze_per_frame_lists(self, small_task):
+        decoder = BatchDecoder(small_task.graph, DecoderConfig(beam=14.0))
+        utt = small_task.utterances[0]
+        session = decoder.open_session()
+        session.push(utt.scores.matrix[:4])
+        snapshot = session.partial().stats
+        frozen = list(snapshot.active_tokens_per_frame)
+        session.push(utt.scores.matrix[4:])
+        assert len(snapshot.active_tokens_per_frame) == 4
+        assert list(snapshot.active_tokens_per_frame) == frozen

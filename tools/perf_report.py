@@ -7,8 +7,9 @@ baseline restored from the actions cache, and renders a before/after
 markdown table to ``$GITHUB_STEP_SUMMARY`` (stdout otherwise, so the
 tool is just as useful locally).
 
-Regressions beyond ``--threshold`` (default 20%) on any bench's
-frames/s or speedup emit a ``::warning::`` annotation but do **not**
+Regressions beyond ``--threshold`` (default 20%) on any tracked metric
+(frames/s and speedup regress by falling; peak trace memory and
+partial latency by rising) emit a ``::warning::`` annotation but do **not**
 fail the job: the smoke gate's own per-bench floors are the hard line,
 this report only tracks the trajectory between commits.  No baseline
 (first run, expired cache) renders the current numbers alone and exits
@@ -28,7 +29,12 @@ import os
 import sys
 
 #: Metrics tracked per bench, in table order.
-METRICS = ("frames_per_second", "speedup")
+METRICS = ("frames_per_second", "speedup", "peak_trace_kib",
+           "partial_latency_ms")
+
+#: Metrics where a *rise* is the regression (memory footprints,
+#: latencies); everything else regresses by falling.
+LOWER_IS_BETTER = frozenset({"peak_trace_kib", "partial_latency_ms"})
 
 
 def load_trajectory(path: str) -> dict:
@@ -75,7 +81,12 @@ def build_report(current: dict, baseline: dict, threshold: float):
                 continue
             delta = _delta(before, after)
             cell = "--" if delta is None else f"{delta:+.1%}"
-            if delta is not None and delta < -threshold:
+            regressed = delta is not None and (
+                delta > threshold
+                if metric in LOWER_IS_BETTER
+                else delta < -threshold
+            )
+            if regressed:
                 cell += " :warning:"
                 warnings.append(
                     f"{bench} {metric} regressed {delta:+.1%} "
