@@ -1,0 +1,338 @@
+"""Benchmark: batched in-tier acoustic scoring vs per-session scoring.
+
+A load generator replays a seeded bursty-Poisson session trace -- MFCC
+feature chunks of many overlapping live sessions -- against the same
+:class:`ServingTier` twice:
+
+* **per-session** -- the pre-batching dataflow: each client scores its
+  own chunk with :meth:`DnnScorer.score` (one small DNN forward per
+  chunk per session) and pushes the finished likelihood rows;
+* **batched** -- clients push raw features (``open_session(
+  mode="features")`` / ``push_features``) and the tier's scoring thread
+  packs every live session's pending chunks into one stacked forward
+  per pass, scattering the rows straight into the shared-memory score
+  planes (the paper's GPU batching feeding the double-buffered ALB).
+
+Correctness is absolute: both paths must produce words and path scores
+identical to a one-shot ``BatchDecoder.decode_batch`` of the same
+utterances -- the DNN forward is batch-stable, so batching is purely a
+throughput optimisation.
+
+The speedup gate compares *scoring* throughput (frames through the DNN
+per second of scoring time): batched cross-session scoring must reach
+``SPEEDUP_TARGET`` (2.0x) the per-chunk client throughput when >= 2
+cores are usable.  On a single-core runner the two regimes share one
+CPU, so the gate degrades to ``SINGLE_CORE_FLOOR`` (0.9x) -- even
+there, stacking amortises the per-call numpy dispatch, so batching must
+never *cost* throughput.  The transport gate is unconditional: the pipe
+must carry descriptors, not score matrices -- under
+``IPC_BYTES_PER_FRAME_MAX`` (64) bytes per shipped frame, where one
+pickled float64 score row alone would cost hundreds.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.common import format_table, report, write_json
+from repro.datasets import AudioTaskConfig, generate_audio_task
+from repro.decoder import BatchDecoder, BeamSearchConfig
+from repro.system import ServingTier, TierConfig
+
+#: Full load: four shards, dozens of bursty sessions over a DNN big
+#: enough that scoring is a visible share of the serving cost.
+FULL_SHAPE = dict(vocab=30, corpus=300, utterances=4, train_utterances=50,
+                  epochs=8, hidden=(64, 64), sessions=48, chunk_frames=8,
+                  burst=8, workers=4, beam=14.0, max_active=150)
+#: CI smoke-gate load: tiny trained DNN, a dozen sessions, two shards.
+QUICK_SHAPE = dict(vocab=20, corpus=150, utterances=3, train_utterances=30,
+                   epochs=6, hidden=(32, 32), sessions=12, chunk_frames=8,
+                   burst=4, workers=2, beam=14.0, max_active=80)
+
+#: With >= 2 usable cores, batched scoring frames/s must beat the
+#: per-chunk client scoring throughput by this factor.
+SPEEDUP_TARGET = 2.0
+#: Single-core floor: batching may never *lose* scoring throughput.
+SINGLE_CORE_FLOOR = 0.9
+#: Transport gate: pipe bytes per shipped frame (descriptors only).
+IPC_BYTES_PER_FRAME_MAX = 64.0
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def make_trace(chunk_counts, burst: int, seed: int):
+    """Bursty Poisson arrival trace over ragged sessions.
+
+    Same shape as the serving-tier bench's trace -- burst epochs arrive
+    as a Poisson process, each admitting a Poisson-sized group of
+    sessions, and session ``s`` streams chunk ``j`` at ``arrival_s + j``
+    virtual ticks -- except each session emits exactly its own
+    ``chunk_counts[s]`` push events (audio utterances are ragged).
+    Returns ``[(due, kind, session, chunk_index)]`` sorted by due time,
+    plus the trace's peak concurrency.
+    """
+    num_sessions = len(chunk_counts)
+    mean_chunks = float(np.mean(chunk_counts))
+    rng = np.random.default_rng(seed)
+    arrivals = []
+    t = 0.0
+    while len(arrivals) < num_sessions:
+        t += float(rng.exponential(scale=mean_chunks / burst))
+        group = 1 + int(rng.poisson(burst - 1))
+        arrivals.extend([t] * min(group, num_sessions - len(arrivals)))
+
+    events = []
+    for s, t0 in enumerate(arrivals):
+        events.append((t0, "open", s, -1))
+        for j in range(chunk_counts[s]):
+            events.append((t0 + j, "push", s, j))
+    events.sort(key=lambda e: (e[0], e[2], e[3]))
+
+    leaves = [t0 + n for t0, n in zip(arrivals, chunk_counts)]
+    peak = max(
+        sum(1 for a, b in zip(arrivals, leaves) if a <= t < b)
+        for t in arrivals
+    )
+    return events, peak
+
+
+def _replay(events, chunks, open_session, push, close_input):
+    """Drive the tier through the trace's event sequence (as fast as it
+    accepts work; virtual time fixes only the interleaving)."""
+    sids = {}
+    remaining = {s: len(chunk_list) for s, chunk_list in chunks.items()}
+    for _due, kind, s, j in events:
+        if kind == "open":
+            sids[s] = open_session()
+        else:
+            push(sids[s], chunks[s][j])
+            remaining[s] -= 1
+            if remaining[s] == 0:
+                close_input(sids[s])
+    return sids
+
+
+def run_acoustic_scoring(quick: bool = False, seed: int = 7) -> dict:
+    """Replay one bursty feature trace both ways; returns the payload."""
+    shape = QUICK_SHAPE if quick else FULL_SHAPE
+    audio = generate_audio_task(AudioTaskConfig(
+        vocab_size=shape["vocab"],
+        corpus_sentences=shape["corpus"],
+        num_utterances=shape["utterances"],
+        train_utterances=shape["train_utterances"],
+        epochs=shape["epochs"],
+        hidden_dims=shape["hidden"],
+        seed=seed,
+    ))
+    task, scorer = audio.task, audio.scorer
+    config = BeamSearchConfig(beam=shape["beam"], max_active=shape["max_active"])
+    oneshot = BatchDecoder(task.graph, config).decode_batch(
+        [u.scores for u in task.utterances]
+    )
+
+    # Session s replays utterance s % U, its features pre-split into
+    # chunk_frames-sized pieces (ragged: utterance lengths differ).
+    num_sessions = shape["sessions"]
+    chunk_frames = shape["chunk_frames"]
+    feats = [u.features for u in task.utterances]
+    chunks = {
+        s: [
+            feats[s % len(feats)][i: i + chunk_frames]
+            for i in range(0, len(feats[s % len(feats)]), chunk_frames)
+        ]
+        for s in range(num_sessions)
+    }
+    events, peak = make_trace(
+        [len(chunks[s]) for s in range(num_sessions)], shape["burst"], seed
+    )
+    total_frames = sum(len(feats[s % len(feats)]) for s in range(num_sessions))
+
+    def check_words(records_by_session, path):
+        mismatches = [
+            s for s, record in records_by_session.items()
+            if record.error is not None
+            or record.result.words != oneshot[s % len(feats)].words
+            or record.result.log_likelihood
+            != oneshot[s % len(feats)].log_likelihood
+        ]
+        if mismatches:
+            raise AssertionError(
+                f"{path} scoring diverged from one-shot decoding on "
+                f"sessions {mismatches}"
+            )
+
+    def tier_config():
+        return TierConfig(
+            num_workers=shape["workers"],
+            max_sessions=num_sessions,  # above peak: nothing is shed
+            queue_depth=1_000_000,
+        )
+
+    def run_per_session():
+        """Clients score their own chunks; the tier sees likelihood rows."""
+        score_seconds = 0.0
+        scored = 0
+
+        def push(sid, chunk):
+            nonlocal score_seconds, scored
+            t0 = time.perf_counter()
+            rows = scorer.score(chunk).matrix
+            score_seconds += time.perf_counter() - t0
+            scored += len(chunk)
+            tier.push(sid, rows)
+
+        with ServingTier(
+            graph=task.graph, search_config=config, tier_config=tier_config()
+        ) as tier:
+            warm = [tier.open_session() for _ in range(shape["workers"] * 2)]
+            for sid, utt in zip(warm, task.utterances * 2):
+                tier.push(sid, scorer.score(utt.features).matrix)
+                tier.close_input(sid)
+            for sid in warm:
+                tier.result(sid, timeout=120)
+            t0 = time.perf_counter()
+            sids = _replay(events, chunks, tier.open_session, push,
+                           tier.close_input)
+            records = {s: tier.result(sids[s], timeout=300) for s in sids}
+            seconds = time.perf_counter() - t0
+        return seconds, score_seconds, scored, records
+
+    def run_batched():
+        """Clients push raw features; the tier's thread batch-scores."""
+        with ServingTier(
+            graph=task.graph, search_config=config, tier_config=tier_config(),
+            scorer=scorer,
+        ) as tier:
+            warm = [
+                tier.open_session(mode="features")
+                for _ in range(shape["workers"] * 2)
+            ]
+            for sid, utt in zip(warm, task.utterances * 2):
+                tier.push_features(sid, utt.features)
+                tier.close_input(sid)
+            for sid in warm:
+                tier.result(sid, timeout=120)
+            # Snapshot after warm-up so the measured scoring throughput
+            # and transport cost cover only the traced load.
+            base = (tier.stats.scored_frames, tier.stats.score_seconds,
+                    tier.stats.frames_shipped, tier.stats.ipc_bytes_shipped)
+            t0 = time.perf_counter()
+            sids = _replay(events, chunks,
+                           lambda: tier.open_session(mode="features"),
+                           tier.push_features, tier.close_input)
+            records = {s: tier.result(sids[s], timeout=300) for s in sids}
+            seconds = time.perf_counter() - t0
+            stats = tier.stats
+        scored = stats.scored_frames - base[0]
+        score_seconds = stats.score_seconds - base[1]
+        shipped = stats.frames_shipped - base[2]
+        ipc_bytes = stats.ipc_bytes_shipped - base[3]
+        return seconds, score_seconds, scored, records, {
+            "batches": stats.score_batches,
+            "descriptors_shipped": stats.descriptors_shipped,
+            "ring_stalls": stats.ring_stalls,
+            "ipc_bytes_per_frame": ipc_bytes / max(1, shipped),
+            "pushes_shed": stats.pushes_shed,
+            "sessions_rejected": stats.sessions_rejected,
+        }
+
+    run_per_session()  # warm the flat layout, BLAS, and allocator
+    base_seconds, base_score_s, base_scored, base_records = min(
+        (run_per_session() for _ in range(2)), key=lambda r: r[1]
+    )
+    bat_seconds, bat_score_s, bat_scored, bat_records, transport = min(
+        (run_batched() for _ in range(2)), key=lambda r: r[1]
+    )
+
+    check_words(base_records, "per-session")
+    check_words(bat_records, "batched in-tier")
+    if transport["sessions_rejected"] or transport["pushes_shed"]:
+        raise AssertionError(
+            f"tier shed work below the admission limit "
+            f"({transport['sessions_rejected']} joins, "
+            f"{transport['pushes_shed']} pushes)"
+        )
+    assert base_scored == total_frames and bat_scored == total_frames
+
+    cores = _usable_cores()
+    target = SPEEDUP_TARGET if cores >= 2 else SINGLE_CORE_FLOOR
+    client_fps = base_scored / base_score_s
+    batched_fps = bat_scored / bat_score_s
+    return {
+        "workload": {**shape, "seed": seed, "quick": quick},
+        "sessions": num_sessions,
+        "peak_concurrency": peak,
+        "total_frames": total_frames,
+        "usable_cores": cores,
+        "per_session_seconds": base_seconds,
+        "batched_seconds": bat_seconds,
+        "client_score_seconds": base_score_s,
+        "batched_score_seconds": bat_score_s,
+        "client_frames_per_second": client_fps,
+        "scored_frames_per_second": batched_fps,
+        "speedup": batched_fps / client_fps,
+        "speedup_target": target,
+        "parallel_gate": cores >= 2,
+        "score_batches": transport["batches"],
+        "descriptors_shipped": transport["descriptors_shipped"],
+        "ring_stalls": transport["ring_stalls"],
+        "ipc_bytes_per_frame": transport["ipc_bytes_per_frame"],
+        "ipc_bytes_per_frame_max": IPC_BYTES_PER_FRAME_MAX,
+        "words_match": True,
+    }
+
+
+def _report(result: dict) -> None:
+    name = ("acoustic_scoring_quick" if result["workload"]["quick"]
+            else "acoustic_scoring")
+    rows = [
+        ["per-session (client scores)", result["total_frames"],
+         result["client_score_seconds"],
+         result["client_frames_per_second"]],
+        [f"batched in-tier ({result['score_batches']} batches)",
+         result["total_frames"], result["batched_score_seconds"],
+         result["scored_frames_per_second"]],
+    ]
+    gate = "parallel" if result["parallel_gate"] else "single-core floor"
+    text = format_table(
+        f"Acoustic scoring -- {result['sessions']} bursty sessions (peak "
+        f"{result['peak_concurrency']} live), scoring speedup "
+        f"{result['speedup']:.2f}x (gate >= "
+        f"{result['speedup_target']:.2f}x, {gate}, "
+        f"{result['usable_cores']} cores), transport "
+        f"{result['ipc_bytes_per_frame']:.1f} pipe B/frame "
+        f"({result['descriptors_shipped']} descriptors, "
+        f"{result['ring_stalls']} plane stalls), output identical to "
+        f"one-shot",
+        ["scoring path", "frames", "scoring s", "scored frames/s"],
+        rows,
+    )
+    report(name, text)
+    write_json(name, result)
+
+
+def test_acoustic_scoring(benchmark):
+    result = benchmark.pedantic(run_acoustic_scoring, rounds=1, iterations=1)
+    _report(result)
+    assert result["words_match"]
+    assert result["speedup"] >= result["speedup_target"]
+    assert result["ipc_bytes_per_frame"] < result["ipc_bytes_per_frame_max"]
+
+
+@pytest.mark.parametrize("quick", [True])
+def test_acoustic_scoring_quick(benchmark, quick):
+    """The CI smoke-gate shape: two shards, still bit-identical."""
+    result = benchmark.pedantic(
+        run_acoustic_scoring, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    _report(result)
+    assert result["words_match"]
+    assert result["speedup"] >= result["speedup_target"]
+    assert result["ipc_bytes_per_frame"] < result["ipc_bytes_per_frame_max"]

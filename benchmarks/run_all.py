@@ -47,6 +47,7 @@ class _NullBenchmark:
 
 def run_quick() -> int:
     """CI smoke gate: small, fast, and strict about consistency."""
+    from benchmarks import bench_acoustic_scoring as bench_acoustic
     from benchmarks import bench_batch_throughput as bench_batch
     from benchmarks import bench_graph_compile as bench_graph
     from benchmarks import bench_kernel_backends as bench_backends
@@ -140,6 +141,24 @@ def run_quick() -> int:
             )
         return result
 
+    def acoustic_scoring():
+        result = bench_acoustic.run_acoustic_scoring(quick=True)
+        bench_acoustic._report(result)
+        if result["speedup"] < result["speedup_target"]:
+            gate = "parallel" if result["parallel_gate"] else "single-core"
+            raise AssertionError(
+                f"batched-scoring speedup {result['speedup']:.2f}x below "
+                f"the {result['speedup_target']:.2f}x {gate} gate"
+            )
+        if result["ipc_bytes_per_frame"] >= result["ipc_bytes_per_frame_max"]:
+            raise AssertionError(
+                f"score transport costs {result['ipc_bytes_per_frame']:.1f} "
+                f"pipe bytes/frame (gate < "
+                f"{result['ipc_bytes_per_frame_max']:.0f}); descriptors "
+                f"only, the rows belong in shared memory"
+            )
+        return result
+
     def lattice_throughput():
         result = bench_lattice.run_lattice_throughput(quick=True)
         bench_lattice._report(result)
@@ -206,6 +225,7 @@ def run_quick() -> int:
     step("batch_throughput_quick", batch_throughput)
     step("streaming_sessions_quick", streaming_sessions)
     step("serving_tier_quick", serving_tier)
+    step("acoustic_scoring_quick", acoustic_scoring)
     step("kernel_backends_quick", kernel_backends)
     step("lattice_throughput_quick", lattice_throughput)
     step("traceback_memory_quick", traceback_memory)
@@ -228,6 +248,7 @@ _TRAJECTORY_FPS_KEYS = {
     "batch_throughput_quick": "batch_frames_per_second",
     "streaming_sessions_quick": "concurrent_frames_per_second",
     "serving_tier_quick": "tier_frames_per_second",
+    "acoustic_scoring_quick": "scored_frames_per_second",
     "kernel_backends_quick": "fused_frames_per_second",
     "lattice_throughput_quick": "kernel_frames_per_second",
 }
@@ -265,6 +286,10 @@ def _trajectory(summary: dict) -> dict:
             entry["peak_trace_kib"] = round(
                 float(result["windowed_peak_bytes"]) / 1024, 1
             )
+        if isinstance(result.get("ipc_bytes_per_frame"), (int, float)):
+            entry["ipc_bytes_per_frame"] = round(
+                float(result["ipc_bytes_per_frame"]), 2
+            )
         if (isinstance(result.get("windowed_partial_seconds"), (int, float))
                 and result.get("partials")):
             entry["partial_latency_ms"] = round(
@@ -298,6 +323,7 @@ def main() -> int:
     print(f"  done in {time.time() - t0:.1f}s")
 
     from benchmarks import (
+        bench_acoustic_scoring as acoustic_tp,
         bench_batch_throughput as batch_tp,
         bench_graph_compile as graph_tp,
         bench_lattice_throughput as lattice_tp,
@@ -344,6 +370,7 @@ def main() -> int:
     lattice_tp.test_lattice_throughput(bench)
     stream_tp.test_streaming_sessions(bench)
     tier_tp.test_serving_tier(bench)
+    acoustic_tp.test_acoustic_scoring(bench)
     traceback_tp.test_traceback_memory(bench)
     sweep_tp.test_sweep_throughput(bench)
 

@@ -122,7 +122,7 @@ class AcceleratorSimulator:
             raise DecodeError("no frames to decode")
         # The Acoustic Likelihood Buffer is double-buffered (current +
         # next frame); both frames of float32 scores must fit on chip.
-        frame_bytes = scores.size_bytes
+        frame_bytes = scores.frame_bytes_on_chip
         if 2 * frame_bytes > self.config.acoustic_buffer_bytes:
             raise ConfigError(
                 f"acoustic scores need 2 x {frame_bytes} bytes but the "

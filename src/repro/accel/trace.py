@@ -446,7 +446,7 @@ class TraceRecorder:
         out = observer.builder
         return DecodeTrace(
             num_frames=scores.num_frames,
-            frame_bytes=scores.size_bytes,
+            frame_bytes=scores.frame_bytes_on_chip,
             beam=self.config.beam,
             max_active=self.config.max_active,
             num_states=self.graph.num_states,

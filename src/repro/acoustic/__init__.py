@@ -9,11 +9,16 @@ phoneme posteriors.  Two scorers are provided:
   ground-truth alignment with controllable confusability; used by large
   benchmark sweeps where DNN inference time would dominate for no fidelity
   gain (the Viterbi search only sees a score matrix either way).
+
+:class:`BatchScorer` stacks the pending feature chunks of many live
+sessions into one batch-stable ``Dnn.forward`` call -- the serving
+layers' cross-session scoring stage (paper Figure 1's GPU batching).
 """
 
 from repro.acoustic.dnn import Dnn, DnnConfig
 from repro.acoustic.trainer import TrainConfig, train_dnn
 from repro.acoustic.scorer import AcousticScores, DnnScorer, SyntheticScorer
+from repro.acoustic.batch_scorer import BatchScorer
 
 __all__ = [
     "Dnn",
@@ -21,6 +26,7 @@ __all__ = [
     "TrainConfig",
     "train_dnn",
     "AcousticScores",
+    "BatchScorer",
     "DnnScorer",
     "SyntheticScorer",
 ]

@@ -5,6 +5,11 @@ the acoustic model of the hybrid ASR system (paper, Section II; in the
 paper's Figure 1 pipeline the DNN runs on the GPU while the accelerator
 handles the Viterbi search).  Only forward and backward passes needed by
 the trainer are implemented; no autograd framework is used.
+
+The forward pass is **batch-stable**: scoring frames stacked with other
+sessions' frames yields bitwise the same rows as scoring them alone
+(see :func:`_affine`), which is what lets the serving tier batch
+acoustic scoring across sessions without changing a single decode.
 """
 
 from __future__ import annotations
@@ -65,6 +70,11 @@ class Dnn:
     ) -> Tuple[np.ndarray, List[np.ndarray]]:
         """Forward pass.
 
+        Batch-stable: row ``i`` of the output depends only on row ``i``
+        of ``x``, bit for bit -- stacking the frames of many sessions
+        into one call returns exactly the rows that per-session calls
+        would (pinned by ``tests/test_acoustic.py``).
+
         Args:
             x: ``(batch, input_dim)`` features.
             keep_activations: retain post-ReLU activations for backprop.
@@ -76,10 +86,10 @@ class Dnn:
         h = (np.asarray(x, dtype=np.float64) - self.input_mean) / self.input_std
         activations: List[np.ndarray] = [h]
         for w, b in zip(self.weights[:-1], self.biases[:-1]):
-            h = np.maximum(h @ w + b, 0.0)
+            h = np.maximum(_affine(h, w, b), 0.0)
             if keep_activations:
                 activations.append(h)
-        logits = h @ self.weights[-1] + self.biases[-1]
+        logits = _affine(h, self.weights[-1], self.biases[-1])
         log_post = logits - _logsumexp(logits)
         return log_post, activations
 
@@ -91,6 +101,41 @@ class Dnn:
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Most likely class id (0-based) per frame."""
         return np.argmax(self.log_posteriors(x), axis=1)
+
+
+#: Fixed gemm height of :func:`_affine`.  Every matmul the forward pass
+#: issues has exactly this many rows (the tail block is zero-padded), so
+#: BLAS always picks the same kernel/reduction split regardless of how
+#: many frames were stacked into the call.
+GEMM_BLOCK_ROWS = 32
+
+
+def _affine(x: np.ndarray, w: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``x @ w + b`` computed in fixed :data:`GEMM_BLOCK_ROWS`-row blocks.
+
+    A plain ``x @ w`` is *not* bitwise row-stable under batching: BLAS
+    chooses its blocking/reduction order from the operand shapes, so the
+    same input row can produce results differing in the last ulp when
+    stacked with a different number of neighbours.  Slicing the batch
+    into fixed-height blocks (zero-padding the tail so even the last
+    gemm has the canonical shape) keeps the per-row arithmetic identical
+    for every batch size while retaining BLAS throughput -- the
+    invariant ``BatchScorer`` and the serving tier's batched scoring
+    path rely on.
+    """
+    n = x.shape[0]
+    out = np.empty((n, w.shape[1]), dtype=np.float64)
+    pad = np.zeros((GEMM_BLOCK_ROWS, x.shape[1]), dtype=np.float64)
+    for start in range(0, n, GEMM_BLOCK_ROWS):
+        stop = min(start + GEMM_BLOCK_ROWS, n)
+        rows = stop - start
+        if rows == GEMM_BLOCK_ROWS:
+            np.matmul(x[start:stop], w, out=out[start:stop])
+        else:
+            pad[:rows] = x[start:stop]
+            out[start:stop] = np.matmul(pad, w)[:rows]
+    out += b
+    return out
 
 
 def _logsumexp(logits: np.ndarray) -> np.ndarray:

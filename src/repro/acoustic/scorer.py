@@ -49,7 +49,15 @@ class AcousticScores:
 
     @property
     def size_bytes(self) -> int:
-        """Footprint of one frame's scores as stored on chip (float32)."""
+        """True in-memory footprint of the whole score matrix, in bytes
+        (the host-side ``float64`` array, all frames)."""
+        return int(self.matrix.nbytes)
+
+    @property
+    def frame_bytes_on_chip(self) -> int:
+        """Footprint of one frame's scores as stored on chip: the
+        accelerator's Acoustic Likelihood Buffer holds ``float32``
+        entries, one per column (paper, Section III)."""
         return self.matrix.shape[1] * 4
 
 

@@ -70,6 +70,13 @@ class AnalysisConfig:
         "src/repro/accel/trace.py",
         "src/repro/accel/replay.py",
         "src/repro/wfst/layout.py",
+        # Batched acoustic scoring must be bitwise batch-stable -- any
+        # nondeterminism here breaks the features-vs-scores identity
+        # the serving paths promise.
+        "src/repro/acoustic/dnn.py",
+        "src/repro/acoustic/scorer.py",
+        "src/repro/acoustic/batch_scorer.py",
+        "src/repro/system/score_ring.py",
     )
     #: REP002: the module defining the error taxonomy; every class
     #: defined there is an allowed raise.

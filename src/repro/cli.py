@@ -39,7 +39,13 @@ from typing import List, Optional
 from repro.accel import AcceleratorConfig, AcceleratorSimulator
 from repro.analysis import engine as analysis_engine
 from repro.common.errors import ConfigError
-from repro.datasets import SyntheticGraphConfig, TaskConfig, generate_task
+from repro.datasets import (
+    AudioTaskConfig,
+    SyntheticGraphConfig,
+    TaskConfig,
+    generate_audio_task,
+    generate_task,
+)
 from repro.decoder import (
     BatchDecoder,
     DecoderConfig,
@@ -323,8 +329,14 @@ def cmd_decode(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serve_tier(args: argparse.Namespace, task) -> int:
-    """Serve the task through the sharded multi-process tier."""
+def _serve_tier(args: argparse.Namespace, task, scorer=None) -> int:
+    """Serve the task through the sharded multi-process tier.
+
+    With ``scorer`` (``--score-features``) sessions run in features
+    mode: the front door's scoring thread batches every live session's
+    MFCC chunks into stacked DNN forwards and ships the scored planes to
+    the shards over zero-copy shared memory."""
+    mode = "features" if scorer is not None else "scores"
     tier = ServingTier(
         graph=task.graph,
         search_config=DecoderConfig(
@@ -334,12 +346,18 @@ def _serve_tier(args: argparse.Namespace, task) -> int:
         tier_config=TierConfig(
             num_workers=args.workers, max_batch=args.max_batch
         ),
+        scorer=scorer,
     )
     with tier:
-        matrices = [u.scores.matrix for u in task.utterances]
+        if mode == "features":
+            matrices = [u.features for u in task.utterances]
+            push = tier.push_features
+        else:
+            matrices = [u.scores.matrix for u in task.utterances]
+            push = tier.push
         sids = []
         for i, matrix in enumerate(matrices):
-            sid = tier.open_session()
+            sid = tier.open_session(mode=mode)
             sids.append(sid)
             print(f"session {sid} joined -> shard {tier.worker_of(sid)} "
                   f"({len(matrix)} frames)")
@@ -349,7 +367,7 @@ def _serve_tier(args: argparse.Namespace, task) -> int:
                 if offsets[i] >= len(matrix):
                     continue
                 chunk = matrix[offsets[i]: offsets[i] + args.chunk_frames]
-                tier.push(sid, chunk)
+                push(sid, chunk)
                 offsets[i] += len(chunk)
                 if offsets[i] >= len(matrix):
                     tier.close_input(sid)
@@ -385,6 +403,13 @@ def _serve_tier(args: argparse.Namespace, task) -> int:
           f"{slo['trace_memory_bytes'] / 1024:.1f} KiB/session, "
           f"{slo['committed_frames']:.0f} committed frames "
           f"(commit interval {args.commit_interval})")
+    if scorer is not None:
+        print(f"scoring: {stats.scored_frames} frames in "
+              f"{stats.score_batches} cross-session batches, "
+              f"{stats.scored_frames_per_second:.0f} scored frames/s; "
+              f"transport {stats.descriptors_shipped} descriptors, "
+              f"{stats.ipc_bytes_per_frame:.1f} pipe bytes/frame "
+              f"({stats.ring_stalls} plane stalls)")
     if decoded:
         print(f"mean WER {total_wer / decoded:.3f}")
     return 0 if decoded == len(records) else 1
@@ -398,14 +423,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise ConfigError("--stagger must be >= 0")
     if args.workers < 1:
         raise ConfigError("--workers must be >= 1")
-    task = _build_task(args)
+    scorer = None
+    if args.score_features:
+        # Features mode needs a trained acoustic model and the MFCCs it
+        # was trained on -- the audio-backed task carries both.
+        audio = generate_audio_task(
+            AudioTaskConfig(
+                vocab_size=min(args.vocab, 60),
+                num_utterances=args.utterances,
+                seed=args.seed,
+            )
+        )
+        task, scorer = audio.task, audio.scorer
+        print(f"audio task: DNN frame accuracy "
+              f"{audio.frame_accuracy:.3f}, score width "
+              f"{scorer.dnn.config.num_classes + 1}")
+    else:
+        task = _build_task(args)
     if args.workers > 1:
-        return _serve_tier(args, task)
+        return _serve_tier(args, task, scorer=scorer)
     server = StreamingServer(
         task.graph,
         DecoderConfig(beam=args.beam, backend=args.kernel_backend,
                       commit_interval=args.commit_interval),
         ServerConfig(max_batch=args.max_batch),
+        scorer=scorer,
     )
 
     def announce_join(round_no: int, i: int, sid: int) -> None:
@@ -413,10 +455,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"({task.utterances[i].num_frames} frames)")
 
     records = server.serve_staggered(
-        [u.scores for u in task.utterances],
+        [u.features if scorer is not None else u.scores
+         for u in task.utterances],
         chunk_frames=args.chunk_frames,
         stagger=args.stagger,
         on_join=announce_join,
+        mode="features" if scorer is not None else "scores",
     )
 
     total_wer = 0.0
@@ -452,6 +496,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"traceback: peak trace memory {peak_trace / 1024:.1f} "
           f"KiB/session, {committed} committed frames "
           f"(commit interval {args.commit_interval})")
+    if scorer is not None:
+        print(f"scoring: {stats.scored_frames} frames in "
+              f"{stats.score_batches} cross-session batches, "
+              f"{stats.scored_frames_per_second:.0f} scored frames/s")
     if decoded:
         print(f"mean WER {total_wer / decoded:.3f}")
     return 0 if decoded == len(records) else 1
@@ -692,6 +740,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "the sharded tier over one memory-mapped graph "
                         "and prints p50/p99 SLO stats (default 1: "
                         "in-process server)")
+    p.add_argument("--score-features", action="store_true",
+                   dest="score_features",
+                   help="serve an audio-backed task in features mode: "
+                        "sessions push MFCC chunks and the server scores "
+                        "them in cross-session batched DNN forwards "
+                        "(bit-identical words to pushing scores); with "
+                        "--workers >= 2 the scored planes reach the "
+                        "shards over zero-copy shared memory")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("simulate", help="decode on the accelerator simulator")

@@ -163,8 +163,9 @@ def generate_audio_task(config: AudioTaskConfig = AudioTaskConfig()) -> AudioTas
             phone_seq, seed=config.seed * 7000 + utt_id,
             mean_frames=config.mean_frames_per_phone,
         )
-        scores = scorer.score(features_of(wave))
-        utterances.append(Utterance(words, align, scores))
+        feats = features_of(wave)
+        scores = scorer.score(feats)
+        utterances.append(Utterance(words, align, scores, features=feats))
 
     task_config = TaskConfig(
         vocab_size=config.vocab_size,

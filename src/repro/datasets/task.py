@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.common.errors import ConfigError
 from repro.common.rng import make_rng
 from repro.acoustic.scorer import AcousticScores, SyntheticScorer
@@ -30,11 +32,18 @@ from repro.wfst.layout import CompiledWfst
 
 @dataclass(frozen=True)
 class Utterance:
-    """One test utterance with ground truth and acoustic scores."""
+    """One test utterance with ground truth and acoustic scores.
+
+    Audio-backed tasks (:func:`repro.datasets.audio_task.generate_audio_task`)
+    also keep the spliced MFCC ``features`` the scores were computed
+    from, so feature-mode serving paths (``push_features``) can replay
+    the exact front-end output; synthetic tasks leave it ``None``.
+    """
 
     words: Tuple[int, ...]
     alignment: PhoneAlignment
     scores: AcousticScores
+    features: Optional[np.ndarray] = None
 
     @property
     def num_frames(self) -> int:

@@ -19,6 +19,7 @@ from repro.system.server import (
     SessionStats,
     StreamingServer,
 )
+from repro.system.score_ring import ScorePlaneRing, ScorePlaneView
 from repro.system.tier import (
     ServingTier,
     TierConfig,
@@ -52,6 +53,8 @@ __all__ = [
     "SessionRecord",
     "SessionStats",
     "StreamingServer",
+    "ScorePlaneRing",
+    "ScorePlaneView",
     "ServingTier",
     "TierConfig",
     "TierStats",

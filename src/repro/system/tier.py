@@ -25,6 +25,17 @@ server-workload discussion assumes around the accelerator:
 * **SLO accounting** -- per-session end-to-end latency and queue-wait /
   decode-time records flow back with each retired session;
   :meth:`TierStats.slo` summarises server-level p50/p99.
+* **batched in-tier scoring** (``scorer=`` + ``mode="features"``) -- a
+  front-door scoring thread packs the pending MFCC chunks of *all* live
+  feature sessions into one stacked, batch-stable DNN forward per pass
+  (the paper's GPU batching half), writing the score rows straight into
+  each worker's double-buffered **shared-memory score planes**
+  (:mod:`repro.system.score_ring` -- the Acoustic Likelihood Buffer
+  analogue).  Pipes carry only ``(sid, generation, offset, frames)``
+  descriptors; workers read the rows zero-copy and ack after decode,
+  which releases the plane slot.  The same transport carries
+  :meth:`ServingTier.push` score chunks, so the per-push pickled matrix
+  copy is gone from the scores path too.
 
 Because each session decodes on exactly one worker's ``StreamingServer``
 (bit-identical to one-shot decoding), the tier's per-session output is
@@ -39,14 +50,18 @@ import asyncio
 import dataclasses
 import multiprocessing
 import os
+import pickle
 import tempfile
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.acoustic.batch_scorer import BatchScorer
+from repro.acoustic.scorer import DnnScorer
 from repro.common.errors import (
     AdmissionError,
     BackpressureError,
@@ -59,6 +74,7 @@ from repro.decoder.backends import resolve_backend
 from repro.decoder.kernel import DecoderConfig
 from repro.decoder.result import DecodeResult
 from repro.decoder.session import Chunk, chunk_matrix
+from repro.system.score_ring import ScorePlaneRing, ScorePlaneView
 from repro.system.server import (
     ServerConfig,
     ServerStats,
@@ -88,6 +104,12 @@ class TierConfig:
             it are load-shed with a typed :class:`BackpressureError`.
         max_batch: per-worker fused-sweep cap (forwarded to each shard's
             :class:`~repro.system.server.ServerConfig`).
+        plane_frames: rows per score plane of each worker's double-
+            buffered shared-memory ring (two planes per worker); ``0``
+            sizes the plane automatically to cover the backpressure
+            budget (``min(queue_depth, 8192)``), which makes the
+            plane-flip stall unreachable.  Chunks larger than a plane
+            are shipped as several descriptors.
         start_method: multiprocessing start method; ``None`` picks
             ``fork`` where available (workers then inherit the mapped
             graph pages directly), ``spawn`` elsewhere.
@@ -97,6 +119,7 @@ class TierConfig:
     max_sessions: int = 0
     queue_depth: int = 4096
     max_batch: int = 64
+    plane_frames: int = 0
     start_method: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -108,6 +131,8 @@ class TierConfig:
             raise ConfigError("queue_depth must be >= 1")
         if self.max_batch < 1:
             raise ConfigError("max_batch must be >= 1")
+        if self.plane_frames < 0:
+            raise ConfigError("plane_frames must be >= 0 (0 = auto)")
         if self.start_method is not None and (
             self.start_method not in multiprocessing.get_all_start_methods()
         ):
@@ -146,6 +171,21 @@ class TierStats:
     trace_peak_bytes: int = 0
     #: committed (stable-prefix) frames summed over finished sessions.
     committed_frames: int = 0
+    #: Batched in-tier scoring: feature frames scored by the front-door
+    #: scoring thread, seconds inside the stacked DNN forward, and how
+    #: many cross-session batches covered them.
+    scored_frames: int = 0
+    score_seconds: float = 0.0
+    score_batches: int = 0
+    #: Shared-memory transport accounting: score frames written into
+    #: worker plane rings, push descriptors sent over the pipes, and the
+    #: pickled bytes those descriptors cost (score matrices themselves
+    #: never cross a pipe).
+    frames_shipped: int = 0
+    descriptors_shipped: int = 0
+    ipc_bytes_shipped: int = 0
+    #: Plane-flip stalls (writer waited for the consumed plane's acks).
+    ring_stalls: int = 0
 
     @property
     def aggregate_frames_per_second(self) -> float:
@@ -153,6 +193,22 @@ class TierStats:
         if self.serving_seconds <= 0.0:
             return 0.0
         return self.frames_decoded / self.serving_seconds
+
+    @property
+    def scored_frames_per_second(self) -> float:
+        """Feature frames scored per second spent in the stacked DNN."""
+        if self.score_seconds <= 0.0:
+            return 0.0
+        return self.scored_frames / self.score_seconds
+
+    @property
+    def ipc_bytes_per_frame(self) -> float:
+        """Pipe bytes per score frame shipped to a worker -- descriptor
+        size with the shared-memory transport, versus a full pickled
+        score row (``width * 8`` bytes and change) without it."""
+        if not self.frames_shipped:
+            return 0.0
+        return self.ipc_bytes_shipped / self.frames_shipped
 
     def slo(self) -> Dict[str, float]:
         """Server-level SLO summary: p50/p99 latency and queue wait."""
@@ -174,21 +230,39 @@ class TierStats:
 class _TierSession:
     """Front-door view of one routed session."""
 
-    __slots__ = ("sid", "worker", "opened_t", "closed", "record", "remote_error")
+    __slots__ = (
+        "sid", "worker", "opened_t", "closed", "record", "remote_error",
+        "mode", "feature_pending", "close_sent",
+    )
 
-    def __init__(self, sid: int, worker: "_WorkerHandle", opened_t: float) -> None:
+    def __init__(
+        self,
+        sid: int,
+        worker: "_WorkerHandle",
+        opened_t: float,
+        mode: str = "scores",
+    ) -> None:
         self.sid = sid
         self.worker = worker
         self.opened_t = opened_t
         self.closed = False
         self.record: Optional[SessionRecord] = None
         self.remote_error: Optional[str] = None
+        self.mode = mode
+        #: feature chunks accepted but not yet scored-and-shipped; a
+        #: requested close is deferred until this drains so the worker
+        #: sees every frame before end-of-stream.
+        self.feature_pending = 0
+        self.close_sent = False
 
 
 class _WorkerHandle:
     """One shard: its process, duplex pipe, and load accounting."""
 
-    __slots__ = ("index", "process", "conn", "live", "inflight_frames", "server_stats")
+    __slots__ = (
+        "index", "process", "conn", "live", "inflight_frames",
+        "server_stats", "ring",
+    )
 
     def __init__(self, index: int, process, conn) -> None:
         self.index = index
@@ -197,6 +271,9 @@ class _WorkerHandle:
         self.live = 0                 #: sessions currently routed here
         self.inflight_frames = 0      #: shipped frames not yet acked
         self.server_stats: Optional[ServerStats] = None
+        #: lazily created double-buffered score-plane segment (the first
+        #: shipped chunk pins the tier's frame width).
+        self.ring: Optional[ScorePlaneRing] = None
 
 
 # ----------------------------------------------------------------------
@@ -205,12 +282,19 @@ class _WorkerHandle:
 def _worker_main(conn, graph_dir, search_config, server_config) -> None:
     """Shard main loop: a StreamingServer fed by the front-door pipe.
 
-    Commands: ``("open", sid)``, ``("push", sid, matrix)``,
-    ``("close", sid)``, ``("stop",)``.  Replies: ``("ack", sid, frames)``
-    for every push (consumed or not -- the ack releases the front door's
-    backpressure budget), ``("error", sid, type, text)`` when a command
-    fails, ``("record", sid, SessionRecord)`` when a session retires, and
-    one final ``("stats", ServerStats)`` before exit.
+    Commands: ``("open", sid)``, ``("ring", name, plane_frames, width)``
+    (once, before the first push -- the worker attaches the front door's
+    shared-memory score planes), ``("push", sid, generation, offset,
+    frames)`` (a descriptor naming rows of the mapped segment; the score
+    matrix itself never crosses the pipe), ``("close", sid)``, and
+    ``("stop",)``.  Replies: ``("ack", sid, frames, generation)`` once a
+    chunk's rows have been *decoded* -- the ack releases both the front
+    door's backpressure budget and the chunk's ring slot, so a plane is
+    never overwritten under a zero-copy read -- ``("error", sid, type,
+    text)`` when a command fails (followed by an immediate ack, since the
+    rejected rows will never decode), ``("record", sid, SessionRecord)``
+    when a session retires, and one final ``("stats", ServerStats)``
+    before exit.
 
     The loop blocks on the pipe only when no frames are buffered;
     otherwise it polls and sweeps, so decode proceeds while the front
@@ -222,6 +306,13 @@ def _worker_main(conn, graph_dir, search_config, server_config) -> None:
     to_external: Dict[int, int] = {}
     shipped = set()
     running = True
+    ring: Optional[ScorePlaneView] = None
+    # Ack-after-decode ledger: per external sid, cumulative frames the
+    # server accepted, and a FIFO of (generation, frames, cumulative
+    # threshold) -- a chunk is acked once the session's decoded-frame
+    # count reaches its threshold (or the session retired).
+    accepted: Dict[int, int] = {}
+    ledger: Dict[int, Deque[Tuple[int, int, int]]] = {}
 
     def ship_finished() -> None:
         for isid in server.finished_session_ids:
@@ -232,6 +323,23 @@ def _worker_main(conn, graph_dir, search_config, server_config) -> None:
             record.stats.session_id = ext
             conn.send(("record", ext, dataclasses.replace(record, session_id=ext)))
             shipped.add(ext)
+
+    def release_consumed() -> None:
+        for ext in list(ledger):
+            queue = ledger[ext]
+            isid = to_internal[ext]
+            while queue:
+                generation, frames, threshold = queue[0]
+                try:
+                    done = server.frames_decoded(isid) >= threshold
+                except ReproError:
+                    done = True  # session vanished; nothing holds the slot
+                if not done and server.is_live(isid):
+                    break
+                queue.popleft()
+                conn.send(("ack", ext, frames, generation))
+            if not queue:
+                del ledger[ext]
 
     while True:
         idle = server.pending_frames == 0
@@ -250,13 +358,28 @@ def _worker_main(conn, graph_dir, search_config, server_config) -> None:
                 else:
                     to_internal[ext] = isid
                     to_external[isid] = ext
+            elif op == "ring":
+                ring = ScorePlaneView(msg[1], msg[2], msg[3])
             elif op == "push":
-                ext, matrix = msg[1], msg[2]
+                ext, generation, offset, frames = msg[1], msg[2], msg[3], msg[4]
+                if ring is None:
+                    conn.send((
+                        "error", ext, "TierError",
+                        "push descriptor before ring announcement",
+                    ))
+                    conn.send(("ack", ext, frames, generation))
+                    continue
+                matrix = ring.rows(generation, offset, frames)
                 try:
                     server.push(to_internal[ext], matrix)
                 except (KeyError, ReproError) as exc:
                     conn.send(("error", ext, type(exc).__name__, str(exc)))
-                conn.send(("ack", ext, len(matrix)))
+                    conn.send(("ack", ext, frames, generation))
+                else:
+                    accepted[ext] = accepted.get(ext, 0) + frames
+                    ledger.setdefault(ext, deque()).append(
+                        (generation, frames, accepted[ext])
+                    )
             elif op == "close":
                 ext = msg[1]
                 try:
@@ -268,6 +391,7 @@ def _worker_main(conn, graph_dir, search_config, server_config) -> None:
         elif server.pending_frames:
             server.step()
         ship_finished()
+        release_consumed()
         if not running and not server.pending_frames:
             # Shutdown: close whatever input is still open so every
             # admitted session gets a terminal record.
@@ -279,7 +403,10 @@ def _worker_main(conn, graph_dir, search_config, server_config) -> None:
                         pass
             server.drain()
             ship_finished()
+            release_consumed()
             break
+    if ring is not None:
+        ring.close()
     conn.send(("stats", server.stats))
     conn.close()
 
@@ -308,6 +435,7 @@ class ServingTier:
         *,
         graph_dir: Optional[str] = None,
         clock: Callable[[], float] = time.perf_counter,
+        scorer: Optional[DnnScorer] = None,
     ) -> None:
         if (graph is None) == (graph_dir is None):
             raise ConfigError(
@@ -342,6 +470,25 @@ class ServingTier:
         )
         self._frame_width: Optional[int] = None
 
+        # Batched in-tier acoustic scoring (the paper's GPU half): a
+        # scoring thread packs the pending feature chunks of *all* live
+        # feature-mode sessions, runs one stacked DNN forward straight
+        # into the workers' shared-memory score planes, and ships the
+        # descriptors.  Batch-stable gemm makes the rows bit-identical
+        # to each session scoring alone.
+        self._batch_scorer = BatchScorer(scorer) if scorer is not None else None
+        if self._batch_scorer is not None and (
+            self._batch_scorer.width < self._min_score_width
+        ):
+            raise ConfigError(
+                f"scorer produces {self._batch_scorer.width}-wide score "
+                f"rows but the graph's phone ids need at least "
+                f"{self._min_score_width}"
+            )
+        self._pending_feats: List[Tuple[int, np.ndarray]] = []
+        self._score_cv = threading.Condition(self._lock)
+        self._score_thread: Optional[threading.Thread] = None
+
         ctx = multiprocessing.get_context(
             tier_config.start_method or _default_start_method()
         )
@@ -359,16 +506,38 @@ class ServingTier:
             child_conn.close()
             self._workers.append(_WorkerHandle(index, process, parent_conn))
 
+        if self._batch_scorer is not None:
+            self._score_thread = threading.Thread(
+                target=self._score_pump,
+                daemon=True,
+                name="repro-tier-scorer",
+            )
+            self._score_thread.start()
+
     # ------------------------------------------------------------------
     # Session lifecycle (sync front door)
     # ------------------------------------------------------------------
-    def open_session(self) -> int:
+    def open_session(self, mode: str = "scores") -> int:
         """Admit a new live stream and route it to the least-loaded shard.
+
+        Args:
+            mode: ``"scores"`` (the client pushes pre-scored likelihood
+                rows via :meth:`push`) or ``"features"`` (the client
+                pushes MFCC features via :meth:`push_features`; the tier
+                scores them batched across all live feature sessions).
 
         Raises:
             AdmissionError: the tier already serves ``max_sessions`` live
                 sessions; the join is load-shed, nobody else is affected.
+            ConfigError: ``mode="features"`` on a tier built without a
+                ``scorer``, or an unknown mode.
         """
+        if mode not in ("scores", "features"):
+            raise ConfigError(f"unknown session mode {mode!r}")
+        if mode == "features" and self._batch_scorer is None:
+            raise ConfigError(
+                "mode='features' needs a tier constructed with scorer="
+            )
         with self._lock:
             self._require_up()
             self._pump()
@@ -384,7 +553,7 @@ class ServingTier:
             sid = self._next_sid
             self._next_sid += 1
             now = self._clock()
-            self._sessions[sid] = _TierSession(sid, worker, now)
+            self._sessions[sid] = _TierSession(sid, worker, now, mode=mode)
             worker.live += 1
             worker.conn.send(("open", sid))
             self.stats.sessions_admitted += 1
@@ -411,6 +580,11 @@ class ServingTier:
             self._require_up()
             self._pump()
             session = self._require_live(session_id)
+            if session.mode != "scores":
+                raise DecodeError(
+                    f"session {session_id} is a features-mode session; "
+                    f"push MFCC chunks via push_features"
+                )
             if width is not None:
                 if width < self._min_score_width:
                     raise DecodeError(
@@ -426,30 +600,331 @@ class ServingTier:
                         f"every other session's (got {width}); one tier "
                         f"serves one acoustic model"
                     )
+            if not len(matrix):
+                return 0
             worker = session.worker
-            if worker.inflight_frames + len(matrix) > self.tier_config.queue_depth:
-                self._pump()  # acks may already be queued on the pipe
-            if worker.inflight_frames + len(matrix) > self.tier_config.queue_depth:
-                self.stats.pushes_shed += 1
-                raise BackpressureError(
-                    f"shard {worker.index} queue saturated "
-                    f"({worker.inflight_frames} frames in flight, depth "
-                    f"{self.tier_config.queue_depth}); retry later"
-                )
-            worker.conn.send(("push", session_id, np.ascontiguousarray(matrix)))
-            worker.inflight_frames += len(matrix)
+            self._reserve(worker, len(matrix))
+            self._ship_rows(worker, session_id, matrix)
             self.stats.frames_pushed += len(matrix)
             return len(matrix)
 
+    def push_features(self, session_id: int, features: np.ndarray) -> int:
+        """Accept a chunk of MFCC feature rows for a features-mode session.
+
+        The chunk joins the scoring thread's next cross-session batch:
+        one stacked DNN forward scores the pending chunks of *every*
+        live feature session straight into the shard's shared-memory
+        score planes -- bit-identical to the client scoring its own
+        chunk and calling :meth:`push`.
+
+        Raises:
+            DecodeError: unknown/retired/closed session, a scores-mode
+                session, or a malformed chunk (wrong rank or feature
+                width).
+            BackpressureError: the shard's bounded queue is saturated;
+                the push is load-shed and may be retried.
+        """
+        if self._batch_scorer is None:
+            raise DecodeError(
+                "this tier scores nothing; construct it with scorer= "
+                "and open sessions with mode='features'"
+            )
+        matrix = np.array(features, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self._batch_scorer.input_dim:
+            raise DecodeError(
+                f"feature chunks must be (frames, "
+                f"{self._batch_scorer.input_dim}), got shape {matrix.shape}"
+            )
+        with self._score_cv:
+            self._require_up()
+            self._pump()
+            session = self._require_live(session_id)
+            if session.mode != "features":
+                raise DecodeError(
+                    f"session {session_id} is a scores-mode session; "
+                    f"push likelihood rows via push"
+                )
+            if session.closed:
+                raise DecodeError(f"input of session {session_id} is closed")
+            width = self._batch_scorer.width
+            if self._frame_width is None:
+                self._frame_width = width
+            elif width != self._frame_width:
+                raise DecodeError(
+                    f"scored rows would be {width} wide but the fleet "
+                    f"pushes {self._frame_width}-wide rows; one tier "
+                    f"serves one acoustic model"
+                )
+            if not len(matrix):
+                return 0
+            # Reserve the backpressure budget now -- the scoring thread
+            # cannot shed -- and hand the chunk to the batcher.
+            self._reserve(session.worker, len(matrix))
+            session.worker.inflight_frames += len(matrix)
+            session.feature_pending += 1
+            self._pending_feats.append((session_id, matrix))
+            self.stats.frames_pushed += len(matrix)
+            self._score_cv.notify()
+            return len(matrix)
+
+    def _reserve(self, worker: "_WorkerHandle", frames: int) -> None:
+        """Backpressure gate: shed the push if it would overflow the
+        shard's unacked-frame budget (call with the lock held)."""
+        if worker.inflight_frames + frames > self.tier_config.queue_depth:
+            self._pump()  # acks may already be queued on the pipe
+        if worker.inflight_frames + frames > self.tier_config.queue_depth:
+            self.stats.pushes_shed += 1
+            raise BackpressureError(
+                f"shard {worker.index} queue saturated "
+                f"({worker.inflight_frames} frames in flight, depth "
+                f"{self.tier_config.queue_depth}); retry later"
+            )
+
+    # ------------------------------------------------------------------
+    # Shared-memory score-plane transport
+    # ------------------------------------------------------------------
+    def _ensure_ring(self, worker: "_WorkerHandle") -> ScorePlaneRing:
+        """The worker's double-buffered plane ring, created (and
+        announced to the worker) on first ship.  Call with the lock held
+        and ``self._frame_width`` established."""
+        if worker.ring is None:
+            assert self._frame_width is not None
+            plane_frames = self.tier_config.plane_frames or min(
+                self.tier_config.queue_depth, 8192
+            )
+            worker.ring = ScorePlaneRing(plane_frames, self._frame_width)
+            worker.conn.send(
+                ("ring", worker.ring.name, plane_frames, self._frame_width)
+            )
+        return worker.ring
+
+    def _ring_alloc(
+        self, worker: "_WorkerHandle", frames: int
+    ) -> Tuple[int, int, np.ndarray]:
+        """Reserve plane rows, draining acks through a flip stall (the
+        ALB stall: the plane being flipped to still has unacked chunks).
+        Every unacked chunk is decoding on the worker, so the stall
+        always resolves; the deadline guards a dead worker."""
+        ring = self._ensure_ring(worker)
+        deadline = time.monotonic() + 30.0
+        stalled = False
+        while True:
+            slot = ring.try_alloc(frames)
+            if slot is not None:
+                return slot
+            if not stalled:
+                stalled = True
+                self.stats.ring_stalls += 1
+            self._pump(block_worker=worker)
+            if not worker.process.is_alive():
+                raise TierError(
+                    f"worker {worker.index} died with score-plane "
+                    f"chunks outstanding"
+                )
+            if time.monotonic() > deadline:
+                raise TierError(
+                    f"worker {worker.index} acked no score-plane chunk "
+                    f"for 30s; plane flip stalled"
+                )
+
+    def _ship_rows(
+        self,
+        worker: "_WorkerHandle",
+        session_id: int,
+        matrix: np.ndarray,
+        reserved: bool = False,
+    ) -> None:
+        """Write score rows into the worker's plane ring and send the
+        descriptors (call with the lock held).  Chunks larger than a
+        plane ship as several descriptors."""
+        ring = self._ensure_ring(worker)
+        for start in range(0, len(matrix), ring.plane_frames):
+            part = matrix[start: start + ring.plane_frames]
+            generation, offset, view = self._ring_alloc(worker, len(part))
+            view[:] = part
+            self._send_descriptor(
+                worker, session_id, generation, offset, len(part),
+                reserved=reserved,
+            )
+
+    def _send_descriptor(
+        self,
+        worker: "_WorkerHandle",
+        session_id: int,
+        generation: int,
+        offset: int,
+        frames: int,
+        reserved: bool = False,
+    ) -> None:
+        """Ship one ``(sid, generation, offset, frames)`` descriptor --
+        the only bytes the transport ever pipes per chunk."""
+        payload = pickle.dumps(
+            ("push", session_id, generation, offset, frames),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        worker.conn.send_bytes(payload)
+        if not reserved:
+            worker.inflight_frames += frames
+        self.stats.frames_shipped += frames
+        self.stats.descriptors_shipped += 1
+        self.stats.ipc_bytes_shipped += len(payload)
+
+    def _score_pump(self) -> None:
+        """Scoring-thread main loop: grab everything the fleet has
+        pushed since the last pass and score it as one batch.  A batch
+        failure (in practice: a dead worker detected mid-allocation)
+        poisons its sessions and stops the thread; healthy paths cannot
+        raise because chunks are validated at the door."""
+        while True:
+            with self._score_cv:
+                while not self._pending_feats and not self._shut_down:
+                    self._score_cv.wait(0.1)
+                if not self._pending_feats:
+                    return  # shut down with nothing left to ship
+                batch = self._pending_feats
+                self._pending_feats = []
+            try:
+                self._score_batch(batch)
+            # A thread must never die silently mid-batch: poison the
+            # batch's sessions with the error instead of hanging their
+            # result() callers.
+            except Exception as exc:  # repro-lint: disable=REP002
+                with self._lock:
+                    for sid, _ in batch:
+                        session = self._sessions.get(sid)
+                        if session is None:
+                            continue
+                        session.feature_pending = 0
+                        if session.record is None:
+                            session.remote_error = (
+                                f"{type(exc).__name__}: {exc}"
+                            )
+                return
+
+    def _score_batch(self, batch: List[Tuple[int, np.ndarray]]) -> None:
+        """One batched scoring pass over everything the fleet pushed.
+
+        The batch is expanded into plane-sized parts and shipped in
+        **slices**: each slice allocates as many ring slots as the
+        planes hold without a flip stall, runs one stacked forward
+        straight into the shared-memory views, and sends the
+        descriptors.  Only the *first* part of a slice may block on a
+        stall -- at that point every earlier part's descriptor is on the
+        pipe, so the worker can decode and ack it.  (Allocating a whole
+        over-capacity batch before shipping anything would wait on acks
+        for chunks the worker has never heard of.)
+        """
+        scorer = self._batch_scorer
+        assert scorer is not None
+        plane_frames = self.tier_config.plane_frames or min(
+            self.tier_config.queue_depth, 8192
+        )
+        # (sid, part, is the last part of its push_features chunk)
+        work: List[Tuple[int, np.ndarray, bool]] = []
+        for sid, matrix in batch:
+            starts = range(0, len(matrix), plane_frames)
+            for start in starts:
+                work.append((
+                    sid,
+                    matrix[start: start + plane_frames],
+                    start == starts[-1],
+                ))
+        index = 0
+        while index < len(work):
+            index = self._score_slice(scorer, work, index)
+
+    def _score_slice(
+        self,
+        scorer: BatchScorer,
+        work: List[Tuple[int, np.ndarray, bool]],
+        start: int,
+    ) -> int:
+        """Allocate, score, and ship one ring-capacity slice of
+        ``work`` starting at ``start``; returns the index of the first
+        part left for the next slice."""
+        parts: List[np.ndarray] = []
+        views: List[np.ndarray] = []
+        dests: List[Tuple[_WorkerHandle, int, int, int, int, bool]] = []
+        index = start
+        with self._lock:
+            while index < len(work):
+                sid, part, last = work[index]
+                session = self._sessions.get(sid)
+                if session is None or session.record is not None:
+                    # Retired under us; this part's share of the
+                    # reservation dies with it.
+                    if session is not None:
+                        session.worker.inflight_frames = max(
+                            0, session.worker.inflight_frames - len(part)
+                        )
+                    index += 1
+                    if last:
+                        self._finish_feature_push(sid)
+                    continue
+                worker = session.worker
+                ring = self._ensure_ring(worker)
+                slot = ring.try_alloc(len(part))
+                if slot is None:
+                    if parts:
+                        break  # ship this slice; its acks free the flip
+                    # First part of the slice: everything earlier has
+                    # shipped, so acks can arrive -- drain them.
+                    slot = self._ring_alloc(worker, len(part))
+                generation, offset, view = slot
+                parts.append(part)
+                views.append(view)
+                dests.append(
+                    (worker, sid, generation, offset, len(part), last)
+                )
+                index += 1
+        elapsed = 0.0
+        if parts:
+            t0 = time.perf_counter()
+            scorer.score_chunks(parts, out=views)
+            elapsed = time.perf_counter() - t0
+        with self._lock:
+            if parts:
+                self.stats.scored_frames += sum(len(p) for p in parts)
+                self.stats.score_seconds += elapsed
+                self.stats.score_batches += 1
+            for worker, sid, generation, offset, frames, last in dests:
+                self._send_descriptor(
+                    worker, sid, generation, offset, frames, reserved=True
+                )
+                if last:
+                    self._finish_feature_push(sid)
+        return index
+
+    def _finish_feature_push(self, session_id: int) -> None:
+        """The last part of one ``push_features`` chunk has shipped (or
+        died with its session): release the pending count and send any
+        deferred close (call with the lock held)."""
+        session = self._sessions.get(session_id)
+        if session is None:
+            return
+        session.feature_pending = max(0, session.feature_pending - 1)
+        if (
+            session.closed
+            and session.feature_pending == 0
+            and not session.close_sent
+            and session.record is None
+        ):
+            session.close_sent = True
+            session.worker.conn.send(("close", session_id))
+
     def close_input(self, session_id: int) -> None:
         """Mark end of stream; the shard retires the session after its
-        buffered frames drain."""
+        buffered frames drain.  For a features session with chunks still
+        awaiting the batched scorer, the close is deferred until the
+        scoring thread ships the last of them."""
         with self._lock:
             self._require_up()
             session = self._require_live(session_id)
             if not session.closed:
                 session.closed = True
-                session.worker.conn.send(("close", session_id))
+                if session.feature_pending == 0:
+                    session.close_sent = True
+                    session.worker.conn.send(("close", session_id))
 
     def result(self, session_id: int, timeout: Optional[float] = None) -> SessionRecord:
         """Block until the session's terminal record arrives back.
@@ -491,11 +966,16 @@ class ServingTier:
     # ------------------------------------------------------------------
     # Asyncio front door
     # ------------------------------------------------------------------
-    async def aopen_session(self) -> int:
-        return await asyncio.to_thread(self.open_session)
+    async def aopen_session(self, mode: str = "scores") -> int:
+        return await asyncio.to_thread(self.open_session, mode)
 
     async def apush(self, session_id: int, chunk: Chunk) -> int:
         return await asyncio.to_thread(self.push, session_id, chunk)
+
+    async def apush_features(
+        self, session_id: int, features: np.ndarray
+    ) -> int:
+        return await asyncio.to_thread(self.push_features, session_id, features)
 
     async def aclose_input(self, session_id: int) -> None:
         await asyncio.to_thread(self.close_input, session_id)
@@ -540,17 +1020,21 @@ class ServingTier:
         self,
         scores_batch: Sequence[Chunk],
         chunk_frames: int = 10,
+        mode: str = "scores",
     ) -> List[DecodeResult]:
         """Serve whole utterances as concurrent chunked sessions.
 
+        With ``mode="features"`` the inputs are MFCC feature matrices
+        and the tier's scoring thread batches them across sessions.
         Results come back in input order and match
         ``BatchDecoder.decode_batch`` word for word; any session failure
         raises its error as a :class:`DecodeError`.
         """
         if chunk_frames < 1:
             raise ConfigError("chunk_frames must be >= 1")
+        push = self.push_features if mode == "features" else self.push
         matrices = [chunk_matrix(scores) for scores in scores_batch]
-        sids = [self.open_session() for _ in matrices]
+        sids = [self.open_session(mode=mode) for _ in matrices]
         offsets = [0] * len(matrices)
         while True:
             pushed = False
@@ -558,7 +1042,7 @@ class ServingTier:
                 if offsets[i] >= len(matrix):
                     continue
                 chunk = matrix[offsets[i]: offsets[i] + chunk_frames]
-                self.push(sid, chunk)
+                push(sid, chunk)
                 offsets[i] += len(chunk)
                 pushed = True
             if not pushed:
@@ -577,11 +1061,20 @@ class ServingTier:
     # Shutdown
     # ------------------------------------------------------------------
     def shutdown(self, timeout: float = 10.0) -> None:
-        """Stop every shard, collecting final records and shard stats."""
-        with self._lock:
+        """Stop every shard, collecting final records and shard stats.
+
+        The scoring thread drains first (shipping any still-pending
+        feature chunks and their deferred closes), then the workers are
+        stopped, then the front door unlinks the score-plane segments it
+        owns."""
+        with self._score_cv:
             if self._shut_down:
                 return
             self._shut_down = True
+            self._score_cv.notify_all()
+        if self._score_thread is not None:
+            self._score_thread.join(timeout)
+        with self._lock:
             for worker in self._workers:
                 try:
                     worker.conn.send(("stop",))
@@ -600,6 +1093,9 @@ class ServingTier:
                     worker.process.terminate()
                     worker.process.join(1.0)
                 worker.conn.close()
+                if worker.ring is not None:
+                    worker.ring.close()
+                    worker.ring = None
 
     def __enter__(self) -> "ServingTier":
         return self
@@ -638,6 +1134,8 @@ class ServingTier:
                     worker.inflight_frames = max(
                         0, worker.inflight_frames - msg[2]
                     )
+                    if worker.ring is not None:
+                        worker.ring.release(msg[3])
                 elif kind == "record":
                     self._finish(msg[1], msg[2])
                 elif kind == "error":

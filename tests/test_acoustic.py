@@ -127,3 +127,76 @@ class TestScorers:
             SyntheticScorer(num_phones=1)
         with pytest.raises(ConfigError):
             SyntheticScorer(num_phones=5, separation=-1.0)
+
+
+class TestDnnEdgeCases:
+    def test_zero_frame_forward(self, tiny_dnn):
+        log_post = tiny_dnn.log_posteriors(np.empty((0, 8)))
+        assert log_post.shape == (0, 5)
+
+    def test_single_frame_forward(self, tiny_dnn):
+        log_post = tiny_dnn.log_posteriors(np.ones((1, 8)))
+        assert log_post.shape == (1, 5)
+        assert np.exp(log_post).sum() == pytest.approx(1.0)
+
+    def test_normalization_round_trip(self, tiny_dnn):
+        """set_normalization changes the forward pass; restoring the
+        identity normalisation restores the exact original outputs."""
+        x = np.random.default_rng(5).normal(size=(6, 8))
+        before = tiny_dnn.log_posteriors(x)
+        tiny_dnn.set_normalization(x.mean(axis=0), x.std(axis=0))
+        normalised = tiny_dnn.log_posteriors(x)
+        assert not np.array_equal(before, normalised)
+        tiny_dnn.set_normalization(np.zeros(8), np.ones(8))
+        after = tiny_dnn.log_posteriors(x)
+        np.testing.assert_array_equal(before, after)
+
+    def test_normalization_std_floor(self, tiny_dnn):
+        """A zero std axis must not divide by zero."""
+        tiny_dnn.set_normalization(np.zeros(8), np.zeros(8))
+        assert np.isfinite(tiny_dnn.log_posteriors(np.ones((2, 8)))).all()
+
+    def test_forward_batch_stability(self, tiny_dnn):
+        """The invariant batched serving relies on: stacking frames with
+        other frames changes no output bit (including across the
+        GEMM_BLOCK_ROWS tail-padding boundary)."""
+        rng = np.random.default_rng(9)
+        x = rng.normal(size=(71, 8))  # not a multiple of the gemm block
+        stacked = tiny_dnn.log_posteriors(x)
+        for split in (1, 3, 32, 45):
+            parts = [
+                tiny_dnn.log_posteriors(x[i: i + split])
+                for i in range(0, len(x), split)
+            ]
+            np.testing.assert_array_equal(np.vstack(parts), stacked)
+
+    def test_scorer_batch_stability(self, tiny_dnn):
+        priors = DnnScorer.priors_from_labels(np.arange(5), 5)
+        scorer = DnnScorer(tiny_dnn, priors, acoustic_scale=0.7)
+        feats = np.random.default_rng(11).normal(size=(40, 8))
+        whole = scorer.score(feats).matrix
+        halves = np.vstack(
+            [scorer.score(feats[:17]).matrix, scorer.score(feats[17:]).matrix]
+        )
+        np.testing.assert_array_equal(whole, halves)
+
+
+class TestScoresFootprint:
+    def test_size_bytes_is_true_memory_footprint(self):
+        """size_bytes reports the host-side float64 matrix, all frames."""
+        scores = SyntheticScorer(num_phones=4, seed=0).score(
+            PhoneAlignment((1, 2), (3, 4))
+        )
+        assert scores.matrix.dtype == np.float64
+        assert scores.size_bytes == scores.matrix.nbytes
+        assert scores.size_bytes == 7 * 5 * 8  # frames x width x float64
+
+    def test_frame_bytes_on_chip_is_float32_row(self):
+        """The accelerator's ALB holds one float32 per column per frame."""
+        scores = SyntheticScorer(num_phones=4, seed=0).score(
+            PhoneAlignment((1,), (6,))
+        )
+        assert scores.frame_bytes_on_chip == 5 * 4
+        # The two views answer different questions and must not agree
+        # for a float64 host matrix with more than one frame.
+        assert scores.size_bytes == scores.num_frames * 2 * scores.frame_bytes_on_chip

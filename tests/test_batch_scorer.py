@@ -1,0 +1,324 @@
+"""Tests for batched in-tier acoustic scoring: the BatchScorer packing
+stage, the double-buffered shared-memory score planes, and the
+features-mode front doors of StreamingServer and ServingTier.
+
+Correctness anchor: pushing MFCC features and letting the serving layer
+score them -- batched across sessions, shipped over shared memory --
+produces bitwise the words and path scores of the client scoring its own
+chunks and pushing likelihood rows.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError, DecodeError
+from repro.acoustic import BatchScorer, Dnn, DnnConfig, DnnScorer
+from repro.datasets import AudioTaskConfig, generate_audio_task
+from repro.decoder import BeamSearchConfig
+from repro.system import (
+    ScorePlaneRing,
+    ScorePlaneView,
+    ServingTier,
+    StreamingServer,
+    TierConfig,
+)
+
+
+@pytest.fixture(scope="module")
+def audio_task():
+    return generate_audio_task(
+        AudioTaskConfig(
+            vocab_size=20, corpus_sentences=150, num_utterances=3,
+            train_utterances=30, epochs=8, seed=2,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_scorer():
+    dnn = Dnn(DnnConfig(input_dim=6, hidden_dims=(12,), num_classes=4), seed=1)
+    priors = DnnScorer.priors_from_labels(np.arange(4), 4)
+    return DnnScorer(dnn, priors, acoustic_scale=0.9)
+
+
+@pytest.fixture()
+def config():
+    return BeamSearchConfig(beam=14.0, max_active=80)
+
+
+class TestBatchScorer:
+    def test_matches_per_chunk_scoring_bitwise(self, tiny_scorer):
+        batch = BatchScorer(tiny_scorer)
+        rng = np.random.default_rng(4)
+        chunks = [rng.normal(size=(n, 6)) for n in (5, 1, 33, 12)]
+        planes = batch.score_chunks(chunks)
+        for chunk, plane in zip(chunks, planes):
+            np.testing.assert_array_equal(
+                plane, tiny_scorer.score(chunk).matrix
+            )
+
+    def test_zero_frame_chunk(self, tiny_scorer):
+        batch = BatchScorer(tiny_scorer)
+        planes = batch.score_chunks(
+            [np.empty((0, 6)), np.ones((3, 6)), np.empty((0, 6))]
+        )
+        assert planes[0].shape == (0, batch.width)
+        assert planes[2].shape == (0, batch.width)
+        np.testing.assert_array_equal(
+            planes[1], tiny_scorer.score(np.ones((3, 6))).matrix
+        )
+
+    def test_out_buffers_written_in_place(self, tiny_scorer):
+        batch = BatchScorer(tiny_scorer)
+        chunks = [np.ones((4, 6)), np.zeros((2, 6))]
+        out = [np.empty((4, batch.width)), np.empty((2, batch.width))]
+        planes = batch.score_chunks(chunks, out=out)
+        assert planes[0] is out[0] and planes[1] is out[1]
+        np.testing.assert_array_equal(
+            out[0], tiny_scorer.score(np.ones((4, 6))).matrix
+        )
+
+    def test_rejects_bad_shapes(self, tiny_scorer):
+        batch = BatchScorer(tiny_scorer)
+        with pytest.raises(ConfigError):
+            batch.score_chunks([np.ones((3, 5))])  # wrong feature width
+        with pytest.raises(ConfigError):
+            batch.score_chunks([np.ones(6)])  # not 2-D
+        with pytest.raises(ConfigError):
+            batch.score_chunks(
+                [np.ones((3, 6))], out=[np.empty((2, batch.width))]
+            )  # out plane too small
+        with pytest.raises(ConfigError):
+            batch.score_chunks([np.ones((3, 6))], out=[])  # count mismatch
+
+
+class TestScorePlaneRing:
+    def test_round_trip_through_shared_memory(self):
+        ring = ScorePlaneRing(plane_frames=10, width=4)
+        view = ScorePlaneView(ring.name, 10, 4)
+        try:
+            generation, offset, slot = ring.try_alloc(6)
+            slot[:] = np.arange(24.0).reshape(6, 4)
+            np.testing.assert_array_equal(
+                view.rows(generation, offset, 6),
+                np.arange(24.0).reshape(6, 4),
+            )
+        finally:
+            view.close()
+            ring.close()
+
+    def test_flip_and_stall_semantics(self):
+        ring = ScorePlaneRing(plane_frames=10, width=2)
+        try:
+            gen_a, _, _ = ring.try_alloc(6)
+            gen_b, offset_b, _ = ring.try_alloc(6)  # flips to plane 1
+            assert gen_b == gen_a + 1 and offset_b == 0
+            assert ring.flips == 1
+            # Next flip targets plane 0, which still has an unacked
+            # chunk: the ALB stall.
+            assert ring.try_alloc(6) is None
+            assert ring.stalls == 1
+            ring.release(gen_a)
+            gen_c, _, _ = ring.try_alloc(6)
+            assert gen_c == gen_b + 1
+        finally:
+            ring.close()
+
+    def test_chunk_larger_than_plane_rejected(self):
+        ring = ScorePlaneRing(plane_frames=4, width=2)
+        try:
+            with pytest.raises(ConfigError):
+                ring.try_alloc(5)
+        finally:
+            ring.close()
+
+    def test_release_of_negative_generation_is_noop(self):
+        ring = ScorePlaneRing(plane_frames=4, width=2)
+        try:
+            ring.release(-1)
+            assert ring.pending_chunks == 0
+        finally:
+            ring.close()
+
+
+class TestServerFeaturesMode:
+    def test_features_path_bitwise_matches_scores_path(
+        self, audio_task, config
+    ):
+        task = audio_task.task
+        base = StreamingServer(task.graph, config).serve_staggered(
+            [u.scores for u in task.utterances], chunk_frames=7
+        )
+        server = StreamingServer(task.graph, config, scorer=audio_task.scorer)
+        got = server.serve_staggered(
+            [u.features for u in task.utterances],
+            chunk_frames=7,
+            mode="features",
+        )
+        for b, g in zip(base, got):
+            assert g.error is None
+            assert g.result.words == b.result.words
+            assert g.result.log_likelihood == b.result.log_likelihood
+        assert server.stats.scored_frames == sum(
+            u.num_frames for u in task.utterances
+        )
+        assert server.stats.score_batches >= 1
+
+    def test_mode_mismatch_rejected(self, audio_task, config):
+        task = audio_task.task
+        server = StreamingServer(task.graph, config, scorer=audio_task.scorer)
+        feat_sid = server.open_session(mode="features")
+        score_sid = server.open_session()
+        with pytest.raises(DecodeError):
+            server.push(feat_sid, task.utterances[0].scores)
+        with pytest.raises(DecodeError):
+            server.push_features(score_sid, task.utterances[0].features)
+
+    def test_features_mode_needs_scorer(self, audio_task, config):
+        server = StreamingServer(audio_task.task.graph, config)
+        with pytest.raises(ConfigError):
+            server.open_session(mode="features")
+        with pytest.raises(ConfigError):
+            server.open_session(mode="telepathy")
+
+
+class TestTierFeaturesMode:
+    def test_features_path_bitwise_matches_scores_path(
+        self, audio_task, config
+    ):
+        task = audio_task.task
+        with ServingTier(
+            graph=task.graph,
+            search_config=config,
+            tier_config=TierConfig(num_workers=2),
+        ) as tier:
+            base = tier.decode_streaming(
+                [u.scores for u in task.utterances], chunk_frames=7
+            )
+        with ServingTier(
+            graph=task.graph,
+            search_config=config,
+            tier_config=TierConfig(num_workers=2),
+            scorer=audio_task.scorer,
+        ) as tier:
+            got = tier.decode_streaming(
+                [u.features for u in task.utterances],
+                chunk_frames=7,
+                mode="features",
+            )
+            stats = tier.stats
+        for b, g in zip(base, got):
+            assert g.words == b.words
+            assert g.log_likelihood == b.log_likelihood
+        total = sum(u.num_frames for u in task.utterances)
+        assert stats.scored_frames == total
+        assert stats.frames_shipped == total
+        assert stats.score_batches >= 1
+
+    def test_descriptor_transport_is_cheap(self, audio_task, config):
+        """The pipe carries descriptors, not score matrices: well under
+        the ~328 bytes one pickled float64 score row would cost."""
+        task = audio_task.task
+        with ServingTier(
+            graph=task.graph,
+            search_config=config,
+            tier_config=TierConfig(num_workers=2),
+            scorer=audio_task.scorer,
+        ) as tier:
+            tier.decode_streaming(
+                [u.features for u in task.utterances],
+                chunk_frames=7,
+                mode="features",
+            )
+            stats = tier.stats
+        assert stats.descriptors_shipped > 0
+        assert 0 < stats.ipc_bytes_per_frame < 64
+
+    def test_small_plane_forces_flips_without_changing_words(
+        self, audio_task, config
+    ):
+        """A deliberately tiny plane exercises flips (and possibly
+        stalls) on the live path; output must not change."""
+        task = audio_task.task
+        with ServingTier(
+            graph=task.graph,
+            search_config=config,
+            tier_config=TierConfig(num_workers=1, plane_frames=16),
+            scorer=audio_task.scorer,
+        ) as tier:
+            got = tier.decode_streaming(
+                [u.features for u in task.utterances],
+                chunk_frames=7,
+                mode="features",
+            )
+        for utt, result in zip(task.utterances, got):
+            assert result.words is not None
+
+    def test_mode_mismatch_rejected(self, audio_task, config):
+        task = audio_task.task
+        with ServingTier(
+            graph=task.graph,
+            search_config=config,
+            tier_config=TierConfig(num_workers=1),
+            scorer=audio_task.scorer,
+        ) as tier:
+            feat_sid = tier.open_session(mode="features")
+            score_sid = tier.open_session()
+            with pytest.raises(DecodeError):
+                tier.push(feat_sid, task.utterances[0].scores.matrix)
+            with pytest.raises(DecodeError):
+                tier.push_features(score_sid, task.utterances[0].features)
+            with pytest.raises(DecodeError):
+                tier.push_features(feat_sid, np.ones((3, 3)))  # bad width
+            tier.close_input(feat_sid)
+            tier.close_input(score_sid)
+
+    def test_features_mode_needs_scorer(self, audio_task, config):
+        with ServingTier(
+            graph=audio_task.task.graph,
+            search_config=config,
+            tier_config=TierConfig(num_workers=1),
+        ) as tier:
+            with pytest.raises(ConfigError):
+                tier.open_session(mode="features")
+            with pytest.raises(DecodeError):
+                sid = tier.open_session()
+                tier.push_features(sid, np.ones((2, 2)))
+
+    def test_async_features_front_door(self, audio_task, config):
+        task = audio_task.task
+
+        async def client(tier, utt):
+            sid = await tier.aopen_session(mode="features")
+            feats = utt.features
+            for i in range(0, len(feats), 9):
+                await tier.apush_features(sid, feats[i: i + 9])
+            await tier.aclose_input(sid)
+            return await tier.aresult(sid, 60)
+
+        async def main(tier):
+            return await asyncio.gather(
+                *(client(tier, u) for u in task.utterances)
+            )
+
+        with ServingTier(
+            graph=task.graph,
+            search_config=config,
+            tier_config=TierConfig(num_workers=2),
+            scorer=audio_task.scorer,
+        ) as tier:
+            records = asyncio.run(main(tier))
+        with ServingTier(
+            graph=task.graph,
+            search_config=config,
+            tier_config=TierConfig(num_workers=2),
+        ) as tier:
+            base = tier.decode_streaming(
+                [u.scores for u in task.utterances], chunk_frames=9
+            )
+        for expected, record in zip(base, records):
+            assert record.ok, record.error
+            assert record.result.words == expected.words
+            assert record.result.log_likelihood == expected.log_likelihood

@@ -30,11 +30,12 @@ import sys
 
 #: Metrics tracked per bench, in table order.
 METRICS = ("frames_per_second", "speedup", "peak_trace_kib",
-           "partial_latency_ms")
+           "partial_latency_ms", "ipc_bytes_per_frame")
 
 #: Metrics where a *rise* is the regression (memory footprints,
-#: latencies); everything else regresses by falling.
-LOWER_IS_BETTER = frozenset({"peak_trace_kib", "partial_latency_ms"})
+#: latencies, transport cost); everything else regresses by falling.
+LOWER_IS_BETTER = frozenset({"peak_trace_kib", "partial_latency_ms",
+                             "ipc_bytes_per_frame"})
 
 
 def load_trajectory(path: str) -> dict:
